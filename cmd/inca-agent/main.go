@@ -1,0 +1,102 @@
+// Command inca-agent runs a distributed controller daemon (paper Section
+// 3.1.3) over the built-in sample grid, executing its specification file on
+// a live clock and forwarding reports to a centralized controller.
+//
+//	inca-agent -server 127.0.0.1:6323 -host login.sitea.example.org
+//	inca-agent -list    # print the specification file and exit
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"inca/internal/agent"
+	"inca/internal/core"
+	"inca/internal/query"
+	"inca/internal/simtime"
+)
+
+func main() {
+	var (
+		server  = flag.String("server", "127.0.0.1:6323", "centralized controller address")
+		specURL = flag.String("spec-url", "", "fetch the specification file from this inca-server querying interface (central configuration) instead of building it locally")
+		repoDir = flag.String("repo", "", "resolve reporters from this installed script repository (inca-reporter -export) instead of in-process probes")
+		host    = flag.String("host", "login.sitea.example.org", "demo resource to run on")
+		seed    = flag.Int64("seed", 1, "grid seed")
+		list    = flag.Bool("list", false, "print the specification file and exit")
+	)
+	flag.Parse()
+
+	grid := core.DemoGrid(*seed, time.Now().Add(-24*time.Hour))
+	var spec agent.Spec
+	var err error
+	if *specURL != "" {
+		data, gen, ferr := query.NewClient(*specURL).FetchSpec(*host)
+		if ferr != nil {
+			fmt.Fprintln(os.Stderr, ferr)
+			os.Exit(1)
+		}
+		def, perr := agent.ParseSpec(data)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, perr)
+			os.Exit(1)
+		}
+		if *repoDir != "" {
+			// Deployed execution model: checksummed scripts from the
+			// repository, run through /bin/sh.
+			resolve, rerr := core.RepositoryResolver(*repoDir)
+			if rerr != nil {
+				fmt.Fprintln(os.Stderr, rerr)
+				os.Exit(1)
+			}
+			spec, err = agent.BuildFromDef(def, resolve)
+		} else {
+			spec, err = core.RoundTripSpec(grid, def)
+		}
+		if err == nil {
+			fmt.Printf("specification for %s fetched from %s (generation %d)\n", *host, *specURL, gen)
+		}
+	} else {
+		spec, err = core.DemoSpec(grid, *host, rand.New(rand.NewSource(*seed)))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *list {
+		fmt.Printf("specification file for %s (%d series):\n", *host, len(spec.Series))
+		for _, s := range spec.Series {
+			fmt.Printf("  %-40s cron %-14q limit %-8v -> %s\n",
+				s.Reporter.Name(), s.Cron.String(), s.Limit, s.Branch)
+		}
+		return
+	}
+
+	sink := agent.NewWireSink(*server)
+	defer sink.Close()
+	a, err := agent.New(spec, simtime.Real{}, sink, agent.Live)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("distributed controller on %s: %d reporter series, forwarding to %s\n",
+		*host, a.SeriesCount(), *server)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		cancel()
+	}()
+	a.Run(ctx)
+	st := a.Stats()
+	fmt.Printf("stopped: %d runs, %d failures, %d killed, %d submit errors\n",
+		st.Runs, st.Failures, st.Killed, st.SubmitErrs)
+}

@@ -1,0 +1,98 @@
+// Command inca-bench regenerates the paper's evaluation tables and figures
+// (see DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured results).
+//
+// Usage:
+//
+//	inca-bench -experiment all                 # everything, default scales
+//	inca-bench -experiment table4 -hours 24    # one experiment, scaled up
+//	inca-bench -experiment fig5 -days 7        # the paper's full week
+//	inca-bench -experiment fig9 -ablations
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"inca/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "experiment to run: all, table1-table4, fig4-fig9")
+		hours      = flag.Int("hours", 0, "virtual hours for table4/fig8 (0 = default)")
+		days       = flag.Int("days", 0, "virtual days for fig5/fig6/fig7 (0 = default)")
+		updates    = flag.Int("updates", 0, "steady-state updates per fig9 cell (0 = default)")
+		ablations  = flag.Bool("ablations", false, "run fig9 design-choice ablations")
+		seed       = flag.Int64("seed", 2004, "simulation seed")
+		htmlOut    = flag.String("html", "", "also write the fig4 status page HTML here")
+		out        = flag.String("out", "", "append results to this file as well as stdout")
+	)
+	flag.Parse()
+
+	var results []experiments.Result
+	run := func(r experiments.Result) { results = append(results, r) }
+	switch strings.ToLower(*experiment) {
+	case "all":
+		run(experiments.Table1())
+		run(experiments.Table2())
+		run(experiments.Table3())
+		// Table 4 and Figure 8 measure the same replay; share one run.
+		t4, responses := experiments.Table4WithResponses(experiments.Table4Options{Hours: *hours, Seed: *seed})
+		run(t4)
+		run(experiments.Fig4(experiments.Fig4Options{Seed: *seed, HTMLPath: *htmlOut}))
+		run(experiments.Fig5(experiments.Fig5Options{Days: *days, Seed: *seed}))
+		run(experiments.Fig6(experiments.Fig6Options{Days: *days, Seed: *seed}))
+		run(experiments.Fig7(experiments.Fig7Options{Days: *days, Seed: *seed}))
+		t4hours := *hours
+		if t4hours <= 0 {
+			t4hours = 6
+		}
+		run(experiments.Fig8FromResponses(responses, t4hours))
+		run(experiments.Fig9(experiments.Fig9Options{UpdatesPerCell: *updates, Ablations: *ablations}))
+	case "table1":
+		run(experiments.Table1())
+	case "table2":
+		run(experiments.Table2())
+	case "table3":
+		run(experiments.Table3())
+	case "table4":
+		run(experiments.Table4(experiments.Table4Options{Hours: *hours, Seed: *seed}))
+	case "fig4":
+		run(experiments.Fig4(experiments.Fig4Options{Seed: *seed, HTMLPath: *htmlOut}))
+	case "fig5":
+		run(experiments.Fig5(experiments.Fig5Options{Days: *days, Seed: *seed}))
+	case "fig6":
+		run(experiments.Fig6(experiments.Fig6Options{Days: *days, Seed: *seed}))
+	case "fig7":
+		run(experiments.Fig7(experiments.Fig7Options{Days: *days, Seed: *seed}))
+	case "fig8":
+		run(experiments.Fig8(experiments.Fig8Options{Hours: *hours, Seed: *seed}))
+	case "fig9":
+		run(experiments.Fig9(experiments.Fig9Options{UpdatesPerCell: *updates, Ablations: *ablations}))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (all, table1-table4, fig4-fig9)\n", *experiment)
+		os.Exit(2)
+	}
+
+	var sb strings.Builder
+	for _, r := range results {
+		sb.WriteString(r.String())
+		sb.WriteString("\n")
+	}
+	fmt.Print(sb.String())
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if _, err := f.WriteString(sb.String()); err != nil {
+			fmt.Fprintf(os.Stderr, "write %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Command inca-consumer is a command-line data consumer (paper Section
+// 3.3): it queries an inca-server's web-service interface for current and
+// archived data, and can evaluate the cache against a service agreement to
+// render a status summary.
+//
+//	inca-consumer -server http://127.0.0.1:8080 -action stats
+//	inca-consumer -server http://127.0.0.1:8080 -action cache -branch site=siteA,vo=samplegrid
+//	inca-consumer -server http://127.0.0.1:8080 -action graph -branch ... -policy summary-percent
+//	inca-consumer -server http://127.0.0.1:8080 -action summary -agreement agreement.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"inca/internal/agreement"
+	"inca/internal/consumer"
+	"inca/internal/depot"
+	"inca/internal/query"
+	"inca/internal/rrd"
+)
+
+func main() {
+	var (
+		server    = flag.String("server", "http://127.0.0.1:8080", "inca-server querying interface URL")
+		action    = flag.String("action", "stats", "stats | cache | reports | archive | graph | summary")
+		branchID  = flag.String("branch", "", "branch identifier (empty = whole cache)")
+		policy    = flag.String("policy", "", "archival policy name (archive/graph)")
+		hours     = flag.Int("hours", 24, "history window for archive/graph")
+		agreeFile = flag.String("agreement", "", "service agreement XML for -action summary (default: built-in TeraGrid agreement)")
+	)
+	flag.Parse()
+	c := query.NewClient(*server)
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	end := time.Now().UTC()
+	start := end.Add(-time.Duration(*hours) * time.Hour)
+
+	switch *action {
+	case "stats":
+		st, err := c.Stats()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("reports received: %d (%d bytes)\ncache: %d entries, %d bytes\narchives: %d\n",
+			st.Received, st.Bytes, st.CacheCount, st.CacheSize, st.Archives)
+	case "cache":
+		data, err := c.Cache(*branchID)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(data))
+	case "reports":
+		data, err := c.Reports(*branchID)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(string(data))
+	case "archive":
+		points, err := c.Archive(*branchID, *policy, rrd.Average, start, end)
+		if err != nil {
+			fail(err)
+		}
+		for _, p := range points {
+			fmt.Printf("%s %g\n", p.Time.Format(time.RFC3339), p.Value)
+		}
+	case "graph":
+		g, err := c.Graph(*branchID, *policy, rrd.Average, start, end, *branchID, *policy)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(g)
+	case "summary":
+		ag := agreement.TeraGrid()
+		if *agreeFile != "" {
+			data, err := os.ReadFile(*agreeFile)
+			if err != nil {
+				fail(err)
+			}
+			if ag, err = agreement.Parse(data); err != nil {
+				fail(err)
+			}
+		}
+		dump, err := c.Cache("")
+		if err != nil {
+			fail(err)
+		}
+		cache, err := depot.LoadDump(dump)
+		if err != nil {
+			fail(err)
+		}
+		status, err := agreement.Evaluate(ag, cache, time.Now().UTC())
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(consumer.SummaryText(status))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

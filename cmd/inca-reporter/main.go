@@ -1,0 +1,124 @@
+// Command inca-reporter runs a single reporter standalone and prints its
+// XML report — the way reporter developers exercise a probe before
+// deploying it. It can also render the reporter as a standalone script
+// (the Table 1 form) and check specification compliance.
+//
+//	inca-reporter -list
+//	inca-reporter -run version.globus
+//	inca-reporter -script pathload
+//	inca-reporter -validate unit.mpich
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"inca/internal/catalog"
+	"inca/internal/core"
+	"inca/internal/report"
+	"inca/internal/reporter"
+)
+
+func main() {
+	var (
+		host       = flag.String("host", "login.sitea.example.org", "demo resource to probe")
+		seed       = flag.Int64("seed", 1, "grid seed")
+		list       = flag.Bool("list", false, "list available reporters")
+		run        = flag.String("run", "", "run the named reporter and print its report")
+		script     = flag.String("script", "", "render the named reporter as a standalone script")
+		validate   = flag.String("validate", "", "check the named reporter against the specification")
+		export     = flag.String("export", "", "write the host's reporters as a checksummed script repository into this directory")
+		verifyRepo = flag.String("verify-repo", "", "verify an installed reporter repository against its MANIFEST")
+	)
+	flag.Parse()
+
+	grid := core.DemoGrid(*seed, time.Now().Add(-24*time.Hour))
+	reps := core.DemoReporters(grid, *host)
+	if reps == nil {
+		fmt.Fprintf(os.Stderr, "unknown host %s\n", *host)
+		os.Exit(1)
+	}
+	ctx := &reporter.Context{
+		Hostname:     *host,
+		Now:          time.Now(),
+		WorkingDir:   "/home/inca",
+		ReporterPath: "/home/inca/reporters",
+	}
+	lookup := func(name string) reporter.Reporter {
+		r, ok := reps[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown reporter %q (try -list)\n", name)
+			os.Exit(1)
+		}
+		return r
+	}
+	switch {
+	case *list:
+		names := make([]string, 0, len(reps))
+		for n := range reps {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			r := reps[n]
+			fmt.Printf("%-22s %-46s %s\n", n, r.Name(), r.Description())
+		}
+	case *run != "":
+		r := lookup(*run)
+		rep := r.Run(ctx)
+		data, err := report.Marshal(rep)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(string(data))
+		if !rep.Succeeded() {
+			os.Exit(1)
+		}
+	case *script != "":
+		fmt.Print(catalog.Script(lookup(*script)))
+	case *validate != "":
+		r := lookup(*validate)
+		if err := reporter.Validate(r, ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s complies with the reporter specification\n", r.Name())
+	case *export != "":
+		var rs []reporter.Reporter
+		names := make([]string, 0, len(reps))
+		for n := range reps {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			rs = append(rs, reps[n])
+		}
+		n, err := catalog.WriteRepository(*export, rs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d reporter scripts and MANIFEST to %s\n", n, *export)
+	case *verifyRepo != "":
+		problems, err := catalog.VerifyRepository(*verifyRepo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if len(problems) == 0 {
+			fmt.Println("repository matches its MANIFEST")
+			return
+		}
+		for _, p := range problems {
+			fmt.Println(p)
+		}
+		os.Exit(1)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,164 @@
+// Command inca-server runs the Inca server side (paper Figure 1): the
+// centralized controller listening for distributed-controller TCP
+// connections, an in-process depot, and the HTTP querying interface.
+//
+//	inca-server -tcp :6323 -http :8080 -allow hostA,hostB -mode body
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"inca/internal/agent"
+	"inca/internal/consumer"
+	"inca/internal/controller"
+	"inca/internal/core"
+	"inca/internal/depot"
+	"inca/internal/envelope"
+	"inca/internal/query"
+	"inca/internal/wire"
+)
+
+func main() {
+	var (
+		tcpAddr   = flag.String("tcp", "127.0.0.1:6323", "address for distributed-controller connections")
+		httpAddr  = flag.String("http", "127.0.0.1:8080", "address for the querying interface")
+		allow     = flag.String("allow", "", "comma-separated hostname allowlist (empty = allow all)")
+		mode      = flag.String("mode", "body", "envelope mode: body or attachment")
+		cacheImp  = flag.String("cache", "stream", "cache implementation: stream, file, dom, or split")
+		cacheFile = flag.String("cache-file", "inca-cache.xml", "backing file for -cache file")
+		snapshot  = flag.String("snapshot", "", "depot snapshot file: loaded at startup if present, written at shutdown")
+	)
+	flag.Parse()
+
+	var d *depot.Depot
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			restored, rerr := depot.ReadSnapshot(f)
+			f.Close()
+			if rerr != nil {
+				fmt.Fprintf(os.Stderr, "snapshot %s: %v\n", *snapshot, rerr)
+				os.Exit(1)
+			}
+			d = restored
+			st := d.Stats()
+			fmt.Printf("restored depot snapshot: %d cached entries, %d archives, %d policies\n",
+				st.CacheCount, st.Archives, len(d.Policies()))
+		}
+	}
+	if d == nil {
+		var cache depot.Cache
+		switch *cacheImp {
+		case "stream":
+			cache = depot.NewStreamCache()
+		case "file":
+			fc, err := depot.OpenFileCache(*cacheFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("cache file %s: %d entries\n", fc.Path(), fc.Count())
+			cache = fc
+		case "dom":
+			cache = depot.NewDOMCache()
+		case "split":
+			cache = depot.NewSplitCacheDepth(2)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown cache %q\n", *cacheImp)
+			os.Exit(2)
+		}
+		d = depot.New(cache)
+		if err := d.AddPolicy(consumer.AvailabilityPolicy()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	envMode := envelope.Body
+	if *mode == "attachment" {
+		envMode = envelope.Attachment
+	}
+	var allowlist []string
+	if *allow != "" {
+		allowlist = strings.Split(*allow, ",")
+	}
+	ctl := controller.New(d, controller.Options{Allowlist: allowlist, Mode: envMode})
+
+	srv, err := wire.Serve(*tcpAddr, ctl.Handle)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcp listen:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("centralized controller listening on %s (envelope mode %s)\n", srv.Addr(), envMode)
+
+	// Central configuration: serve specification files over /spec. The
+	// sample grid's specs are preloaded so `inca-agent -spec-url` works
+	// out of the box; real deployments POST their own.
+	qsrv := query.NewServer(d)
+	specs := qsrv.EnableSpecs()
+	demoGrid := core.DemoGrid(1, time.Now().Add(-24*time.Hour))
+	for _, res := range demoGrid.Resources() {
+		spec, err := core.DemoSpec(demoGrid, res.Host, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		data, err := agent.MarshalSpec(spec.Def())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if _, err := specs.Put(data); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *httpAddr, Handler: qsrv.Handler()}
+	go func() {
+		fmt.Printf("querying interface on http://%s (/cache /reports /archive /graph /stats)\n", *httpAddr)
+		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "http:", err)
+			os.Exit(1)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(60 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			st := d.Stats()
+			accepted, rejected, errs := ctl.Counters()
+			fmt.Printf("depot: %d reports (%d bytes), cache %d entries / %d bytes; controller: %d ok, %d rejected, %d errors\n",
+				st.Received, st.Bytes, st.CacheCount, st.CacheSize, accepted, rejected, errs)
+		case <-sig:
+			fmt.Println("shutting down")
+			httpSrv.Close()
+			if *snapshot != "" {
+				f, err := os.Create(*snapshot)
+				if err == nil {
+					err = d.WriteSnapshot(f)
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "snapshot %s: %v\n", *snapshot, err)
+					os.Exit(1)
+				}
+				fmt.Printf("depot snapshot written to %s\n", *snapshot)
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,45 @@
+package agent
+
+import (
+	"fmt"
+
+	"inca/internal/branch"
+	"inca/internal/wire"
+)
+
+// WireSink forwards reports to the centralized controller over the TCP
+// protocol — the deployed configuration.
+type WireSink struct {
+	Client *wire.Client
+	// Key, when set, signs every message with the resource's shared
+	// secret (the controller must have the same key registered).
+	Key []byte
+}
+
+// NewWireSink dials addr lazily on first submit.
+func NewWireSink(addr string) *WireSink {
+	return &WireSink{Client: wire.NewClient(addr)}
+}
+
+// Submit implements Sink.
+func (w *WireSink) Submit(id branch.ID, hostname string, reportXML []byte) error {
+	m := &wire.Message{
+		Branch:   id.String(),
+		Hostname: hostname,
+		Report:   reportXML,
+	}
+	if len(w.Key) > 0 {
+		wire.SignMessage(m, w.Key)
+	}
+	ack, err := w.Client.Send(m)
+	if err != nil {
+		return err
+	}
+	if !ack.OK {
+		return fmt.Errorf("agent: server rejected report: %s", ack.Message)
+	}
+	return nil
+}
+
+// Close closes the underlying connection.
+func (w *WireSink) Close() error { return w.Client.Close() }

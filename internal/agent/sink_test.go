@@ -1,0 +1,122 @@
+package agent
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"inca/internal/branch"
+	"inca/internal/report"
+	"inca/internal/reporter"
+	"inca/internal/schedule"
+	"inca/internal/simtime"
+	"inca/internal/wire"
+)
+
+func TestWireSinkSubmitAndAuth(t *testing.T) {
+	key := []byte("secret")
+	var got atomic.Int64
+	srv, err := wire.Serve("127.0.0.1:0", func(m *wire.Message, remote string) *wire.Ack {
+		if !wire.Verify(m, key) {
+			return &wire.Ack{OK: false, Message: "bad signature"}
+		}
+		got.Add(1)
+		return &wire.Ack{OK: true}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Unsigned sink → server refuses, Submit surfaces the rejection.
+	s := NewWireSink(srv.Addr())
+	defer s.Close()
+	err = s.Submit(branch.MustParse("a=1"), "h", []byte("<r/>"))
+	if err == nil || !strings.Contains(err.Error(), "bad signature") {
+		t.Fatalf("unsigned submit err = %v", err)
+	}
+
+	// Signed sink → accepted.
+	s.Key = key
+	if err := s.Submit(branch.MustParse("a=1"), "h", []byte("<r/>")); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != 1 {
+		t.Fatalf("server got %d", got.Load())
+	}
+}
+
+func TestWireSinkTransportError(t *testing.T) {
+	s := NewWireSink("127.0.0.1:1") // nothing listens there
+	defer s.Close()
+	if err := s.Submit(branch.MustParse("a=1"), "h", []byte("<r/>")); err == nil {
+		t.Fatal("dead server submit succeeded")
+	}
+}
+
+// TestAgentRunLiveFiresOnSchedule drives the live Run loop against the
+// real clock with an every-minute cron. To keep the test fast, the clock
+// is a Sim that a helper goroutine advances — Run only interacts with the
+// Clock interface, so this exercises the same code path.
+func TestAgentRunLoopWithSimClock(t *testing.T) {
+	sim := simtime.NewSim(time.Date(2004, 7, 7, 0, 0, 0, 0, time.UTC))
+
+	spec := Spec{
+		Resource: "h",
+		Series: []Series{{
+			Reporter: &reporter.Func{ReporterName: "probe.tick", Fn: func(ctx *reporter.Context, rep *report.Report) {
+				rep.Body = report.Branch("t", "1", report.Leaf("ok", "1"))
+			}},
+			Branch: branch.MustParse("probe=tick"),
+			Cron:   schedule.MustParseCron("* * * * *"),
+		}},
+	}
+	var delivered atomic.Int64
+	sink := SinkFunc(func(branch.ID, string, []byte) error {
+		delivered.Add(1)
+		return nil
+	})
+	a, err := New(spec, sim, sink, Live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		a.Run(ctx)
+		close(done)
+	}()
+	// March the clock minute by minute; give the Run goroutine a moment to
+	// register its timer before each advance.
+	deadline := time.Now().Add(10 * time.Second)
+	for delivered.Load() < 3 && time.Now().Before(deadline) {
+		if sim.Pending() > 0 {
+			sim.Step()
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	cancel()
+	// Unblock the scheduler if it is waiting on the clock.
+	for i := 0; i < 10; i++ {
+		sim.Advance(time.Minute)
+		select {
+		case <-done:
+			i = 10
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not exit")
+	}
+	if delivered.Load() < 3 {
+		t.Fatalf("delivered %d reports, want >= 3", delivered.Load())
+	}
+
+	if a.Resource() != "h" || a.SeriesCount() != 1 {
+		t.Fatal("accessors wrong")
+	}
+}

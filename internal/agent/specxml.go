@@ -1,0 +1,139 @@
+package agent
+
+import (
+	"encoding/xml"
+	"fmt"
+	"time"
+
+	"inca/internal/branch"
+	"inca/internal/report"
+	"inca/internal/reporter"
+	"inca/internal/schedule"
+)
+
+// Specification files as documents. Section 3.1.3: "distributed
+// controllers are designed to receive execution instructions in the form
+// of a specification file from the Inca server ... The specification file
+// describes execution details for each reporter including frequency,
+// expected run time, and input arguments." The paper's deployment shipped
+// these by hand; this file provides the machine-readable form that the
+// central-configuration requirement (Section 2.3) calls for, so the server
+// can disseminate changes automatically (see query.Server's /spec
+// endpoints and core.ResolveSpec).
+
+// SeriesDef is the serializable description of one series: the reporter is
+// referenced by name and reconstructed on the resource by a resolver.
+type SeriesDef struct {
+	Reporter  string      `xml:"reporter,attr"`
+	Cron      string      `xml:"cron,attr"`
+	Limit     string      `xml:"limit,attr,omitempty"`
+	Branch    string      `xml:"branch,attr"`
+	DependsOn []string    `xml:"dependsOn>series,omitempty"`
+	Args      []SeriesArg `xml:"arg,omitempty"`
+}
+
+// SeriesArg is one run-time input argument.
+type SeriesArg struct {
+	Name  string `xml:"name,attr"`
+	Value string `xml:"value,attr"`
+}
+
+// SpecDef is the serializable specification file.
+type SpecDef struct {
+	XMLName      xml.Name    `xml:"specification"`
+	Resource     string      `xml:"resource,attr"`
+	WorkingDir   string      `xml:"workingDir,attr,omitempty"`
+	ReporterPath string      `xml:"reporterPath,attr,omitempty"`
+	Series       []SeriesDef `xml:"series"`
+}
+
+// Def extracts the serializable form of a live Spec.
+func (s *Spec) Def() SpecDef {
+	d := SpecDef{
+		Resource:     s.Resource,
+		WorkingDir:   s.WorkingDir,
+		ReporterPath: s.ReporterPath,
+	}
+	for _, series := range s.Series {
+		sd := SeriesDef{
+			Reporter:  series.Reporter.Name(),
+			Cron:      series.Cron.String(),
+			Branch:    series.Branch.String(),
+			DependsOn: append([]string(nil), series.DependsOn...),
+		}
+		if series.Limit > 0 {
+			sd.Limit = series.Limit.String()
+		}
+		for _, a := range series.Args {
+			sd.Args = append(sd.Args, SeriesArg{Name: a.Name, Value: a.Value})
+		}
+		d.Series = append(d.Series, sd)
+	}
+	return d
+}
+
+// MarshalSpec serializes a specification document.
+func MarshalSpec(d SpecDef) ([]byte, error) {
+	return xml.MarshalIndent(d, "", "  ")
+}
+
+// ParseSpec reads a specification document.
+func ParseSpec(data []byte) (SpecDef, error) {
+	var d SpecDef
+	if err := xml.Unmarshal(data, &d); err != nil {
+		return SpecDef{}, fmt.Errorf("agent: bad specification: %w", err)
+	}
+	if d.Resource == "" {
+		return SpecDef{}, fmt.Errorf("agent: specification missing resource attribute")
+	}
+	if len(d.Series) == 0 {
+		return SpecDef{}, fmt.Errorf("agent: specification has no series")
+	}
+	return d, nil
+}
+
+// Resolver reconstructs a reporter from its name for a given resource
+// (see core.CatalogResolver for the standard catalog-backed one).
+type Resolver func(reporterName string) (reporter.Reporter, error)
+
+// BuildFromDef reconstructs a runnable Spec from its document form using
+// the given resolver for reporters.
+func BuildFromDef(d SpecDef, resolve Resolver) (Spec, error) {
+	spec := Spec{
+		Resource:     d.Resource,
+		WorkingDir:   d.WorkingDir,
+		ReporterPath: d.ReporterPath,
+	}
+	for i, sd := range d.Series {
+		r, err := resolve(sd.Reporter)
+		if err != nil {
+			return Spec{}, fmt.Errorf("agent: series %d (%s): %w", i, sd.Reporter, err)
+		}
+		cron, err := schedule.ParseCron(sd.Cron)
+		if err != nil {
+			return Spec{}, fmt.Errorf("agent: series %s: %w", sd.Reporter, err)
+		}
+		id, err := branch.Parse(sd.Branch)
+		if err != nil {
+			return Spec{}, fmt.Errorf("agent: series %s: %w", sd.Reporter, err)
+		}
+		var limit time.Duration
+		if sd.Limit != "" {
+			if limit, err = time.ParseDuration(sd.Limit); err != nil {
+				return Spec{}, fmt.Errorf("agent: series %s limit: %w", sd.Reporter, err)
+			}
+		}
+		series := Series{
+			Reporter:  r,
+			Cron:      cron,
+			Branch:    id,
+			Limit:     limit,
+			DependsOn: append([]string(nil), sd.DependsOn...),
+		}
+		for _, a := range sd.Args {
+			series.Args = append(series.Args, report.Arg{Name: a.Name, Value: a.Value})
+		}
+		spec.Series = append(spec.Series, series)
+	}
+	return spec, nil
+}

@@ -1,0 +1,117 @@
+package agent
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"inca/internal/branch"
+	"inca/internal/report"
+	"inca/internal/reporter"
+	"inca/internal/schedule"
+)
+
+func specForDocTest() Spec {
+	mk := func(name string) reporter.Reporter {
+		return &reporter.Func{ReporterName: name, Fn: func(ctx *reporter.Context, rep *report.Report) {
+			rep.Body = report.Branch("p", "1", report.Leaf("ok", "1"))
+		}}
+	}
+	return Spec{
+		Resource:     "login1.example.org",
+		WorkingDir:   "/home/inca",
+		ReporterPath: "/home/inca/reporters",
+		Series: []Series{
+			{
+				Reporter: mk("probe.setup"),
+				Branch:   branch.MustParse("probe=setup,vo=tg"),
+				Cron:     schedule.MustParseCron("20 * * * *"),
+				Limit:    5 * time.Minute,
+				Args:     []report.Arg{{Name: "dest", Value: "siteB"}},
+			},
+			{
+				Reporter:  mk("probe.dependent"),
+				Branch:    branch.MustParse("probe=dep,vo=tg"),
+				Cron:      schedule.MustParseCron("20 * * * *"),
+				DependsOn: []string{"probe.setup@probe=setup,vo=tg"},
+			},
+		},
+	}
+}
+
+func TestSpecDefDocumentRoundTrip(t *testing.T) {
+	orig := specForDocTest()
+	def := (&orig).Def()
+	data, err := MarshalSpec(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`resource="login1.example.org"`,
+		`reporter="probe.setup"`,
+		`cron="20 * * * *"`,
+		`limit="5m0s"`,
+		`branch="probe=setup,vo=tg"`,
+		"probe.setup@probe=setup,vo=tg",
+		`name="dest"`,
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("document missing %q:\n%s", want, data)
+		}
+	}
+	back, err := ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(def, normalizeDef(back)) {
+		t.Fatalf("def round trip:\n got %+v\nwant %+v", normalizeDef(back), def)
+	}
+	// Rebuild with a name-keyed resolver and verify the runnable spec.
+	resolve := func(name string) (reporter.Reporter, error) {
+		return &reporter.Func{ReporterName: name, Fn: func(*reporter.Context, *report.Report) {}}, nil
+	}
+	rebuilt, err := BuildFromDef(back, Resolver(resolve))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Resource != orig.Resource || rebuilt.WorkingDir != orig.WorkingDir {
+		t.Fatalf("rebuilt = %+v", rebuilt)
+	}
+	if len(rebuilt.Series) != 2 {
+		t.Fatalf("series = %d", len(rebuilt.Series))
+	}
+	s0 := rebuilt.Series[0]
+	if s0.Reporter.Name() != "probe.setup" || s0.Limit != 5*time.Minute ||
+		!s0.Branch.Equal(branch.MustParse("probe=setup,vo=tg")) ||
+		s0.Cron.String() != "20 * * * *" ||
+		len(s0.Args) != 1 || s0.Args[0].Value != "siteB" {
+		t.Fatalf("series 0 = %+v", s0)
+	}
+	if len(rebuilt.Series[1].DependsOn) != 1 {
+		t.Fatalf("series 1 deps = %v", rebuilt.Series[1].DependsOn)
+	}
+}
+
+// normalizeDef clears the XMLName field the decoder fills in so structural
+// comparison against a hand-built def works.
+func normalizeDef(d SpecDef) SpecDef {
+	d.XMLName.Local = ""
+	d.XMLName.Space = ""
+	return d
+}
+
+func TestBuildFromDefResolverErrorPropagates(t *testing.T) {
+	s := specForDocTest()
+	def := s.Def()
+	resolve := func(name string) (reporter.Reporter, error) {
+		return nil, errSink{}
+	}
+	if _, err := BuildFromDef(def, resolve); err == nil {
+		t.Fatal("resolver error swallowed")
+	}
+}
+
+type errSink struct{}
+
+func (errSink) Error() string { return "no such reporter" }

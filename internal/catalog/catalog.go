@@ -1,0 +1,341 @@
+// Package catalog provides the built-in reporters deployed to the simulated
+// TeraGrid — the reproduction of the reporter set in Section 4.1 of the
+// paper: package version queries, package unit tests, default-user-
+// environment and SoftEnv collectors, local and cross-site service probes,
+// network bandwidth reporters (pathload / pathchirp / spruce), and
+// GRASP-style benchmark reporters.
+//
+// Each reporter can also render itself as a standalone script
+// (see script.go), which is how the Table 1 reporter-size distribution is
+// regenerated.
+package catalog
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"inca/internal/gridsim"
+	"inca/internal/report"
+	"inca/internal/reporter"
+)
+
+// Category is the status-page grouping from Section 4.1.
+type Category string
+
+// The three TeraGrid categories.
+const (
+	CategoryGrid        Category = "Grid"
+	CategoryDevelopment Category = "Development"
+	CategoryCluster     Category = "Cluster"
+)
+
+// CategoryFor classifies a package name into its status-page category.
+func CategoryFor(pkg string) Category {
+	switch gridsim.PackageCategory(pkg) {
+	case "development":
+		return CategoryDevelopment
+	case "cluster":
+		return CategoryCluster
+	default:
+		return CategoryGrid
+	}
+}
+
+// VersionReporter publishes the installed version of a software package
+// ("a reporter can publish the version of a software package", Section
+// 3.1.2). These are the small, numerous reporters that dominate Table 1.
+type VersionReporter struct {
+	Resource *gridsim.Resource
+	Package  string
+}
+
+// Name implements Reporter.
+func (v *VersionReporter) Name() string {
+	return fmt.Sprintf("%s.version.%s", categoryPrefix(CategoryFor(v.Package)), v.Package)
+}
+
+// Version implements Reporter.
+func (v *VersionReporter) Version() string { return "1.1" }
+
+// Description implements Reporter.
+func (v *VersionReporter) Description() string {
+	return fmt.Sprintf("reports the installed version of %s", v.Package)
+}
+
+// RunDuration implements Timed: version queries are near-instant.
+func (v *VersionReporter) RunDuration(*reporter.Context) time.Duration { return 2 * time.Second }
+
+// Run implements Reporter.
+func (v *VersionReporter) Run(ctx *reporter.Context) *report.Report {
+	rep := reporter.New(v, ctx)
+	p, ok := v.Resource.Package(v.Package)
+	if !ok {
+		return rep.Fail("package %s is not installed", v.Package)
+	}
+	e, ok := p.At(ctx.Now)
+	if !ok {
+		return rep.Fail("package %s is not installed", v.Package)
+	}
+	rep.Body = report.Branch("package", v.Package,
+		report.Leaf("version", e.Version),
+		report.Leaf("location", "/usr/teragrid/"+v.Package),
+	)
+	return rep
+}
+
+func categoryPrefix(c Category) string {
+	switch c {
+	case CategoryDevelopment:
+		return "development"
+	case CategoryCluster:
+		return "cluster"
+	default:
+		return "grid"
+	}
+}
+
+// UnitTestReporter performs a functional unit test of a package ("perform a
+// unit test to evaluate software functionality").
+type UnitTestReporter struct {
+	Resource *gridsim.Resource
+	Package  string
+}
+
+// Name implements Reporter.
+func (u *UnitTestReporter) Name() string {
+	return fmt.Sprintf("%s.unit.%s", categoryPrefix(CategoryFor(u.Package)), u.Package)
+}
+
+// Version implements Reporter.
+func (u *UnitTestReporter) Version() string { return "1.3" }
+
+// Description implements Reporter.
+func (u *UnitTestReporter) Description() string {
+	return fmt.Sprintf("runs the %s functionality unit test", u.Package)
+}
+
+// RunDuration implements Timed: unit tests occupy the resource noticeably
+// longer than version queries (the paper's BLAS-vs-Condor-G contrast).
+func (u *UnitTestReporter) RunDuration(*reporter.Context) time.Duration {
+	switch CategoryFor(u.Package) {
+	case CategoryDevelopment:
+		return 45 * time.Second // compile-and-run style tests
+	case CategoryCluster:
+		return 30 * time.Second // batch submission round trip
+	default:
+		return 20 * time.Second
+	}
+}
+
+// Run implements Reporter.
+func (u *UnitTestReporter) Run(ctx *reporter.Context) *report.Report {
+	rep := reporter.New(u, ctx)
+	p, ok := u.Resource.Package(u.Package)
+	if !ok {
+		return rep.Fail("package %s is not installed", u.Package)
+	}
+	pass, reason := p.UnitTestPasses(ctx.Now)
+	if !pass {
+		return rep.Fail("%s", reason)
+	}
+	e, _ := p.At(ctx.Now)
+	body := report.Branch("unitTest", u.Package,
+		report.Leaf("tested", e.Version),
+		report.Leaf("result", "all subtests passed"),
+	)
+	// Each subtest carries its captured output, so unit test reports for
+	// large packages run to several kilobytes — the mid-range of the
+	// report-size distribution in Figure 8.
+	for _, st := range subtestsFor(u.Package) {
+		body.Add(report.Branch("subtest", st,
+			report.Leaf("status", "pass"),
+			report.Leaf("output", subtestOutput(u.Package, st)),
+		))
+	}
+	rep.Body = body
+	return rep
+}
+
+// subtestOutput fabricates the captured output of one subtest,
+// deterministically sized by how verbose the package's tests are.
+func subtestOutput(pkg, subtest string) string {
+	verbosity := map[string]int{
+		"globus": 18, "gridftp": 12, "srb": 10, "mpich": 24, "atlas": 8,
+		"hdf5": 6, "hdf4": 4, "pbs": 10, "condor-g": 8, "petsc": 30,
+		"fftw": 6, "lapack": 8, "blas": 6,
+	}[pkg]
+	if verbosity == 0 {
+		verbosity = 2
+	}
+	var sb strings.Builder
+	for i := 0; i < verbosity; i++ {
+		fmt.Fprintf(&sb, "[%s/%s] step %02d: expected output matched (elapsed 0.%02ds)\n",
+			pkg, subtest, i, (i*7)%100)
+	}
+	return sb.String()
+}
+
+// ServiceReporter probes a persistent service on the local resource (SSH
+// server, GRAM gatekeeper, GridFTP, SRB — the service-reliability use
+// case).
+type ServiceReporter struct {
+	Resource *gridsim.Resource
+	Service  string
+}
+
+// Name implements Reporter.
+func (s *ServiceReporter) Name() string { return "grid.service." + s.Service }
+
+// Version implements Reporter.
+func (s *ServiceReporter) Version() string { return "1.2" }
+
+// Description implements Reporter.
+func (s *ServiceReporter) Description() string {
+	return fmt.Sprintf("checks that the local %s service accepts connections", s.Service)
+}
+
+// RunDuration implements Timed.
+func (s *ServiceReporter) RunDuration(*reporter.Context) time.Duration { return 5 * time.Second }
+
+// Run implements Reporter.
+func (s *ServiceReporter) Run(ctx *reporter.Context) *report.Report {
+	rep := reporter.New(s, ctx)
+	up, reason := s.Resource.ServiceUp(s.Service, ctx.Now)
+	if !up {
+		return rep.Fail("%s", reason)
+	}
+	svc, _ := s.Resource.Service(s.Service)
+	rep.Body = report.Branch("service", s.Service,
+		report.Leaff("port", "%d", svc.Port),
+		report.Leaf("state", "accepting connections"),
+	)
+	return rep
+}
+
+// CrossSiteReporter verifies that this resource can reach a service on a
+// remote resource — the cross-site tests of Section 4.1 and the two-way
+// Grid-service-availability metric of Section 3.3.
+type CrossSiteReporter struct {
+	Grid     *gridsim.Grid
+	Source   *gridsim.Resource
+	DestHost string
+	Service  string
+}
+
+// Name implements Reporter.
+func (c *CrossSiteReporter) Name() string {
+	return fmt.Sprintf("grid.xsite.%s.to.%s", c.Service, c.DestHost)
+}
+
+// Version implements Reporter.
+func (c *CrossSiteReporter) Version() string { return "1.0" }
+
+// Description implements Reporter.
+func (c *CrossSiteReporter) Description() string {
+	return fmt.Sprintf("checks %s access from %s to %s", c.Service, c.Source.Host, c.DestHost)
+}
+
+// RunDuration implements Timed: includes GSI authentication round trips.
+func (c *CrossSiteReporter) RunDuration(*reporter.Context) time.Duration { return 15 * time.Second }
+
+// Run implements Reporter.
+func (c *CrossSiteReporter) Run(ctx *reporter.Context) *report.Report {
+	rep := reporter.New(c, ctx)
+	if c.Source.InMaintenance(ctx.Now) {
+		return rep.Fail("source resource in scheduled maintenance")
+	}
+	dst, ok := c.Grid.Resource(c.DestHost)
+	if !ok {
+		return rep.Fail("unknown destination host %s", c.DestHost)
+	}
+	up, reason := dst.ServiceUp(c.Service, ctx.Now)
+	if !up {
+		return rep.Fail("remote %s on %s: %s", c.Service, c.DestHost, reason)
+	}
+	rep.Body = report.Branch("crossSite", c.Service,
+		report.Leaf("source", c.Source.Host),
+		report.Leaf("destination", c.DestHost),
+		report.Leaf("state", "reachable"),
+	)
+	return rep
+}
+
+// EnvReporter collects the default user environment ("a reporter was also
+// written to collect the set of environment variables in the default user
+// environment", Section 4.1).
+type EnvReporter struct {
+	Resource *gridsim.Resource
+}
+
+// Name implements Reporter.
+func (e *EnvReporter) Name() string { return "cluster.admin.env" }
+
+// Version implements Reporter.
+func (e *EnvReporter) Version() string { return "2.0" }
+
+// Description implements Reporter.
+func (e *EnvReporter) Description() string {
+	return "collects the default user environment variables"
+}
+
+// RunDuration implements Timed.
+func (e *EnvReporter) RunDuration(*reporter.Context) time.Duration { return 3 * time.Second }
+
+// Run implements Reporter.
+func (e *EnvReporter) Run(ctx *reporter.Context) *report.Report {
+	rep := reporter.New(e, ctx)
+	env := e.Resource.Env()
+	body := report.Branch("environment", "default")
+	// Deterministic order for stable cache contents.
+	for _, k := range sortedKeys(env) {
+		body.Add(report.Branch("variable", k, report.Leaf("value", env[k])))
+	}
+	rep.Body = body
+	return rep
+}
+
+// SoftEnvReporter collects the resource's SoftEnv database.
+type SoftEnvReporter struct {
+	Resource *gridsim.Resource
+}
+
+// Name implements Reporter.
+func (s *SoftEnvReporter) Name() string { return "cluster.admin.softenv" }
+
+// Version implements Reporter.
+func (s *SoftEnvReporter) Version() string { return "1.1" }
+
+// Description implements Reporter.
+func (s *SoftEnvReporter) Description() string { return "dumps the SoftEnv database" }
+
+// RunDuration implements Timed.
+func (s *SoftEnvReporter) RunDuration(*reporter.Context) time.Duration { return 4 * time.Second }
+
+// Run implements Reporter.
+func (s *SoftEnvReporter) Run(ctx *reporter.Context) *report.Report {
+	rep := reporter.New(s, ctx)
+	entries := s.Resource.SoftEnv()
+	if len(entries) == 0 {
+		return rep.Fail("SoftEnv database is empty or unreadable")
+	}
+	body := report.Branch("softenv", "database")
+	for _, e := range entries {
+		body.Add(report.Branch("entry", e.Key, report.Leaf("definition", e.Value)))
+	}
+	rep.Body = body
+	return rep
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

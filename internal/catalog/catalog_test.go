@@ -1,0 +1,293 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"inca/internal/gridsim"
+	"inca/internal/report"
+	"inca/internal/reporter"
+)
+
+var t0 = time.Date(2004, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func testGrid() (*gridsim.Grid, *gridsim.Resource, *gridsim.Resource) {
+	g := gridsim.NewTeraGrid(7, gridsim.TeraGridOptions{InstallTime: t0, MondayMaintenance: true})
+	src, _ := g.Resource("tg-login1.sdsc.teragrid.org")
+	dst, _ := g.Resource("tg-login1.caltech.teragrid.org")
+	return g, src, dst
+}
+
+func ctxAt(host string, at time.Time) *reporter.Context {
+	return &reporter.Context{Hostname: host, Now: at, WorkingDir: "/home/inca", ReporterPath: "/home/inca/reporters"}
+}
+
+// tuesday avoids the Monday maintenance window.
+var tuesday = time.Date(2004, 6, 8, 10, 0, 0, 0, time.UTC)
+
+func TestAllCatalogReportersSpecCompliant(t *testing.T) {
+	g, src, _ := testGrid()
+	rs := []reporter.Reporter{
+		&VersionReporter{Resource: src, Package: "globus"},
+		&UnitTestReporter{Resource: src, Package: "mpich"},
+		&ServiceReporter{Resource: src, Service: "ssh"},
+		&CrossSiteReporter{Grid: g, Source: src, DestHost: "tg-login1.caltech.teragrid.org", Service: "gridftp"},
+		&EnvReporter{Resource: src},
+		&SoftEnvReporter{Resource: src},
+		&BandwidthReporter{Grid: g, Source: src, DestHost: "tg-login1.caltech.teragrid.org", Tool: Pathload},
+		&BandwidthReporter{Grid: g, Source: src, DestHost: "tg-login1.caltech.teragrid.org", Tool: Spruce},
+		&BenchmarkReporter{Resource: src, Kind: "flops"},
+	}
+	for _, r := range rs {
+		if err := reporter.Validate(r, ctxAt(src.Host, tuesday)); err != nil {
+			t.Errorf("%s: %v", r.Name(), err)
+		}
+		if r.Description() == "" {
+			t.Errorf("%s: empty description", r.Name())
+		}
+		if _, ok := r.(reporter.Timed); !ok {
+			t.Errorf("%s: catalog reporter without RunDuration", r.Name())
+		}
+	}
+}
+
+func TestVersionReporter(t *testing.T) {
+	_, src, _ := testGrid()
+	r := &VersionReporter{Resource: src, Package: "globus"}
+	rep := r.Run(ctxAt(src.Host, tuesday))
+	if !rep.Succeeded() {
+		t.Fatalf("failed: %s", rep.Footer.ErrorMessage)
+	}
+	v, ok := rep.Body.Value("version,package=globus")
+	if !ok || v != "2.4.3" {
+		t.Fatalf("version = %q,%v", v, ok)
+	}
+	// Missing package fails with a message.
+	r2 := &VersionReporter{Resource: src, Package: "nonexistent"}
+	rep2 := r2.Run(ctxAt(src.Host, tuesday))
+	if rep2.Succeeded() || rep2.Footer.ErrorMessage == "" {
+		t.Fatal("missing package did not fail properly")
+	}
+}
+
+func TestVersionReporterCategoryNames(t *testing.T) {
+	_, src, _ := testGrid()
+	cases := map[string]string{
+		"globus": "grid.version.globus",
+		"mpich":  "development.version.mpich",
+		"pbs":    "cluster.version.pbs",
+	}
+	for pkg, want := range cases {
+		r := &VersionReporter{Resource: src, Package: pkg}
+		if r.Name() != want {
+			t.Errorf("Name(%s) = %q, want %q", pkg, r.Name(), want)
+		}
+	}
+}
+
+func TestUnitTestReporterBrokenPackage(t *testing.T) {
+	_, src, _ := testGrid()
+	if err := src.BreakPackage("hdf5", tuesday); err != nil {
+		t.Fatal(err)
+	}
+	r := &UnitTestReporter{Resource: src, Package: "hdf5"}
+	rep := r.Run(ctxAt(src.Host, tuesday.Add(time.Hour)))
+	if rep.Succeeded() {
+		t.Fatal("broken package passed unit test")
+	}
+	if !strings.Contains(rep.Footer.ErrorMessage, "hdf5") {
+		t.Fatalf("error = %q", rep.Footer.ErrorMessage)
+	}
+	// Before the break it passed.
+	repBefore := r.Run(ctxAt(src.Host, tuesday.Add(-time.Hour)))
+	if !repBefore.Succeeded() {
+		t.Fatalf("pre-break failure: %s", repBefore.Footer.ErrorMessage)
+	}
+}
+
+func TestServiceReporterOutage(t *testing.T) {
+	_, src, _ := testGrid()
+	src.AddOutage(gridsim.Outage{Service: "ssh", From: tuesday, To: tuesday.Add(time.Hour), Reason: "sshd crashed"})
+	r := &ServiceReporter{Resource: src, Service: "ssh"}
+	rep := r.Run(ctxAt(src.Host, tuesday.Add(30*time.Minute)))
+	if rep.Succeeded() {
+		t.Fatal("outage not reflected")
+	}
+	if rep.Footer.ErrorMessage != "sshd crashed" {
+		t.Fatalf("error = %q", rep.Footer.ErrorMessage)
+	}
+	rep = r.Run(ctxAt(src.Host, tuesday.Add(2*time.Hour)))
+	if !rep.Succeeded() {
+		t.Fatalf("post-outage failure: %s", rep.Footer.ErrorMessage)
+	}
+	if v, _ := rep.Body.Value("port,service=ssh"); v != "22" {
+		t.Fatalf("port = %q", v)
+	}
+}
+
+func TestCrossSiteReporter(t *testing.T) {
+	g, src, dst := testGrid()
+	r := &CrossSiteReporter{Grid: g, Source: src, DestHost: dst.Host, Service: "gram-gatekeeper"}
+	rep := r.Run(ctxAt(src.Host, tuesday))
+	if !rep.Succeeded() {
+		t.Fatalf("cross-site failed: %s", rep.Footer.ErrorMessage)
+	}
+	// Remote outage surfaces at the source.
+	dst.AddOutage(gridsim.Outage{Service: "gram-gatekeeper", From: tuesday.Add(time.Hour), To: tuesday.Add(2 * time.Hour)})
+	rep = r.Run(ctxAt(src.Host, tuesday.Add(90*time.Minute)))
+	if rep.Succeeded() {
+		t.Fatal("remote outage invisible")
+	}
+	if !strings.Contains(rep.Footer.ErrorMessage, dst.Host) {
+		t.Fatalf("error lacks destination: %q", rep.Footer.ErrorMessage)
+	}
+	// Unknown destination fails cleanly.
+	r2 := &CrossSiteReporter{Grid: g, Source: src, DestHost: "ghost.example.org", Service: "ssh"}
+	if r2.Run(ctxAt(src.Host, tuesday)).Succeeded() {
+		t.Fatal("unknown destination succeeded")
+	}
+}
+
+func TestCrossSiteMaintenanceAtSource(t *testing.T) {
+	g, src, dst := testGrid()
+	monday := time.Date(2004, 6, 7, 9, 0, 0, 0, time.UTC)
+	r := &CrossSiteReporter{Grid: g, Source: src, DestHost: dst.Host, Service: "ssh"}
+	rep := r.Run(ctxAt(src.Host, monday))
+	if rep.Succeeded() {
+		t.Fatal("ran during source maintenance")
+	}
+}
+
+func TestEnvReporter(t *testing.T) {
+	_, src, _ := testGrid()
+	r := &EnvReporter{Resource: src}
+	rep := r.Run(ctxAt(src.Host, tuesday))
+	if !rep.Succeeded() {
+		t.Fatal(rep.Footer.ErrorMessage)
+	}
+	v, ok := rep.Body.Value("value,variable=GLOBUS_LOCATION,environment=default")
+	if !ok || v != "/usr/teragrid/globus" {
+		t.Fatalf("GLOBUS_LOCATION = %q,%v", v, ok)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftEnvReporter(t *testing.T) {
+	_, src, _ := testGrid()
+	r := &SoftEnvReporter{Resource: src}
+	rep := r.Run(ctxAt(src.Host, tuesday))
+	if !rep.Succeeded() {
+		t.Fatal(rep.Footer.ErrorMessage)
+	}
+	if _, ok := rep.Body.Value("definition,entry=@teragrid,softenv=database"); !ok {
+		t.Fatal("@teragrid entry missing")
+	}
+	// A resource without SoftEnv fails.
+	g2 := gridsim.New("bare", 1)
+	bare := g2.AddSite("X").AddResource("bare.host", gridsim.Hardware{})
+	rep2 := (&SoftEnvReporter{Resource: bare}).Run(ctxAt("bare.host", tuesday))
+	if rep2.Succeeded() {
+		t.Fatal("empty SoftEnv database succeeded")
+	}
+}
+
+func TestBandwidthReporterFigure2Shape(t *testing.T) {
+	g, src, dst := testGrid()
+	r := &BandwidthReporter{Grid: g, Source: src, DestHost: dst.Host, Tool: Pathload}
+	rep := r.Run(ctxAt(src.Host, tuesday))
+	if !rep.Succeeded() {
+		t.Fatal(rep.Footer.ErrorMessage)
+	}
+	lower, ok := rep.Body.Float("value,statistic=lowerBound,metric=bandwidth")
+	if !ok {
+		t.Fatal("lowerBound missing (Figure 2 shape)")
+	}
+	upper, ok := rep.Body.Float("value,statistic=upperBound,metric=bandwidth")
+	if !ok {
+		t.Fatal("upperBound missing")
+	}
+	if lower >= upper {
+		t.Fatalf("bounds inverted: %g >= %g", lower, upper)
+	}
+	if u, _ := rep.Body.Value("units,statistic=lowerBound,metric=bandwidth"); u != "Mbps" {
+		t.Fatalf("units = %q", u)
+	}
+	// Single-estimate tools use a different statistic.
+	r2 := &BandwidthReporter{Grid: g, Source: src, DestHost: dst.Host, Tool: Spruce}
+	rep2 := r2.Run(ctxAt(src.Host, tuesday))
+	if _, ok := rep2.Body.Float("value,statistic=estimate,metric=bandwidth"); !ok {
+		t.Fatal("spruce estimate missing")
+	}
+}
+
+func TestBandwidthReporterNoRoute(t *testing.T) {
+	g, src, _ := testGrid()
+	r := &BandwidthReporter{Grid: g, Source: src, DestHost: "unrouted.example.org", Tool: Pathload}
+	if r.Run(ctxAt(src.Host, tuesday)).Succeeded() {
+		t.Fatal("no-route measurement succeeded")
+	}
+}
+
+func TestBenchmarkReporter(t *testing.T) {
+	_, src, _ := testGrid()
+	r := &BenchmarkReporter{Resource: src, Kind: "flops"}
+	rep := r.Run(ctxAt(src.Host, tuesday))
+	if !rep.Succeeded() {
+		t.Fatal(rep.Footer.ErrorMessage)
+	}
+	score, ok := rep.Body.Float("value,statistic=measured,metric=flops")
+	if !ok || score <= 0 {
+		t.Fatalf("score = %g,%v", score, ok)
+	}
+	if u, _ := rep.Body.Value("units,statistic=measured,metric=flops"); u != "GFLOPS" {
+		t.Fatalf("units = %q", u)
+	}
+}
+
+func TestRunDurationsOrdering(t *testing.T) {
+	g, src, dst := testGrid()
+	ctx := ctxAt(src.Host, tuesday)
+	version := (&VersionReporter{Resource: src, Package: "globus"}).RunDuration(ctx)
+	unit := (&UnitTestReporter{Resource: src, Package: "atlas"}).RunDuration(ctx)
+	pathload := (&BandwidthReporter{Grid: g, Source: src, DestHost: dst.Host, Tool: Pathload}).RunDuration(ctx)
+	// The paper's contrast: a BLAS unit test has more impact than a
+	// Condor-G version query; network probes run for minutes.
+	if !(version < unit && unit < pathload) {
+		t.Fatalf("duration ordering broken: %v %v %v", version, unit, pathload)
+	}
+}
+
+func TestCategoryFor(t *testing.T) {
+	if CategoryFor("globus") != CategoryGrid {
+		t.Fatal("globus not Grid")
+	}
+	if CategoryFor("mpich") != CategoryDevelopment {
+		t.Fatal("mpich not Development")
+	}
+	if CategoryFor("pbs") != CategoryCluster {
+		t.Fatal("pbs not Cluster")
+	}
+	if CategoryFor("unknown-pkg") != CategoryGrid {
+		t.Fatal("unknown package should default to Grid")
+	}
+}
+
+func TestReporterFunc(t *testing.T) {
+	f := &reporter.Func{
+		ReporterName:        "custom.probe",
+		ReporterDescription: "a custom probe",
+		Duration:            time.Second,
+		Fn: func(ctx *reporter.Context, rep *report.Report) {
+			rep.Body = report.Branch("custom", "x", report.Leaf("ok", "yes"))
+		},
+	}
+	if err := reporter.Validate(f, ctxAt("h", tuesday)); err != nil {
+		t.Fatal(err)
+	}
+	if f.Version() != "1.0" {
+		t.Fatalf("default version = %q", f.Version())
+	}
+}

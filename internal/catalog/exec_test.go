@@ -1,0 +1,62 @@
+package catalog
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+	"time"
+
+	"inca/internal/report"
+	"inca/internal/reporter"
+)
+
+// TestRenderedScriptsAreRunnable executes the rendered version-reporter
+// script through /bin/sh via the Exec reporter. On a machine without the
+// probed package, the script must still emit a specification-compliant
+// *error* report — this is the paper's whole error-reporting contract, and
+// it validates that catalog.Script output is genuinely deployable, not
+// just line-countable.
+func TestRenderedScriptsAreRunnable(t *testing.T) {
+	if _, err := exec.LookPath("sh"); err != nil {
+		t.Skip("no sh available")
+	}
+	_, src, _ := testGrid()
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		r    reporter.Reporter
+	}{
+		{"version", &VersionReporter{Resource: src, Package: "globus"}},
+		{"softenv", &SoftEnvReporter{Resource: src}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			path := dir + "/" + c.name + ".sh"
+			if err := os.WriteFile(path, []byte(Script(c.r)), 0o755); err != nil {
+				t.Fatal(err)
+			}
+			e := &reporter.Exec{
+				ReporterName: c.r.Name(),
+				Path:         path,
+				Interpreter:  "sh",
+				Timeout:      20 * time.Second,
+			}
+			rep := e.Run(&reporter.Context{Hostname: "build-host", Now: time.Now()})
+			// The probe fails here (no /usr/teragrid on a build machine),
+			// but the failure must be a valid report with a message.
+			if rep.Succeeded() {
+				t.Logf("unexpectedly succeeded (environment provides the package?)")
+			}
+			if err := rep.Validate(); err != nil {
+				t.Fatalf("script output not spec-compliant: %v", err)
+			}
+			if !rep.Succeeded() && rep.Footer.ErrorMessage == "" {
+				t.Fatal("failure without error message")
+			}
+			data, err := report.Marshal(rep)
+			if err != nil || len(data) == 0 {
+				t.Fatalf("marshal: %v", err)
+			}
+		})
+	}
+}

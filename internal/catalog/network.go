@@ -1,0 +1,131 @@
+package catalog
+
+import (
+	"fmt"
+	"time"
+
+	"inca/internal/gridsim"
+	"inca/internal/report"
+	"inca/internal/reporter"
+)
+
+// NetworkTool identifies one of the nonintrusive bandwidth measurement
+// tools wrapped by reporters in Section 4.2.
+type NetworkTool string
+
+// The three tools the paper deploys.
+const (
+	Pathload  NetworkTool = "pathload"
+	Pathchirp NetworkTool = "pathchirp"
+	Spruce    NetworkTool = "spruce"
+)
+
+// BandwidthReporter measures available bandwidth from Source to DestHost
+// with one of the network tools, emitting exactly the Figure 2 body shape
+// (a metric with lowerBound/upperBound statistics).
+type BandwidthReporter struct {
+	Grid     *gridsim.Grid
+	Source   *gridsim.Resource
+	DestHost string
+	Tool     NetworkTool
+}
+
+// Name implements Reporter.
+func (b *BandwidthReporter) Name() string {
+	return fmt.Sprintf("grid.network.%s.to.%s", b.Tool, b.DestHost)
+}
+
+// Version implements Reporter.
+func (b *BandwidthReporter) Version() string { return "1.4" }
+
+// Description implements Reporter.
+func (b *BandwidthReporter) Description() string {
+	return fmt.Sprintf("measures available bandwidth to %s with %s", b.DestHost, b.Tool)
+}
+
+// RunDuration implements Timed: probing tools run for minutes, which is
+// why their expected-run-time limits matter.
+func (b *BandwidthReporter) RunDuration(*reporter.Context) time.Duration {
+	switch b.Tool {
+	case Pathload:
+		return 4 * time.Minute
+	case Pathchirp:
+		return 2 * time.Minute
+	default: // spruce is the quick one
+		return 30 * time.Second
+	}
+}
+
+// Run implements Reporter.
+func (b *BandwidthReporter) Run(ctx *reporter.Context) *report.Report {
+	rep := reporter.New(b, ctx)
+	if b.Source.InMaintenance(ctx.Now) {
+		return rep.Fail("source resource in scheduled maintenance")
+	}
+	link, ok := b.Grid.Link(b.Source.Host, b.DestHost)
+	if !ok {
+		return rep.Fail("no route to %s", b.DestHost)
+	}
+	lower, upper := link.BandwidthAt(ctx.Now)
+	// spruce and pathchirp report a single estimate; pathload reports the
+	// bound pair exactly as in Figure 2.
+	metric := report.Branch("metric", "bandwidth")
+	switch b.Tool {
+	case Pathload:
+		metric.Add(
+			report.Branch("statistic", "upperBound",
+				report.Leaff("value", "%.2f", upper),
+				report.Leaf("units", "Mbps")),
+			report.Branch("statistic", "lowerBound",
+				report.Leaff("value", "%.2f", lower),
+				report.Leaf("units", "Mbps")),
+		)
+	default:
+		metric.Add(report.Branch("statistic", "estimate",
+			report.Leaff("value", "%.2f", (lower+upper)/2),
+			report.Leaf("units", "Mbps")))
+	}
+	rep.Body = metric
+	return rep
+}
+
+// BenchmarkReporter runs a GRASP-style benchmark probe (Section 4.2: "A
+// reporter which executes the GRASP benchmarks has been implemented").
+type BenchmarkReporter struct {
+	Resource *gridsim.Resource
+	// Kind selects the probe (e.g. "flops", "membw", "io").
+	Kind string
+}
+
+// Name implements Reporter.
+func (g *BenchmarkReporter) Name() string { return "grid.benchmark.grasp." + g.Kind }
+
+// Version implements Reporter.
+func (g *BenchmarkReporter) Version() string { return "0.9" }
+
+// Description implements Reporter.
+func (g *BenchmarkReporter) Description() string {
+	return fmt.Sprintf("runs the GRASP %s probe", g.Kind)
+}
+
+// RunDuration implements Timed.
+func (g *BenchmarkReporter) RunDuration(*reporter.Context) time.Duration { return 3 * time.Minute }
+
+// Run implements Reporter.
+func (g *BenchmarkReporter) Run(ctx *reporter.Context) *report.Report {
+	rep := reporter.New(g, ctx)
+	if g.Resource.InMaintenance(ctx.Now) {
+		return rep.Fail("resource in scheduled maintenance")
+	}
+	score := g.Resource.BenchmarkScore(g.Kind, ctx.Now)
+	units := map[string]string{"flops": "GFLOPS", "membw": "GB/s", "io": "MB/s"}[g.Kind]
+	if units == "" {
+		units = "ops/s"
+	}
+	rep.Body = report.Branch("metric", g.Kind,
+		report.Branch("statistic", "measured",
+			report.Leaff("value", "%.3f", score),
+			report.Leaf("units", units)),
+	)
+	return rep
+}

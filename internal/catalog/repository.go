@@ -1,0 +1,160 @@
+package catalog
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"inca/internal/reporter"
+)
+
+// Reporter repositories — the deployable form of "automated reporter
+// deployment" (paper Section 6): every reporter in a set is rendered to a
+// standalone script and written under a directory with a checksummed
+// MANIFEST, so a resource can verify its installed reporter tree matches
+// what the VO published (and Inca itself can re-verify it periodically,
+// closing the loop on software-stack validation for its own tooling).
+
+// ManifestName is the repository index file.
+const ManifestName = "MANIFEST"
+
+// scriptFileName derives the on-disk name for a reporter.
+func scriptFileName(name string) string {
+	return strings.ReplaceAll(name, "/", "_") + ".sh"
+}
+
+// WriteRepository renders every reporter into dir and writes the MANIFEST
+// (one "sha256  filename  reporter-name  version" line per script, sorted
+// by filename). It returns the number of scripts written.
+func WriteRepository(dir string, reporters []reporter.Reporter) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	type entry struct {
+		file, sum, name, version string
+	}
+	var entries []entry
+	seen := make(map[string]bool)
+	for _, r := range reporters {
+		file := scriptFileName(r.Name())
+		if seen[file] {
+			return 0, fmt.Errorf("catalog: duplicate repository entry %s", file)
+		}
+		seen[file] = true
+		script := []byte(Script(r))
+		if err := os.WriteFile(filepath.Join(dir, file), script, 0o755); err != nil {
+			return 0, err
+		}
+		sum := sha256.Sum256(script)
+		entries = append(entries, entry{
+			file: file, sum: hex.EncodeToString(sum[:]), name: r.Name(), version: r.Version(),
+		})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].file < entries[j].file })
+	var sb strings.Builder
+	for _, e := range entries {
+		fmt.Fprintf(&sb, "%s  %s  %s  %s\n", e.sum, e.file, e.name, e.version)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte(sb.String()), 0o644); err != nil {
+		return 0, err
+	}
+	return len(entries), nil
+}
+
+// RepositoryProblem describes one verification finding.
+type RepositoryProblem struct {
+	File   string
+	Reason string
+}
+
+func (p RepositoryProblem) String() string { return p.File + ": " + p.Reason }
+
+// VerifyRepository checks an installed repository against its MANIFEST:
+// missing scripts, checksum mismatches (tampered or locally patched
+// reporters), and stray unlisted scripts are all reported. An empty return
+// means the tree matches exactly.
+func VerifyRepository(dir string) ([]RepositoryProblem, error) {
+	manifest, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, fmt.Errorf("catalog: repository has no readable MANIFEST: %w", err)
+	}
+	var problems []RepositoryProblem
+	listed := make(map[string]bool)
+	for i, line := range strings.Split(strings.TrimRight(string(manifest), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("catalog: malformed MANIFEST line %d: %q", i+1, line)
+		}
+		wantSum, file := fields[0], fields[1]
+		listed[file] = true
+		data, err := os.ReadFile(filepath.Join(dir, file))
+		if err != nil {
+			problems = append(problems, RepositoryProblem{File: file, Reason: "missing from repository"})
+			continue
+		}
+		sum := sha256.Sum256(data)
+		if hex.EncodeToString(sum[:]) != wantSum {
+			problems = append(problems, RepositoryProblem{File: file, Reason: "checksum mismatch (modified script)"})
+		}
+	}
+	dirEntries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, de := range dirEntries {
+		name := de.Name()
+		if de.IsDir() || name == ManifestName {
+			continue
+		}
+		if strings.HasSuffix(name, ".sh") && !listed[name] {
+			problems = append(problems, RepositoryProblem{File: name, Reason: "not listed in MANIFEST"})
+		}
+	}
+	sort.Slice(problems, func(i, j int) bool { return problems[i].File < problems[j].File })
+	return problems, nil
+}
+
+// LoadRepository turns an installed repository into runnable Exec
+// reporters, verifying checksums first.
+func LoadRepository(dir string) ([]reporter.Reporter, error) {
+	problems, err := VerifyRepository(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(problems) > 0 {
+		return nil, fmt.Errorf("catalog: repository verification failed: %s (and %d more)",
+			problems[0], len(problems)-1)
+	}
+	manifest, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	var out []reporter.Reporter
+	for _, line := range strings.Split(strings.TrimRight(string(manifest), "\n"), "\n") {
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			continue
+		}
+		version := "1.0"
+		if len(fields) >= 4 {
+			version = fields[3]
+		}
+		out = append(out, &reporter.Exec{
+			ReporterName:    fields[2],
+			ReporterVersion: version,
+			Path:            filepath.Join(dir, fields[1]),
+			Interpreter:     "/bin/sh",
+		})
+	}
+	return out, nil
+}

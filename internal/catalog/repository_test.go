@@ -1,0 +1,154 @@
+package catalog
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"inca/internal/reporter"
+)
+
+func repoReporters() []reporter.Reporter {
+	g, src, dst := testGrid()
+	return []reporter.Reporter{
+		&VersionReporter{Resource: src, Package: "globus"},
+		&UnitTestReporter{Resource: src, Package: "mpich"},
+		&ServiceReporter{Resource: src, Service: "ssh"},
+		&BandwidthReporter{Grid: g, Source: src, DestHost: dst.Host, Tool: Spruce},
+	}
+}
+
+func TestWriteAndVerifyRepository(t *testing.T) {
+	dir := t.TempDir()
+	n, err := WriteRepository(dir, repoReporters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("wrote %d scripts", n)
+	}
+	manifest, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(manifest), "\n"); lines != 4 {
+		t.Fatalf("manifest lines = %d:\n%s", lines, manifest)
+	}
+	problems, err := VerifyRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("fresh repository has problems: %v", problems)
+	}
+}
+
+func TestVerifyRepositoryFindsProblems(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteRepository(dir, repoReporters()); err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with one script.
+	tampered := filepath.Join(dir, scriptFileName("grid.version.globus"))
+	if err := os.WriteFile(tampered, []byte("#!/bin/sh\nrm -rf /\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Remove another.
+	if err := os.Remove(filepath.Join(dir, scriptFileName("grid.service.ssh"))); err != nil {
+		t.Fatal(err)
+	}
+	// Add a stray.
+	if err := os.WriteFile(filepath.Join(dir, "rogue.sh"), []byte("#!/bin/sh\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	problems, err := VerifyRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 3 {
+		t.Fatalf("problems = %v", problems)
+	}
+	reasons := map[string]string{}
+	for _, p := range problems {
+		reasons[p.File] = p.Reason
+	}
+	if !strings.Contains(reasons[scriptFileName("grid.version.globus")], "checksum mismatch") {
+		t.Fatalf("tamper not caught: %v", reasons)
+	}
+	if !strings.Contains(reasons[scriptFileName("grid.service.ssh")], "missing") {
+		t.Fatalf("removal not caught: %v", reasons)
+	}
+	if !strings.Contains(reasons["rogue.sh"], "not listed") {
+		t.Fatalf("stray not caught: %v", reasons)
+	}
+}
+
+func TestVerifyRepositoryErrors(t *testing.T) {
+	if _, err := VerifyRepository(t.TempDir()); err == nil {
+		t.Fatal("missing manifest accepted")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), []byte("short line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyRepository(dir); err == nil {
+		t.Fatal("malformed manifest accepted")
+	}
+}
+
+func TestLoadRepositoryRunsScripts(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteRepository(dir, repoReporters()); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadRepository(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 4 {
+		t.Fatalf("loaded %d", len(loaded))
+	}
+	byName := map[string]reporter.Reporter{}
+	for _, r := range loaded {
+		byName[r.Name()] = r
+	}
+	r, ok := byName["grid.version.globus"]
+	if !ok {
+		t.Fatalf("names = %v", byName)
+	}
+	if r.Version() != "1.1" {
+		t.Fatalf("version = %q", r.Version())
+	}
+	// The loaded Exec reporter actually runs and emits a valid report
+	// (failing on this build host, but spec-compliant).
+	rep := r.Run(&reporter.Context{Hostname: "build", Now: tuesday})
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRepositoryRefusesTampered(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := WriteRepository(dir, repoReporters()); err != nil {
+		t.Fatal(err)
+	}
+	f := filepath.Join(dir, scriptFileName("grid.version.globus"))
+	if err := os.WriteFile(f, []byte("#!/bin/sh\necho hacked\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRepository(dir); err == nil {
+		t.Fatal("tampered repository loaded")
+	}
+}
+
+func TestWriteRepositoryDuplicate(t *testing.T) {
+	_, src, _ := testGrid()
+	dup := []reporter.Reporter{
+		&VersionReporter{Resource: src, Package: "globus"},
+		&VersionReporter{Resource: src, Package: "globus"},
+	}
+	if _, err := WriteRepository(t.TempDir(), dup); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}

@@ -1,0 +1,95 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"inca/internal/reporter"
+)
+
+func TestScriptRendersForAllTypes(t *testing.T) {
+	g, src, dst := testGrid()
+	rs := []reporter.Reporter{
+		&VersionReporter{Resource: src, Package: "globus"},
+		&UnitTestReporter{Resource: src, Package: "globus"},
+		&ServiceReporter{Resource: src, Service: "ssh"},
+		&CrossSiteReporter{Grid: g, Source: src, DestHost: dst.Host, Service: "gridftp"},
+		&EnvReporter{Resource: src},
+		&SoftEnvReporter{Resource: src},
+		&BandwidthReporter{Grid: g, Source: src, DestHost: dst.Host, Tool: Pathload},
+		&BenchmarkReporter{Resource: src, Kind: "flops"},
+	}
+	for _, r := range rs {
+		s := Script(r)
+		for _, want := range []string{"#!/bin/sh", "probe_main", "begin_report", "end_report", r.Name()} {
+			if !strings.Contains(s, want) {
+				t.Errorf("%s script missing %q", r.Name(), want)
+			}
+		}
+		if ScriptLines(r) < 30 {
+			t.Errorf("%s script implausibly small: %d lines", r.Name(), ScriptLines(r))
+		}
+	}
+}
+
+func TestScriptSizeOrdering(t *testing.T) {
+	g, src, dst := testGrid()
+	version := ScriptLines(&VersionReporter{Resource: src, Package: "globus"})
+	service := ScriptLines(&ServiceReporter{Resource: src, Service: "ssh"})
+	unit := ScriptLines(&UnitTestReporter{Resource: src, Package: "globus"})
+	env := ScriptLines(&EnvReporter{Resource: src})
+	spruce := ScriptLines(&BandwidthReporter{Grid: g, Source: src, DestHost: dst.Host, Tool: Spruce})
+	chirp := ScriptLines(&BandwidthReporter{Grid: g, Source: src, DestHost: dst.Host, Tool: Pathchirp})
+	pathload := ScriptLines(&BandwidthReporter{Grid: g, Source: src, DestHost: dst.Host, Tool: Pathload})
+	bench := ScriptLines(&BenchmarkReporter{Resource: src, Kind: "flops"})
+
+	t.Logf("sizes: version=%d service=%d unit=%d env=%d spruce=%d chirp=%d pathload=%d bench=%d",
+		version, service, unit, env, spruce, chirp, pathload, bench)
+
+	// Table 1 shape: version/service probes tiny; unit tests and
+	// collectors mid-range; network wrappers bigger by tool complexity;
+	// benchmark giants in the >1000-line tail.
+	if version >= 50 {
+		t.Errorf("version reporter %d lines, want <50 (Table 1's dominant bucket)", version)
+	}
+	if service >= 60 {
+		t.Errorf("service reporter %d lines", service)
+	}
+	if !(version < unit && unit < spruce) {
+		t.Errorf("ordering broken: version=%d unit=%d spruce=%d", version, unit, spruce)
+	}
+	if !(spruce < chirp && chirp < pathload) {
+		t.Errorf("network tool ordering broken: %d %d %d", spruce, chirp, pathload)
+	}
+	if bench <= 1000 {
+		t.Errorf("benchmark reporter %d lines, want >1000 (Table 1 tail)", bench)
+	}
+	if env <= version {
+		t.Errorf("env collector (%d) should exceed a version probe (%d)", env, version)
+	}
+}
+
+func TestScriptDeterministic(t *testing.T) {
+	_, src, _ := testGrid()
+	r := &UnitTestReporter{Resource: src, Package: "globus"}
+	if Script(r) != Script(r) {
+		t.Fatal("script rendering not deterministic")
+	}
+}
+
+func TestUnitTestScriptGrowsWithPackageSurface(t *testing.T) {
+	_, src, _ := testGrid()
+	globus := ScriptLines(&UnitTestReporter{Resource: src, Package: "globus"})
+	hdf4 := ScriptLines(&UnitTestReporter{Resource: src, Package: "hdf4"})
+	if globus <= hdf4 {
+		t.Fatalf("globus unit test (%d) should exceed hdf4 (%d)", globus, hdf4)
+	}
+}
+
+func TestScriptFallbackForUnknownType(t *testing.T) {
+	f := &reporter.Func{ReporterName: "custom.x", Fn: nil}
+	s := Script(f)
+	if !strings.Contains(s, "no script template") {
+		t.Fatalf("fallback missing:\n%s", s)
+	}
+}

@@ -1,0 +1,128 @@
+package consumer
+
+import (
+	"bytes"
+	"fmt"
+	"html/template"
+	"math"
+	"time"
+
+	"inca/internal/agreement"
+	"inca/internal/depot"
+	"inca/internal/rrd"
+)
+
+// AvailabilityPage renders a VO-wide availability overview: one row per
+// resource and category with a sparkline of the archived summary
+// percentages — one of the "other status page formats" Section 4.1
+// mentions alongside the summary table, and part of the future-work
+// "additional user interfaces".
+type AvailabilityPage struct {
+	Title string
+	Start time.Time
+	End   time.Time
+	Rows  []AvailabilityRow
+}
+
+// AvailabilityRow is one resource/category series.
+type AvailabilityRow struct {
+	Resource string
+	Category agreement.Category
+	Spark    string
+	Mean     float64
+	Min      float64
+	Samples  int
+}
+
+// BuildAvailabilityPage collects archived availability series for every
+// resource in resources over [start, end].
+func BuildAvailabilityPage(d *depot.Depot, title string, resources []string, cats []agreement.Category, start, end time.Time) (*AvailabilityPage, error) {
+	page := &AvailabilityPage{Title: title, Start: start, End: end}
+	for _, res := range resources {
+		for _, cat := range cats {
+			series, err := AvailabilitySeries(d, res, cat, start, end)
+			if err != nil {
+				continue // category never archived for this resource
+			}
+			vals, err := series.Values(AvailabilityPolicyName)
+			if err != nil {
+				return nil, err
+			}
+			row := AvailabilityRow{
+				Resource: res,
+				Category: cat,
+				Spark:    rrd.SparkLine(vals),
+				Min:      math.Inf(1),
+			}
+			sum := 0.0
+			for _, v := range vals {
+				if math.IsNaN(v) {
+					continue
+				}
+				row.Samples++
+				sum += v
+				if v < row.Min {
+					row.Min = v
+				}
+			}
+			if row.Samples > 0 {
+				row.Mean = sum / float64(row.Samples)
+			} else {
+				row.Min = math.NaN()
+			}
+			page.Rows = append(page.Rows, row)
+		}
+	}
+	return page, nil
+}
+
+// Text renders the page for terminals.
+func (p *AvailabilityPage) Text() string {
+	var sb bytes.Buffer
+	fmt.Fprintf(&sb, "%s\n%s — %s\n\n", p.Title,
+		p.Start.Format("Jan 2 15:04"), p.End.Format("Jan 2 15:04"))
+	fmt.Fprintf(&sb, "%-34s %-12s %-8s %-8s %s\n", "Resource", "Category", "mean%", "min%", "history")
+	for _, r := range p.Rows {
+		fmt.Fprintf(&sb, "%-34s %-12s %-8.1f %-8.1f %s\n", r.Resource, r.Category, r.Mean, r.Min, r.Spark)
+	}
+	return sb.String()
+}
+
+// HTML renders the page as a standalone web page.
+func (p *AvailabilityPage) HTML() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := availabilityTmpl.Execute(&buf, p); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+var availabilityTmpl = template.Must(template.New("availability").Funcs(template.FuncMap{
+	"pct": func(f float64) string {
+		if math.IsNaN(f) {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.1f%%", f)
+	},
+}).Parse(`<!DOCTYPE html>
+<html>
+<head>
+<title>{{.Title}}</title>
+<style>
+body { font-family: sans-serif; }
+table { border-collapse: collapse; }
+td, th { border: 1px solid #999; padding: 4px 8px; }
+td.spark { font-family: monospace; letter-spacing: 1px; }
+td.bad { background: #fcc; }
+</style>
+</head>
+<body>
+<h1>{{.Title}}</h1>
+<p>{{.Start.Format "Jan 2 15:04"}} &mdash; {{.End.Format "Jan 2 15:04"}}</p>
+<table>
+<tr><th>Resource</th><th>Category</th><th>mean</th><th>min</th><th>history</th></tr>
+{{range .Rows}}<tr><td>{{.Resource}}</td><td>{{.Category}}</td><td{{if lt .Mean 95.0}} class="bad"{{end}}>{{pct .Mean}}</td><td>{{pct .Min}}</td><td class="spark">{{.Spark}}</td></tr>
+{{end}}</table>
+</body>
+</html>
+`))

@@ -1,0 +1,174 @@
+package consumer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"inca/internal/agreement"
+)
+
+// Failure notification (paper Section 2.2): "Frequent verification
+// provides quick notification of failures, enabling system administrators
+// to respond immediately to problems as they are detected by the
+// verification process, rather than reacting after users discover them."
+//
+// A Notifier diffs successive verification snapshots and emits one event
+// per test whose pass/fail state changed, so operators see transitions —
+// not a re-broadcast of everything red.
+
+// EventKind classifies a transition.
+type EventKind int
+
+// Transition kinds.
+const (
+	// Failed: a previously passing (or new) test went red.
+	Failed EventKind = iota
+	// Recovered: a previously failing test went green.
+	Recovered
+	// StillFailing is reported by Outstanding, not by Diff.
+	StillFailing
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case Failed:
+		return "FAILED"
+	case Recovered:
+		return "RECOVERED"
+	case StillFailing:
+		return "STILL-FAILING"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one state transition.
+type Event struct {
+	Kind     EventKind
+	At       time.Time
+	Resource string
+	Category agreement.Category
+	Test     string
+	Detail   string
+	// Since is when the test entered its current failing state (zero for
+	// Recovered events' new state).
+	Since time.Time
+}
+
+// String renders the event as an operator log line.
+func (e Event) String() string {
+	base := fmt.Sprintf("%s %-13s %s: %s [%s]",
+		e.At.Format("Jan 02 15:04"), e.Kind, e.Resource, e.Test, e.Category)
+	if e.Kind == Failed && e.Detail != "" {
+		base += ": " + e.Detail
+	}
+	if e.Kind == Recovered && !e.Since.IsZero() {
+		base += fmt.Sprintf(" (was failing since %s)", e.Since.Format("Jan 02 15:04"))
+	}
+	return base
+}
+
+// testKey identifies one test on one resource.
+type testKey struct {
+	resource string
+	test     string
+}
+
+type failState struct {
+	category agreement.Category
+	detail   string
+	since    time.Time
+}
+
+// Notifier tracks failing state across snapshots.
+type Notifier struct {
+	failing map[testKey]failState
+}
+
+// NewNotifier returns an empty tracker; the first Observe call emits a
+// Failed event for every already-red test (the initial triage list).
+func NewNotifier() *Notifier {
+	return &Notifier{failing: make(map[testKey]failState)}
+}
+
+// Observe ingests a verification snapshot and returns the transitions
+// since the previous one, ordered by resource then test name.
+func (n *Notifier) Observe(status *agreement.VOStatus) []Event {
+	var events []Event
+	seen := make(map[testKey]bool)
+	for _, rs := range status.Resources {
+		for _, res := range rs.Results {
+			k := testKey{resource: rs.Resource, test: res.Test}
+			seen[k] = true
+			prev, wasFailing := n.failing[k]
+			switch {
+			case !res.Pass && !wasFailing:
+				n.failing[k] = failState{category: res.Category, detail: res.Detail, since: status.At}
+				events = append(events, Event{
+					Kind: Failed, At: status.At, Resource: rs.Resource,
+					Category: res.Category, Test: res.Test, Detail: res.Detail,
+					Since: status.At,
+				})
+			case res.Pass && wasFailing:
+				delete(n.failing, k)
+				events = append(events, Event{
+					Kind: Recovered, At: status.At, Resource: rs.Resource,
+					Category: res.Category, Test: res.Test, Since: prev.since,
+				})
+			case !res.Pass && wasFailing:
+				// Refresh the detail but do not re-notify.
+				prev.detail = res.Detail
+				n.failing[k] = prev
+			}
+		}
+	}
+	// A test that disappeared from the snapshot (reporter removed) stops
+	// being tracked without a recovery event.
+	for k := range n.failing {
+		if !seen[k] {
+			delete(n.failing, k)
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].Resource != events[j].Resource {
+			return events[i].Resource < events[j].Resource
+		}
+		return events[i].Test < events[j].Test
+	})
+	return events
+}
+
+// Outstanding lists everything currently failing, oldest first — the
+// operator's open-incident list.
+func (n *Notifier) Outstanding(now time.Time) []Event {
+	var out []Event
+	for k, st := range n.failing {
+		out = append(out, Event{
+			Kind: StillFailing, At: now, Resource: k.resource,
+			Category: st.category, Test: k.test, Detail: st.detail, Since: st.since,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].Since.Equal(out[j].Since) {
+			return out[i].Since.Before(out[j].Since)
+		}
+		return out[i].Resource+out[i].Test < out[j].Resource+out[j].Test
+	})
+	return out
+}
+
+// RenderEvents formats events as an operator log block.
+func RenderEvents(events []Event) string {
+	if len(events) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for _, e := range events {
+		sb.WriteString(e.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

@@ -1,0 +1,127 @@
+package consumer
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"inca/internal/agreement"
+)
+
+func statusWith(at time.Time, results ...agreement.TestResult) *agreement.VOStatus {
+	byRes := map[string]*agreement.ResourceStatus{}
+	status := &agreement.VOStatus{At: at, Agreement: &agreement.Agreement{Name: "t"}}
+	for _, r := range results {
+		rs, ok := byRes[r.Resource]
+		if !ok {
+			rs = &agreement.ResourceStatus{Resource: r.Resource}
+			byRes[r.Resource] = rs
+			status.Resources = append(status.Resources, rs)
+		}
+		rs.Results = append(rs.Results, r)
+	}
+	return status
+}
+
+func TestNotifierTransitions(t *testing.T) {
+	n := NewNotifier()
+	pass := agreement.TestResult{Resource: "r1", Category: agreement.Grid, Test: "globus: unit test", Pass: true}
+	fail := pass
+	fail.Pass = false
+	fail.Detail = "gatekeeper timed out"
+
+	// Initial snapshot: everything green → no events.
+	ev := n.Observe(statusWith(t0, pass))
+	if len(ev) != 0 {
+		t.Fatalf("events on green snapshot: %+v", ev)
+	}
+	// Goes red → one Failed event.
+	ev = n.Observe(statusWith(t0.Add(10*time.Minute), fail))
+	if len(ev) != 1 || ev[0].Kind != Failed || ev[0].Detail != "gatekeeper timed out" {
+		t.Fatalf("events = %+v", ev)
+	}
+	// Still red → silence.
+	ev = n.Observe(statusWith(t0.Add(20*time.Minute), fail))
+	if len(ev) != 0 {
+		t.Fatalf("re-notified: %+v", ev)
+	}
+	// Outstanding lists it with its original onset.
+	out := n.Outstanding(t0.Add(25 * time.Minute))
+	if len(out) != 1 || out[0].Kind != StillFailing || !out[0].Since.Equal(t0.Add(10*time.Minute)) {
+		t.Fatalf("outstanding = %+v", out)
+	}
+	// Recovery → one Recovered event carrying the onset time.
+	ev = n.Observe(statusWith(t0.Add(30*time.Minute), pass))
+	if len(ev) != 1 || ev[0].Kind != Recovered || !ev[0].Since.Equal(t0.Add(10*time.Minute)) {
+		t.Fatalf("events = %+v", ev)
+	}
+	if len(n.Outstanding(t0.Add(31*time.Minute))) != 0 {
+		t.Fatal("recovered test still outstanding")
+	}
+}
+
+func TestNotifierInitialRedSnapshot(t *testing.T) {
+	n := NewNotifier()
+	fail := agreement.TestResult{Resource: "r1", Category: agreement.Grid, Test: "srb: service", Pass: false, Detail: "down"}
+	ev := n.Observe(statusWith(t0, fail))
+	if len(ev) != 1 || ev[0].Kind != Failed {
+		t.Fatalf("initial triage events = %+v", ev)
+	}
+}
+
+func TestNotifierOrdering(t *testing.T) {
+	n := NewNotifier()
+	mk := func(res, test string) agreement.TestResult {
+		return agreement.TestResult{Resource: res, Category: agreement.Grid, Test: test, Pass: false, Detail: "x"}
+	}
+	ev := n.Observe(statusWith(t0, mk("zeta", "a-test"), mk("alpha", "z-test"), mk("alpha", "a-test")))
+	if len(ev) != 3 {
+		t.Fatalf("events = %d", len(ev))
+	}
+	if ev[0].Resource != "alpha" || ev[0].Test != "a-test" || ev[2].Resource != "zeta" {
+		t.Fatalf("order = %+v", ev)
+	}
+}
+
+func TestNotifierRemovedTestDropsSilently(t *testing.T) {
+	n := NewNotifier()
+	fail := agreement.TestResult{Resource: "r1", Category: agreement.Grid, Test: "t", Pass: false, Detail: "d"}
+	n.Observe(statusWith(t0, fail))
+	// Next snapshot has no such test at all.
+	ev := n.Observe(statusWith(t0.Add(time.Minute),
+		agreement.TestResult{Resource: "r1", Category: agreement.Grid, Test: "other", Pass: true}))
+	for _, e := range ev {
+		if e.Test == "t" {
+			t.Fatalf("event for removed test: %+v", e)
+		}
+	}
+	if len(n.Outstanding(t0.Add(2*time.Minute))) != 0 {
+		t.Fatal("removed test still tracked")
+	}
+}
+
+func TestEventRendering(t *testing.T) {
+	e := Event{
+		Kind: Failed, At: t0, Resource: "r1", Category: agreement.Grid,
+		Test: "globus: unit test", Detail: "boom", Since: t0,
+	}
+	s := e.String()
+	for _, want := range []string{"FAILED", "r1", "globus: unit test", "boom", "[Grid]"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("event string %q missing %q", s, want)
+		}
+	}
+	rec := Event{Kind: Recovered, At: t0.Add(time.Hour), Resource: "r1", Test: "t", Since: t0}
+	if !strings.Contains(rec.String(), "was failing since") {
+		t.Fatalf("recovered string = %q", rec.String())
+	}
+	if RenderEvents(nil) != "" {
+		t.Fatal("empty render not empty")
+	}
+	if !strings.Contains(RenderEvents([]Event{e}), "FAILED") {
+		t.Fatal("render missing event")
+	}
+	if EventKind(9).String() == "" || StillFailing.String() != "STILL-FAILING" {
+		t.Fatal("kind names wrong")
+	}
+}

@@ -1,0 +1,214 @@
+package controller
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"inca/internal/branch"
+	"inca/internal/depot"
+	"inca/internal/envelope"
+	"inca/internal/report"
+	"inca/internal/wire"
+)
+
+var t0 = time.Date(2004, 7, 7, 0, 0, 0, 0, time.UTC)
+
+func sampleReportXML(t *testing.T) []byte {
+	t.Helper()
+	r := report.New("probe.x", "1.0", "login1", t0)
+	r.Body = report.Branch("probe", "x", report.Leaf("ok", "1"))
+	data, err := report.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func newTestController(opt Options) (*Controller, *depot.Depot) {
+	d := depot.New(depot.NewStreamCache())
+	return New(d, opt), d
+}
+
+func TestSubmitStoresInDepot(t *testing.T) {
+	c, d := newTestController(Options{})
+	id := branch.MustParse("probe=x,resource=login1")
+	resp, err := c.Submit(id, "login1", sampleReportXML(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.ReportSize == 0 || resp.CacheSize == 0 || resp.Elapsed <= 0 {
+		t.Fatalf("response = %+v", resp)
+	}
+	if d.Cache().Count() != 1 {
+		t.Fatal("report not cached")
+	}
+	stored, _ := d.Cache().Reports(branch.ID{})
+	if !stored[0].ID.Equal(id) {
+		t.Fatalf("stored under %s", stored[0].ID)
+	}
+	if !bytes.Contains(stored[0].XML, []byte("probe")) {
+		t.Fatalf("payload mangled: %s", stored[0].XML)
+	}
+}
+
+func TestAllowlistEnforcement(t *testing.T) {
+	c, d := newTestController(Options{Allowlist: []string{"login1", "login2"}})
+	id := branch.MustParse("probe=x")
+	if _, err := c.Submit(id, "login1", sampleReportXML(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Submit(id, "intruder", sampleReportXML(t)); err == nil {
+		t.Fatal("unlisted host accepted")
+	}
+	accepted, rejected, errs := c.Counters()
+	if accepted != 1 || rejected != 1 || errs != 0 {
+		t.Fatalf("counters = %d,%d,%d", accepted, rejected, errs)
+	}
+	if d.Cache().Count() != 1 {
+		t.Fatal("rejected report reached the depot")
+	}
+}
+
+func TestEmptyAllowlistAllowsAll(t *testing.T) {
+	c, _ := newTestController(Options{})
+	if !c.Allowed("anyone") {
+		t.Fatal("empty allowlist should allow all")
+	}
+}
+
+func TestEnvelopeModeRoundTrip(t *testing.T) {
+	for _, mode := range []envelope.Mode{envelope.Body, envelope.Attachment} {
+		c, d := newTestController(Options{Mode: mode})
+		id := branch.MustParse("probe=x")
+		if _, err := c.Submit(id, "h", sampleReportXML(t)); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		stored, _ := d.Cache().Reports(branch.ID{})
+		if len(stored) != 1 {
+			t.Fatalf("%s: stored %d", mode, len(stored))
+		}
+		if _, err := report.Parse(stored[0].XML); err != nil {
+			t.Fatalf("%s: stored report unparseable: %v", mode, err)
+		}
+	}
+}
+
+func TestHandleWireMessages(t *testing.T) {
+	c, d := newTestController(Options{Allowlist: []string{"login1"}})
+	ack := c.Handle(&wire.Message{Branch: "probe=x", Hostname: "login1", Report: sampleReportXML(t)}, "127.0.0.1:9")
+	if !ack.OK {
+		t.Fatalf("ack = %+v", ack)
+	}
+	ack = c.Handle(&wire.Message{Branch: "probe=x", Hostname: "evil", Report: sampleReportXML(t)}, "127.0.0.1:9")
+	if ack.OK {
+		t.Fatal("unlisted host acked OK")
+	}
+	ack = c.Handle(&wire.Message{Branch: "not a branch", Hostname: "login1", Report: sampleReportXML(t)}, "127.0.0.1:9")
+	if ack.OK {
+		t.Fatal("bad branch acked OK")
+	}
+	if d.Cache().Count() != 1 {
+		t.Fatalf("cache count = %d", d.Cache().Count())
+	}
+}
+
+func TestEndToEndOverTCP(t *testing.T) {
+	c, d := newTestController(Options{Allowlist: []string{"login1"}})
+	srv, err := wire.Serve("127.0.0.1:0", c.Handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client := wire.NewClient(srv.Addr())
+	defer client.Close()
+	for i := 0; i < 10; i++ {
+		ack, err := client.Send(&wire.Message{
+			Branch:   fmt.Sprintf("probe=p%d,resource=login1", i),
+			Hostname: "login1",
+			Report:   sampleReportXML(t),
+		})
+		if err != nil || !ack.OK {
+			t.Fatalf("send %d: %v %+v", i, err, ack)
+		}
+	}
+	if d.Cache().Count() != 10 {
+		t.Fatalf("cache count = %d", d.Cache().Count())
+	}
+	if len(c.Responses()) != 10 {
+		t.Fatalf("responses = %d", len(c.Responses()))
+	}
+}
+
+func TestResponseLogAndReset(t *testing.T) {
+	fixed := t0.Add(time.Hour)
+	c, _ := newTestController(Options{Now: func() time.Time { return fixed }})
+	id := branch.MustParse("probe=x")
+	if _, err := c.Submit(id, "h", sampleReportXML(t)); err != nil {
+		t.Fatal(err)
+	}
+	rs := c.Responses()
+	if len(rs) != 1 || !rs[0].At.Equal(fixed) {
+		t.Fatalf("responses = %+v", rs)
+	}
+	// Returned slice is a copy.
+	rs[0].ReportSize = -1
+	if c.Responses()[0].ReportSize == -1 {
+		t.Fatal("Responses aliases internal log")
+	}
+	c.ResetResponses()
+	if len(c.Responses()) != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestDepotErrorSurfaces(t *testing.T) {
+	c := New(failingDepot{}, Options{})
+	if _, err := c.Submit(branch.MustParse("a=1"), "h", sampleReportXML(t)); err == nil {
+		t.Fatal("depot error swallowed")
+	}
+	_, _, errs := c.Counters()
+	if errs != 1 {
+		t.Fatalf("errs = %d", errs)
+	}
+}
+
+type failingDepot struct{}
+
+func (failingDepot) StoreEnvelope([]byte) (depot.Receipt, error) {
+	return depot.Receipt{}, fmt.Errorf("depot exploded")
+}
+
+func TestHandleAuthenticatedHosts(t *testing.T) {
+	key := []byte("sdsc-secret")
+	c, d := newTestController(Options{
+		Allowlist: []string{"login1"},
+		Keys:      map[string][]byte{"login1": key},
+	})
+	rep := sampleReportXML(t)
+	// Unsigned message from a keyed host is rejected.
+	ack := c.Handle(&wire.Message{Branch: "probe=x", Hostname: "login1", Report: rep}, "r")
+	if ack.OK {
+		t.Fatal("unsigned message accepted for keyed host")
+	}
+	// Properly signed message is accepted.
+	m := &wire.Message{Branch: "probe=x", Hostname: "login1", Report: rep}
+	wire.SignMessage(m, key)
+	if ack := c.Handle(m, "r"); !ack.OK {
+		t.Fatalf("signed message rejected: %s", ack.Message)
+	}
+	// Signature under the wrong key is rejected.
+	m2 := &wire.Message{Branch: "probe=x", Hostname: "login1", Report: rep}
+	wire.SignMessage(m2, []byte("wrong"))
+	if ack := c.Handle(m2, "r"); ack.OK {
+		t.Fatal("wrongly-signed message accepted")
+	}
+	if d.Cache().Count() != 1 {
+		t.Fatalf("cache count = %d, want 1", d.Cache().Count())
+	}
+	_, rejected, _ := c.Counters()
+	if rejected != 2 {
+		t.Fatalf("rejected = %d, want 2", rejected)
+	}
+}

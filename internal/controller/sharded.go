@@ -1,0 +1,97 @@
+package controller
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"inca/internal/branch"
+	"inca/internal/depot"
+	"inca/internal/envelope"
+)
+
+// ShardedDepot is a DepotClient that distributes envelopes across several
+// depot back ends — the paper's Section 6 direction ("work has begun on
+// distributing the depot functionality"): response time improvements alone
+// "will not significantly increase the depot's ability to service a large
+// VO consisting of hundreds of resources".
+//
+// Routing peeks only at the envelope address (cheap in attachment mode)
+// and assigns the identifier's most-general Depth components to a back
+// end by stable hash, so all data for one vo/site lands together and
+// queries stay local to a shard.
+type ShardedDepot struct {
+	backends []DepotClient
+	depth    int
+
+	mu     sync.Mutex
+	counts []uint64
+}
+
+// NewShardedDepot routes across backends on the depth most-general branch
+// components (depth ≤ 0 means 1).
+func NewShardedDepot(backends []DepotClient, depth int) (*ShardedDepot, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("controller: sharded depot needs at least one backend")
+	}
+	if depth <= 0 {
+		depth = 1
+	}
+	return &ShardedDepot{backends: backends, depth: depth, counts: make([]uint64, len(backends))}, nil
+}
+
+// shardFor maps a branch identifier to a backend index.
+func (s *ShardedDepot) shardFor(id branch.ID) int {
+	path := id.Path()
+	if len(path) > s.depth {
+		path = path[:s.depth]
+	}
+	h := fnv.New64a()
+	for _, p := range path {
+		h.Write([]byte(p.Name))
+		h.Write([]byte{0})
+		h.Write([]byte(p.Value))
+		h.Write([]byte{0})
+	}
+	// FNV-1a is linear in trailing input bytes, which correlates badly
+	// with small moduli when keys differ only near the end (site=s0,
+	// site=s1, ...); a murmur-style finalizer breaks the structure.
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return int(x % uint64(len(s.backends)))
+}
+
+// BackendFor exposes the routing decision (consumers use it to aim their
+// queries at the right shard's querying interface).
+func (s *ShardedDepot) BackendFor(id branch.ID) (DepotClient, int) {
+	i := s.shardFor(id)
+	return s.backends[i], i
+}
+
+// StoreEnvelope implements DepotClient.
+func (s *ShardedDepot) StoreEnvelope(data []byte) (depot.Receipt, error) {
+	id, err := envelope.Address(data)
+	if err != nil {
+		return depot.Receipt{}, fmt.Errorf("controller: sharded depot: %w", err)
+	}
+	i := s.shardFor(id)
+	rec, err := s.backends[i].StoreEnvelope(data)
+	if err != nil {
+		return rec, fmt.Errorf("controller: shard %d: %w", i, err)
+	}
+	s.mu.Lock()
+	s.counts[i]++
+	s.mu.Unlock()
+	return rec, nil
+}
+
+// Counts returns how many envelopes each backend has stored.
+func (s *ShardedDepot) Counts() []uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]uint64(nil), s.counts...)
+}

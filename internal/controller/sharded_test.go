@@ -1,0 +1,117 @@
+package controller
+
+import (
+	"fmt"
+	"testing"
+
+	"inca/internal/branch"
+	"inca/internal/depot"
+	"inca/internal/envelope"
+)
+
+func TestShardedDepotValidation(t *testing.T) {
+	if _, err := NewShardedDepot(nil, 1); err == nil {
+		t.Fatal("empty backend list accepted")
+	}
+	s, err := NewShardedDepot([]DepotClient{depot.New(depot.NewStreamCache())}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.depth != 1 {
+		t.Fatalf("depth = %d", s.depth)
+	}
+}
+
+func TestShardedDepotRoutesConsistently(t *testing.T) {
+	backends := make([]*depot.Depot, 3)
+	clients := make([]DepotClient, 3)
+	for i := range backends {
+		backends[i] = depot.New(depot.NewStreamCache())
+		clients[i] = backends[i]
+	}
+	s, err := NewShardedDepot(clients, 2) // shard on vo + site
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := New(s, Options{Mode: envelope.Attachment})
+
+	// Ten sites × several probes; everything for one vo/site pair must
+	// land on one backend.
+	siteBackend := map[string]int{}
+	for site := 0; site < 10; site++ {
+		for probe := 0; probe < 4; probe++ {
+			id := branch.MustParse(fmt.Sprintf("probe=p%d,site=s%d,vo=tg", probe, site))
+			if _, err := ctl.Submit(id, "h", sampleReportXML(t)); err != nil {
+				t.Fatal(err)
+			}
+			_, idx := s.BackendFor(id)
+			key := fmt.Sprintf("s%d", site)
+			if prev, ok := siteBackend[key]; ok && prev != idx {
+				t.Fatalf("site %s split across backends %d and %d", key, prev, idx)
+			}
+			siteBackend[key] = idx
+		}
+	}
+	// Totals conserve.
+	total := 0
+	for _, b := range backends {
+		total += b.Cache().Count()
+	}
+	if total != 40 {
+		t.Fatalf("stored %d, want 40", total)
+	}
+	counts := s.Counts()
+	sum := uint64(0)
+	used := 0
+	for _, c := range counts {
+		sum += c
+		if c > 0 {
+			used++
+		}
+	}
+	if sum != 40 {
+		t.Fatalf("counts sum = %d", sum)
+	}
+	// With 10 sites over 3 backends, more than one backend must be used.
+	if used < 2 {
+		t.Fatalf("only %d backend(s) used; no distribution", used)
+	}
+	// Reports for a site are retrievable from its designated backend.
+	for site, idx := range siteBackend {
+		prefix := branch.MustParse(fmt.Sprintf("site=%s,vo=tg", site))
+		rs, err := backends[idx].Cache().Reports(prefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rs) != 4 {
+			t.Fatalf("site %s: %d reports on backend %d", site, len(rs), idx)
+		}
+	}
+}
+
+func TestShardedDepotBadEnvelope(t *testing.T) {
+	s, err := NewShardedDepot([]DepotClient{depot.New(depot.NewStreamCache())}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StoreEnvelope([]byte("junk")); err == nil {
+		t.Fatal("junk envelope routed")
+	}
+}
+
+func TestShardedDepotBackendErrorSurfaces(t *testing.T) {
+	s, err := NewShardedDepot([]DepotClient{failingDepot{}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := envelope.Encode(envelope.Attachment, branch.MustParse("a=1"), []byte("<r/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.StoreEnvelope(env); err == nil {
+		t.Fatal("backend error swallowed")
+	}
+	if s.Counts()[0] != 0 {
+		t.Fatal("failed store counted")
+	}
+}

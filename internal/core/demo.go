@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/rand"
+	"time"
+
+	"inca/internal/agent"
+	"inca/internal/catalog"
+	"inca/internal/gridsim"
+	"inca/internal/report"
+	"inca/internal/reporter"
+	"inca/internal/schedule"
+)
+
+// DemoGrid builds a two-resource sample VO ("samplegrid", echoing the
+// paper's branch-identifier example) for the standalone tools and the
+// quickstart example: one site pair with a software stack, services, and a
+// network link between them.
+func DemoGrid(seed int64, install time.Time) *gridsim.Grid {
+	g := gridsim.New("samplegrid", seed)
+	for _, def := range []struct {
+		site, host string
+	}{
+		{"siteA", "login.sitea.example.org"},
+		{"siteB", "login.siteb.example.org"},
+	} {
+		r := g.AddSite(def.site).AddResource(def.host,
+			gridsim.Hardware{CPUs: 2, Processor: "Intel Xeon", CPUMHz: 2400, MemoryGB: 4})
+		for pkg, ver := range map[string]string{
+			"globus": "2.4.3", "mpich": "1.2.5", "atlas": "3.6.0", "pbs": "2.3.16",
+		} {
+			r.InstallPackage(pkg, ver, install)
+		}
+		r.AddService("gram-gatekeeper", 2119, gridsim.FailureModel{})
+		r.AddService("gridftp", 2811, gridsim.FailureModel{})
+		r.AddService("ssh", 22, gridsim.FailureModel{})
+		r.SetEnv("GLOBUS_LOCATION", "/usr/local/globus")
+		r.AddSoftEnv("@samplegrid", "+globus +mpich")
+	}
+	g.SetLink("login.sitea.example.org", "login.siteb.example.org", 990, 0.10, 0.02)
+	g.SetLink("login.siteb.example.org", "login.sitea.example.org", 930, 0.10, 0.02)
+	return g
+}
+
+// DemoReporters returns the catalog reporters applicable to one demo-grid
+// resource, keyed by a short name usable from the command line.
+func DemoReporters(g *gridsim.Grid, host string) map[string]reporter.Reporter {
+	res, ok := g.Resource(host)
+	if !ok {
+		return nil
+	}
+	var other string
+	for _, r := range g.Resources() {
+		if r.Host != host {
+			other = r.Host
+		}
+	}
+	out := map[string]reporter.Reporter{}
+	for _, p := range res.Packages() {
+		out["version."+p.Name] = &catalog.VersionReporter{Resource: res, Package: p.Name}
+		out["unit."+p.Name] = &catalog.UnitTestReporter{Resource: res, Package: p.Name}
+	}
+	for _, s := range res.Services() {
+		out["service."+s.Name] = &catalog.ServiceReporter{Resource: res, Service: s.Name}
+		if other != "" {
+			out["xsite."+s.Name] = &catalog.CrossSiteReporter{Grid: g, Source: res, DestHost: other, Service: s.Name}
+		}
+	}
+	out["env"] = &catalog.EnvReporter{Resource: res}
+	out["softenv"] = &catalog.SoftEnvReporter{Resource: res}
+	if other != "" {
+		out["pathload"] = &catalog.BandwidthReporter{Grid: g, Source: res, DestHost: other, Tool: catalog.Pathload}
+		out["spruce"] = &catalog.BandwidthReporter{Grid: g, Source: res, DestHost: other, Tool: catalog.Spruce}
+	}
+	out["grasp"] = &catalog.BenchmarkReporter{Resource: res, Kind: "flops"}
+	return out
+}
+
+// DemoSpec assembles an every-minute specification file over the demo
+// reporters for a resource — the standalone agent daemon's default
+// configuration.
+func DemoSpec(g *gridsim.Grid, host string, rng *rand.Rand) (agent.Spec, error) {
+	res, ok := g.Resource(host)
+	if !ok {
+		return agent.Spec{}, errUnknownHost(host)
+	}
+	spec := agent.Spec{
+		Resource:     host,
+		WorkingDir:   "/home/inca",
+		ReporterPath: "/home/inca/reporters",
+	}
+	names := make([]string, 0)
+	reps := DemoReporters(g, host)
+	for name := range reps {
+		names = append(names, name)
+	}
+	// Deterministic order for reproducible specs.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	for _, name := range names {
+		r := reps[name]
+		limit := 30 * time.Second
+		if timed, ok := r.(reporter.Timed); ok {
+			// Leave slack above the probe's nominal run time so the limit
+			// only fires on genuine hangs.
+			if d := timed.RunDuration(nil); 2*d > limit {
+				limit = 2 * d
+			}
+		}
+		spec.Series = append(spec.Series, agent.Series{
+			Reporter: r,
+			Branch:   BranchInVO(g.Name, r.Name(), host, res.Site.Name),
+			Cron:     schedule.MustParseCron("* * * * *"),
+			Limit:    limit,
+			Args:     []report.Arg{},
+		})
+	}
+	_ = rng
+	return spec, nil
+}
+
+type errUnknownHost string
+
+func (e errUnknownHost) Error() string { return "core: unknown demo host " + string(e) }

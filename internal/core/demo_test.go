@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"inca/internal/agent"
+	"inca/internal/branch"
+	"inca/internal/report"
+	"inca/internal/reporter"
+	"inca/internal/simtime"
+)
+
+var demoStart = time.Date(2004, 7, 7, 0, 0, 0, 0, time.UTC)
+
+func TestDemoGridShape(t *testing.T) {
+	g := DemoGrid(1, demoStart.Add(-24*time.Hour))
+	if g.Name != "samplegrid" {
+		t.Fatalf("name = %q", g.Name)
+	}
+	if len(g.Sites()) != 2 || len(g.Resources()) != 2 {
+		t.Fatalf("sites/resources = %d/%d", len(g.Sites()), len(g.Resources()))
+	}
+	a, ok := g.Resource("login.sitea.example.org")
+	if !ok {
+		t.Fatal("siteA resource missing")
+	}
+	for _, pkg := range []string{"globus", "mpich", "atlas", "pbs"} {
+		if _, ok := a.Package(pkg); !ok {
+			t.Fatalf("package %s missing", pkg)
+		}
+	}
+	for _, svc := range []string{"gram-gatekeeper", "gridftp", "ssh"} {
+		if up, reason := a.ServiceUp(svc, demoStart); !up {
+			t.Fatalf("%s down: %s", svc, reason)
+		}
+	}
+	if _, ok := g.Link("login.sitea.example.org", "login.siteb.example.org"); !ok {
+		t.Fatal("a→b link missing")
+	}
+	if _, ok := g.Link("login.siteb.example.org", "login.sitea.example.org"); !ok {
+		t.Fatal("b→a link missing")
+	}
+}
+
+func TestDemoReporters(t *testing.T) {
+	g := DemoGrid(1, demoStart.Add(-24*time.Hour))
+	reps := DemoReporters(g, "login.sitea.example.org")
+	if reps == nil {
+		t.Fatal("nil reporter set")
+	}
+	for _, want := range []string{"version.globus", "unit.mpich", "service.ssh",
+		"xsite.gridftp", "env", "softenv", "pathload", "spruce", "grasp"} {
+		if _, ok := reps[want]; !ok {
+			t.Fatalf("missing reporter %q", want)
+		}
+	}
+	ctx := &reporter.Context{Hostname: "login.sitea.example.org", Now: demoStart}
+	for name, r := range reps {
+		if err := reporter.Validate(r, ctx); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if DemoReporters(g, "ghost.example.org") != nil {
+		t.Fatal("unknown host returned reporters")
+	}
+}
+
+func TestDemoSpec(t *testing.T) {
+	g := DemoGrid(1, demoStart.Add(-24*time.Hour))
+	spec, err := DemoSpec(g, "login.sitea.example.org", rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Resource != "login.sitea.example.org" {
+		t.Fatalf("resource = %q", spec.Resource)
+	}
+	if len(spec.Series) == 0 {
+		t.Fatal("empty spec")
+	}
+	for _, s := range spec.Series {
+		if vo, _ := s.Branch.Get("vo"); vo != "samplegrid" {
+			t.Fatalf("series %s vo = %q", s.Reporter.Name(), vo)
+		}
+		if s.Limit <= 0 {
+			t.Fatalf("series %s has no limit", s.Reporter.Name())
+		}
+		// Limits must exceed the reporters' nominal run times (no
+		// self-inflicted kills in simulated demo runs).
+		if timed, ok := s.Reporter.(reporter.Timed); ok {
+			if d := timed.RunDuration(nil); d >= s.Limit {
+				t.Fatalf("series %s: duration %v >= limit %v", s.Reporter.Name(), d, s.Limit)
+			}
+		}
+	}
+	if _, err := DemoSpec(g, "ghost.example.org", nil); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+}
+
+func TestDemoSpecRunsWithoutKills(t *testing.T) {
+	g := DemoGrid(1, demoStart.Add(-24*time.Hour))
+	spec, err := DemoSpec(g, "login.sitea.example.org", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := simtime.NewSim(demoStart)
+	n := 0
+	sink := agent.SinkFunc(func(id branch.ID, host string, data []byte) error {
+		if _, err := report.Parse(data); err != nil {
+			t.Fatalf("unparseable report: %v", err)
+		}
+		n++
+		return nil
+	})
+	a, err := agent.New(spec, clock, sink, agent.Simulated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		next, ok := a.Scheduler().NextFire()
+		if !ok {
+			t.Fatal("no next fire")
+		}
+		clock.AdvanceTo(next)
+		a.Scheduler().RunPending()
+	}
+	st := a.Stats()
+	if st.Killed != 0 {
+		t.Fatalf("kills in demo run: %+v", st)
+	}
+	if st.Failures != 0 {
+		t.Fatalf("failures in quiet demo run: %+v", st)
+	}
+	if n != 2*a.SeriesCount() {
+		t.Fatalf("forwarded %d, want %d", n, 2*a.SeriesCount())
+	}
+}
+
+func TestBranchInVO(t *testing.T) {
+	id := BranchInVO("samplegrid", "r.name", "h", "siteA")
+	if id.String() != "reporter=r.name,resource=h,site=siteA,vo=samplegrid" {
+		t.Fatalf("id = %s", id)
+	}
+}

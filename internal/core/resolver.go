@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"inca/internal/agent"
+	"inca/internal/catalog"
+	"inca/internal/gridsim"
+	"inca/internal/reporter"
+)
+
+// CatalogResolver reconstructs catalog reporters from their structured
+// names for one resource — the receiving half of central configuration:
+// the server ships a specification document naming reporters, schedules,
+// limits and branches; the agent resolves each name into a local probe.
+//
+// Recognized forms:
+//
+//	<cat>.version.<pkg>          e.g. grid.version.globus
+//	<cat>.unit.<pkg>             e.g. development.unit.mpich
+//	grid.service.<svc>
+//	grid.xsite.<svc>.to.<host>
+//	grid.network.<tool>.to.<host>
+//	grid.benchmark.grasp.<kind>
+//	cluster.admin.env / cluster.admin.softenv
+func CatalogResolver(grid *gridsim.Grid, host string) agent.Resolver {
+	return func(name string) (reporter.Reporter, error) {
+		res, ok := grid.Resource(host)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown resource %s", host)
+		}
+		switch name {
+		case "cluster.admin.env":
+			return &catalog.EnvReporter{Resource: res}, nil
+		case "cluster.admin.softenv":
+			return &catalog.SoftEnvReporter{Resource: res}, nil
+		}
+		parts := strings.SplitN(name, ".", 3)
+		if len(parts) < 3 {
+			return nil, fmt.Errorf("core: unresolvable reporter name %q", name)
+		}
+		cat, kind, rest := parts[0], parts[1], parts[2]
+		switch kind {
+		case "version":
+			return &catalog.VersionReporter{Resource: res, Package: rest}, nil
+		case "unit":
+			return &catalog.UnitTestReporter{Resource: res, Package: rest}, nil
+		case "service":
+			if cat != "grid" {
+				return nil, fmt.Errorf("core: unresolvable reporter name %q", name)
+			}
+			return &catalog.ServiceReporter{Resource: res, Service: rest}, nil
+		case "xsite":
+			svc, dest, err := splitDest(rest)
+			if err != nil {
+				return nil, fmt.Errorf("core: %q: %w", name, err)
+			}
+			return &catalog.CrossSiteReporter{Grid: grid, Source: res, DestHost: dest, Service: svc}, nil
+		case "network":
+			tool, dest, err := splitDest(rest)
+			if err != nil {
+				return nil, fmt.Errorf("core: %q: %w", name, err)
+			}
+			return &catalog.BandwidthReporter{Grid: grid, Source: res, DestHost: dest, Tool: catalog.NetworkTool(tool)}, nil
+		case "benchmark":
+			const prefix = "grasp."
+			if !strings.HasPrefix(rest, prefix) {
+				return nil, fmt.Errorf("core: unresolvable benchmark %q", name)
+			}
+			return &catalog.BenchmarkReporter{Resource: res, Kind: strings.TrimPrefix(rest, prefix)}, nil
+		default:
+			return nil, fmt.Errorf("core: unresolvable reporter name %q", name)
+		}
+	}
+}
+
+// splitDest splits "<what>.to.<host>" into its parts.
+func splitDest(s string) (what, dest string, err error) {
+	i := strings.Index(s, ".to.")
+	if i < 0 {
+		return "", "", fmt.Errorf("missing .to. destination")
+	}
+	what, dest = s[:i], s[i+len(".to."):]
+	if what == "" || dest == "" {
+		return "", "", fmt.Errorf("empty probe or destination")
+	}
+	return what, dest, nil
+}
+
+// RoundTripSpec is a convenience used by tests and the agent daemon: it
+// re-materializes a specification document into a runnable Spec for host.
+func RoundTripSpec(grid *gridsim.Grid, def agent.SpecDef) (agent.Spec, error) {
+	return agent.BuildFromDef(def, CatalogResolver(grid, def.Resource))
+}
+
+// RepositoryResolver resolves reporter names against an installed script
+// repository (catalog.WriteRepository's output): each series runs the
+// checksummed standalone script through /bin/sh — the deployed system's
+// actual execution model, with scripts instead of in-process probes. The
+// repository is verified once at resolver construction.
+func RepositoryResolver(dir string) (agent.Resolver, error) {
+	loaded, err := catalog.LoadRepository(dir)
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]reporter.Reporter, len(loaded))
+	for _, r := range loaded {
+		byName[r.Name()] = r
+	}
+	return func(name string) (reporter.Reporter, error) {
+		r, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("core: reporter %s not in repository %s", name, dir)
+		}
+		return r, nil
+	}, nil
+}

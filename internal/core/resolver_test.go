@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math/rand"
+	"os"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"inca/internal/agent"
+	"inca/internal/catalog"
+	"inca/internal/gridsim"
+	"inca/internal/reporter"
+)
+
+// TestSpecDocumentRoundTrip: the full central-configuration loop — a Table
+// 2 specification serialized to XML, parsed back, and re-materialized by
+// the catalog resolver must reproduce the exact series set (reporter
+// names, schedules, limits, branches, args).
+func TestSpecDocumentRoundTrip(t *testing.T) {
+	grid := gridsim.NewTeraGrid(1, gridsim.TeraGridOptions{InstallTime: demoStart.Add(-30 * 24 * time.Hour)})
+	res, _ := grid.Resource("tg-login1.caltech.teragrid.org")
+	orig, err := BuildSpec(grid, res, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := agent.MarshalSpec(orig.Def())
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := agent.ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := RoundTripSpec(grid, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Resource != orig.Resource || len(rebuilt.Series) != len(orig.Series) {
+		t.Fatalf("shape: %s/%d vs %s/%d", rebuilt.Resource, len(rebuilt.Series), orig.Resource, len(orig.Series))
+	}
+	for i := range orig.Series {
+		o, r := orig.Series[i], rebuilt.Series[i]
+		if o.Reporter.Name() != r.Reporter.Name() {
+			t.Fatalf("series %d reporter: %s vs %s", i, r.Reporter.Name(), o.Reporter.Name())
+		}
+		if o.Cron.String() != r.Cron.String() {
+			t.Fatalf("series %d cron: %s vs %s", i, r.Cron.String(), o.Cron.String())
+		}
+		if !o.Branch.Equal(r.Branch) {
+			t.Fatalf("series %d branch: %s vs %s", i, r.Branch, o.Branch)
+		}
+		if o.Limit != r.Limit {
+			t.Fatalf("series %d limit: %v vs %v", i, r.Limit, o.Limit)
+		}
+		if !reflect.DeepEqual(o.Args, r.Args) {
+			t.Fatalf("series %d args: %v vs %v", i, r.Args, o.Args)
+		}
+		// The reconstructed reporters must be the same concrete type.
+		if reflect.TypeOf(o.Reporter) != reflect.TypeOf(r.Reporter) {
+			t.Fatalf("series %d type: %T vs %T", i, r.Reporter, o.Reporter)
+		}
+	}
+}
+
+// TestRebuiltSpecProducesIdenticalReports: beyond structural equality, a
+// reconstituted spec must behave identically.
+func TestRebuiltSpecProducesIdenticalReports(t *testing.T) {
+	grid := gridsim.NewTeraGrid(1, gridsim.TeraGridOptions{InstallTime: demoStart.Add(-30 * 24 * time.Hour)})
+	res, _ := grid.Resource("tg-login1.sdsc.teragrid.org")
+	orig, err := BuildSpec(grid, res, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := agent.MarshalSpec(orig.Def())
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := agent.ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := RoundTripSpec(grid, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &reporter.Context{Hostname: res.Host, Now: demoStart}
+	for i := range orig.Series {
+		a := orig.Series[i].Reporter.Run(ctx)
+		b := rebuilt.Series[i].Reporter.Run(ctx)
+		if a.Succeeded() != b.Succeeded() {
+			t.Fatalf("series %s: success divergence", orig.Series[i].Reporter.Name())
+		}
+		if !reflect.DeepEqual(a.Body, b.Body) {
+			t.Fatalf("series %s: body divergence", orig.Series[i].Reporter.Name())
+		}
+	}
+}
+
+func TestCatalogResolverErrors(t *testing.T) {
+	grid := DemoGrid(1, demoStart.Add(-24*time.Hour))
+	resolve := CatalogResolver(grid, "login.sitea.example.org")
+	for _, bad := range []string{
+		"", "oneword", "two.words",
+		"grid.xsite.missingdest", "grid.network.pathload", // no .to.
+		"grid.xsite..to.", "grid.benchmark.other.flops",
+		"grid.mystery.thing",
+	} {
+		if _, err := resolve(bad); err == nil {
+			t.Errorf("resolved %q", bad)
+		}
+	}
+	badHost := CatalogResolver(grid, "nowhere.example.org")
+	if _, err := badHost("grid.version.globus"); err == nil {
+		t.Error("resolved reporter for unknown host")
+	}
+}
+
+func TestParseSpecValidation(t *testing.T) {
+	if _, err := agent.ParseSpec([]byte("junk")); err == nil {
+		t.Fatal("junk accepted")
+	}
+	if _, err := agent.ParseSpec([]byte(`<specification resource=""><series reporter="x" cron="* * * * *" branch="a=1"/></specification>`)); err == nil {
+		t.Fatal("empty resource accepted")
+	}
+	if _, err := agent.ParseSpec([]byte(`<specification resource="h"></specification>`)); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestBuildFromDefErrors(t *testing.T) {
+	grid := DemoGrid(1, demoStart.Add(-24*time.Hour))
+	resolve := CatalogResolver(grid, "login.sitea.example.org")
+	mk := func(mut func(*agent.SeriesDef)) agent.SpecDef {
+		sd := agent.SeriesDef{
+			Reporter: "grid.version.globus",
+			Cron:     "0 * * * *",
+			Branch:   "probe=x",
+			Limit:    "1m",
+		}
+		mut(&sd)
+		return agent.SpecDef{Resource: "login.sitea.example.org", Series: []agent.SeriesDef{sd}}
+	}
+	cases := []func(*agent.SeriesDef){
+		func(s *agent.SeriesDef) { s.Reporter = "no.such.kind.name" },
+		func(s *agent.SeriesDef) { s.Cron = "not cron" },
+		func(s *agent.SeriesDef) { s.Branch = "notbranch" },
+		func(s *agent.SeriesDef) { s.Limit = "soon" },
+	}
+	for i, mut := range cases {
+		if _, err := agent.BuildFromDef(mk(mut), resolve); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// The unmutated def builds.
+	if _, err := agent.BuildFromDef(mk(func(*agent.SeriesDef) {}), resolve); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRepositoryResolverEndToEnd: the full deployed execution model — a
+// spec document resolved against an installed script repository, every
+// series running a checksummed shell script.
+func TestRepositoryResolverEndToEnd(t *testing.T) {
+	grid := DemoGrid(1, demoStart.Add(-24*time.Hour))
+	const host = "login.sitea.example.org"
+	// Publish the host's reporters as a repository.
+	reps := DemoReporters(grid, host)
+	var list []reporter.Reporter
+	names := make([]string, 0, len(reps))
+	for n := range reps {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		list = append(list, reps[n])
+	}
+	dir := t.TempDir()
+	if _, err := catalog.WriteRepository(dir, list); err != nil {
+		t.Fatal(err)
+	}
+	resolve, err := RepositoryResolver(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distribute the spec and build against the repository.
+	spec, err := DemoSpec(grid, host, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := agent.MarshalSpec(spec.Def())
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := agent.ParseSpec(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rebuilt, err := agent.BuildFromDef(def, resolve)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rebuilt.Series) != len(spec.Series) {
+		t.Fatalf("series = %d, want %d", len(rebuilt.Series), len(spec.Series))
+	}
+	// Every series is now an Exec reporter; run one and require a
+	// spec-compliant report (failing on this host is fine).
+	for _, s := range rebuilt.Series {
+		if _, ok := s.Reporter.(*reporter.Exec); !ok {
+			t.Fatalf("series %s resolved to %T, want *reporter.Exec", s.Reporter.Name(), s.Reporter)
+		}
+	}
+	rep := rebuilt.Series[0].Reporter.Run(&reporter.Context{Hostname: host, Now: demoStart})
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// An unknown name fails resolution.
+	if _, err := resolve("no.such.reporter"); err == nil {
+		t.Fatal("phantom name resolved")
+	}
+}
+
+// TestRepositoryResolverRefusesTamper: a modified script blocks resolver
+// construction entirely.
+func TestRepositoryResolverRefusesTamper(t *testing.T) {
+	grid := DemoGrid(1, demoStart.Add(-24*time.Hour))
+	reps := DemoReporters(grid, "login.sitea.example.org")
+	dir := t.TempDir()
+	if _, err := catalog.WriteRepository(dir, []reporter.Reporter{reps["env"]}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dir+"/cluster.admin.env.sh", []byte("#!/bin/sh\nhacked\n"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RepositoryResolver(dir); err == nil {
+		t.Fatal("tampered repository accepted")
+	}
+}

@@ -1,0 +1,336 @@
+package depot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"strconv"
+
+	"inca/internal/branch"
+)
+
+// This file implements the byte-level splice path for StreamCache.
+//
+// The cache document is canonical: every byte of it was produced by this
+// package through encoding/xml, which escapes '<' and '>' everywhere
+// outside tag delimiters (character data and attribute values alike). That
+// guarantee lets updates scan tags directly — the same single-pass
+// streaming discipline as the paper's SAX cache, minus a general-purpose
+// parser's overhead — and splice the new entry in with one copy.
+//
+// spliceUpdate (cache.go) is the generic-token reference implementation;
+// property tests assert the two agree.
+
+// tagInfo describes one tag found by the scanner.
+type tagInfo struct {
+	start, end int // byte offsets: old[start:end] covers "<...>"
+	name       []byte
+	closing    bool
+	attrs      []byte // raw bytes after the name, inside the tag
+}
+
+// scanTag finds the next tag at or after pos. ok=false at end of input.
+func scanTag(data []byte, pos int) (tagInfo, bool, error) {
+	lt := bytes.IndexByte(data[pos:], '<')
+	if lt < 0 {
+		return tagInfo{}, false, nil
+	}
+	start := pos + lt
+	gt := bytes.IndexByte(data[start:], '>')
+	if gt < 0 {
+		return tagInfo{}, false, fmt.Errorf("depot: unterminated tag at %d", start)
+	}
+	end := start + gt + 1
+	inner := data[start+1 : end-1]
+	t := tagInfo{start: start, end: end}
+	if len(inner) > 0 && inner[0] == '/' {
+		t.closing = true
+		t.name = bytes.TrimSpace(inner[1:])
+		return t, true, nil
+	}
+	if sp := bytes.IndexByte(inner, ' '); sp >= 0 {
+		t.name = inner[:sp]
+		t.attrs = inner[sp+1:]
+	} else {
+		t.name = inner
+	}
+	return t, true, nil
+}
+
+// skipSubtree returns the offset just past the matching close of the open
+// tag t. This is the scan's hot path, so it only looks at tag delimiters
+// (every '<' in a canonical document opens a tag; '/' marks a close).
+func skipSubtree(data []byte, t tagInfo) (int, error) {
+	depth := 1
+	pos := t.end
+	for depth > 0 {
+		lt := bytes.IndexByte(data[pos:], '<')
+		if lt < 0 {
+			return 0, fmt.Errorf("depot: unbalanced document while skipping <%s>", t.name)
+		}
+		p := pos + lt
+		gt := bytes.IndexByte(data[p:], '>')
+		if gt < 0 {
+			return 0, fmt.Errorf("depot: unterminated tag at %d", p)
+		}
+		if p+1 < len(data) && data[p+1] == '/' {
+			depth--
+		} else {
+			depth++
+		}
+		pos = p + gt + 1
+	}
+	return pos, nil
+}
+
+// attrValue extracts and unescapes the named attribute from raw attr bytes.
+func attrValue(attrs []byte, name string) (string, bool) {
+	key := []byte(name + `="`)
+	i := bytes.Index(attrs, key)
+	if i < 0 {
+		return "", false
+	}
+	rest := attrs[i+len(key):]
+	j := bytes.IndexByte(rest, '"')
+	if j < 0 {
+		return "", false
+	}
+	return unescapeXML(rest[:j]), true
+}
+
+// unescapeXML resolves the entity references encoding/xml emits.
+func unescapeXML(s []byte) string {
+	if bytes.IndexByte(s, '&') < 0 {
+		return string(s)
+	}
+	var out []byte
+	for i := 0; i < len(s); {
+		if s[i] != '&' {
+			out = append(out, s[i])
+			i++
+			continue
+		}
+		semi := bytes.IndexByte(s[i:], ';')
+		if semi < 0 {
+			out = append(out, s[i:]...)
+			break
+		}
+		ent := string(s[i+1 : i+semi])
+		switch {
+		case ent == "lt":
+			out = append(out, '<')
+		case ent == "gt":
+			out = append(out, '>')
+		case ent == "amp":
+			out = append(out, '&')
+		case ent == "quot":
+			out = append(out, '"')
+		case ent == "apos":
+			out = append(out, '\'')
+		case len(ent) > 1 && ent[0] == '#':
+			var code int64
+			var err error
+			if ent[1] == 'x' || ent[1] == 'X' {
+				code, err = strconv.ParseInt(ent[2:], 16, 32)
+			} else {
+				code, err = strconv.ParseInt(ent[1:], 10, 32)
+			}
+			if err != nil {
+				out = append(out, s[i:i+semi+1]...)
+			} else {
+				out = append(out, string(rune(code))...)
+			}
+		default:
+			out = append(out, s[i:i+semi+1]...)
+		}
+		i += semi + 1
+	}
+	return string(out)
+}
+
+// renderFragment builds the bytes for the remaining path components
+// wrapping the report entry (or just the entry when comps is empty).
+func renderFragment(comps []branch.Pair, reportXML []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := xml.NewEncoder(&buf)
+	var err error
+	if len(comps) == 0 {
+		err = writeEntry(enc, reportXML)
+	} else {
+		err = writeNewSubtree(enc, comps, reportXML)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// collectReportsFast walks a canonical document gathering every entry
+// under prefix with the byte-level scanner — the read-side counterpart of
+// fastSplice. It errors on any structural surprise, and callers fall back
+// to the generic token walk (collectReports).
+func collectReportsFast(data []byte, prefix branch.ID) ([]Stored, error) {
+	var stack []branch.Pair
+	var out []Stored
+	pos := 0
+	sawRoot := false
+	for {
+		t, ok, err := scanTag(data, pos)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if t.closing {
+			if string(t.name) == "branch" {
+				if len(stack) == 0 {
+					return nil, fmt.Errorf("depot: unbalanced branch close at %d", t.start)
+				}
+				stack = stack[:len(stack)-1]
+			}
+			pos = t.end
+			continue
+		}
+		switch string(t.name) {
+		case "cache":
+			sawRoot = true
+			pos = t.end
+		case "branch":
+			name, ok1 := attrValue(t.attrs, "name")
+			value, ok2 := attrValue(t.attrs, "value")
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("depot: branch element without name/value at %d", t.start)
+			}
+			stack = append(stack, branch.Pair{Name: name, Value: value})
+			pos = t.end
+		case "entry":
+			end, err := skipSubtree(data, t)
+			if err != nil {
+				return nil, err
+			}
+			const closeLen = len("</entry>")
+			if end-closeLen < t.end {
+				return nil, fmt.Errorf("depot: malformed entry at %d", t.start)
+			}
+			payload := data[t.end : end-closeLen]
+			pairs := make([]branch.Pair, len(stack))
+			for i, p := range stack {
+				pairs[len(stack)-1-i] = p
+			}
+			id := branch.New(pairs...)
+			if id.HasSuffix(prefix) {
+				out = append(out, Stored{ID: id, XML: append([]byte(nil), payload...)})
+			}
+			pos = end
+		default:
+			// Foreign element preserved in the cache: skip it wholesale.
+			if pos, err = skipSubtree(data, t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("depot: %d unclosed branch elements", len(stack))
+	}
+	if !sawRoot {
+		return nil, fmt.Errorf("depot: document has no cache root")
+	}
+	return out, nil
+}
+
+// fastSplice performs the spliceUpdate operation on a canonical document
+// with a single byte-level pass and one copy.
+func fastSplice(old []byte, path []branch.Pair, reportXML []byte) ([]byte, bool, error) {
+	if err := wellFormed(reportXML); err != nil {
+		return nil, false, err
+	}
+	matched := 0
+	pos := 0
+	insertAt := -1   // where the new fragment goes
+	replaceEnd := -1 // end of the replaced entry, if replacing
+	var fragComps []branch.Pair
+
+	for insertAt < 0 {
+		t, ok, err := scanTag(old, pos)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			return nil, false, fmt.Errorf("depot: cache document has no root element")
+		}
+		if t.closing {
+			// Leaving the deepest matched node (or the cache root):
+			// everything still unmatched nests here, before the close.
+			insertAt = t.start
+			fragComps = path[matched:]
+			break
+		}
+		switch string(t.name) {
+		case "cache":
+			pos = t.end
+		case "branch":
+			if matched < len(path) {
+				name, _ := attrValue(t.attrs, "name")
+				value, _ := attrValue(t.attrs, "value")
+				comp := path[matched]
+				if name == comp.Name && value == comp.Value {
+					matched++
+					pos = t.end
+					continue
+				}
+				if pairBefore(comp, name, value) {
+					insertAt = t.start
+					fragComps = path[matched:]
+					break
+				}
+			} else {
+				// Target fully matched; its entry slot precedes branch
+				// children.
+				insertAt = t.start
+				fragComps = nil
+				break
+			}
+			// Unrelated sibling: skip it wholesale.
+			if pos, err = skipSubtree(old, t); err != nil {
+				return nil, false, err
+			}
+		case "entry":
+			if matched == len(path) {
+				end, err := skipSubtree(old, t)
+				if err != nil {
+					return nil, false, err
+				}
+				insertAt = t.start
+				replaceEnd = end
+				fragComps = nil
+				break
+			}
+			if pos, err = skipSubtree(old, t); err != nil {
+				return nil, false, err
+			}
+		default:
+			// Foreign element at branch level: preserve it untouched.
+			if pos, err = skipSubtree(old, t); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+
+	frag, err := renderFragment(fragComps, reportXML)
+	if err != nil {
+		return nil, false, err
+	}
+	tail := insertAt
+	if replaceEnd >= 0 {
+		tail = replaceEnd
+	}
+	out := make([]byte, 0, len(old)+len(frag))
+	out = append(out, old[:insertAt]...)
+	out = append(out, frag...)
+	out = append(out, old[tail:]...)
+	return out, replaceEnd < 0, nil
+}

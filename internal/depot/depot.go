@@ -1,0 +1,307 @@
+package depot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"inca/internal/branch"
+	"inca/internal/envelope"
+	"inca/internal/report"
+	"inca/internal/rrd"
+)
+
+// Policy is an uploadable archival policy (paper Section 3.2.2): which
+// cached data to archive, extracted from where in the report body, at what
+// granularity and history length. "This configuration has to be done only
+// once and one can assign several pieces of data the same policy at the
+// same time."
+type Policy struct {
+	// Name identifies the policy (and the archive files it creates).
+	Name string
+	// Prefix selects the branch subtree the policy applies to; a report
+	// stored under any matching identifier is archived.
+	Prefix branch.ID
+	// Path locates the numeric value inside the report body (an Inca path
+	// expression, leaf first). When empty, the report's success (1/0) is
+	// archived instead — which is how availability series are built.
+	Path string
+	// Archive is the round-robin storage configuration.
+	Archive rrd.ArchivalPolicy
+	// ManualOnly policies never match stored reports automatically; they
+	// only accept values through ArchiveUpdate (used for derived metrics
+	// such as summary percentages).
+	ManualOnly bool
+}
+
+// Receipt describes the processing of one stored envelope: the paper's
+// response-time decomposition into envelope unpacking and cache processing
+// (Figure 9's two curves).
+type Receipt struct {
+	Branch     branch.ID
+	ReportSize int
+	CacheSize  int
+	Unpack     time.Duration
+	Insert     time.Duration
+	Archive    time.Duration
+	Added      bool
+}
+
+// Total returns the whole processing time.
+func (r Receipt) Total() time.Duration { return r.Unpack + r.Insert + r.Archive }
+
+// Depot is Inca's storage facility: cache plus archive.
+type Depot struct {
+	cache Cache
+
+	mu       sync.Mutex
+	policies []Policy
+	archives map[string]*rrd.DB // key: branch id + "|" + policy name
+	received uint64
+	bytes    uint64
+}
+
+// New creates a depot over the given cache implementation (use
+// NewStreamCache for the deployed design).
+func New(cache Cache) *Depot {
+	return &Depot{cache: cache, archives: make(map[string]*rrd.DB)}
+}
+
+// Cache exposes the underlying cache for queries.
+func (d *Depot) Cache() Cache { return d.cache }
+
+// AddPolicy uploads an archival policy. Policies apply to reports stored
+// after the upload.
+func (d *Depot) AddPolicy(p Policy) error {
+	if p.Name == "" {
+		return fmt.Errorf("depot: policy with empty name")
+	}
+	if p.Archive.Step <= 0 || p.Archive.History <= 0 {
+		return fmt.Errorf("depot: policy %s has invalid archive configuration", p.Name)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, existing := range d.policies {
+		if existing.Name == p.Name {
+			return fmt.Errorf("depot: duplicate policy %s", p.Name)
+		}
+	}
+	d.policies = append(d.policies, p)
+	return nil
+}
+
+// Policies returns the uploaded policies.
+func (d *Depot) Policies() []Policy {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Policy(nil), d.policies...)
+}
+
+// StoreEnvelope ingests one serialized envelope: unpack, cache insert,
+// archive. The receipt carries the per-phase timings the evaluation uses.
+func (d *Depot) StoreEnvelope(data []byte) (Receipt, error) {
+	t0 := time.Now()
+	env, err := envelope.Decode(data)
+	if err != nil {
+		return Receipt{}, err
+	}
+	t1 := time.Now()
+	rec, err := d.store(env.Branch, env.Report)
+	if err != nil {
+		return Receipt{}, err
+	}
+	rec.Unpack = t1.Sub(t0)
+	return rec, nil
+}
+
+// Store ingests an already-unwrapped report (used by in-process
+// deployments and tests; the unpack phase is zero).
+func (d *Depot) Store(id branch.ID, reportXML []byte) (Receipt, error) {
+	return d.store(id, reportXML)
+}
+
+func (d *Depot) store(id branch.ID, reportXML []byte) (Receipt, error) {
+	before := d.cache.Count()
+	t1 := time.Now()
+	if err := d.cache.Update(id, reportXML); err != nil {
+		return Receipt{}, err
+	}
+	t2 := time.Now()
+	if err := d.archive(id, reportXML); err != nil {
+		return Receipt{}, err
+	}
+	t3 := time.Now()
+	d.mu.Lock()
+	d.received++
+	d.bytes += uint64(len(reportXML))
+	d.mu.Unlock()
+	return Receipt{
+		Branch:     id,
+		ReportSize: len(reportXML),
+		CacheSize:  d.cache.Size(),
+		Insert:     t2.Sub(t1),
+		Archive:    t3.Sub(t2),
+		Added:      d.cache.Count() > before,
+	}, nil
+}
+
+// archive applies matching policies to the stored report.
+func (d *Depot) archive(id branch.ID, reportXML []byte) error {
+	d.mu.Lock()
+	policies := d.policies
+	d.mu.Unlock()
+	var matching []Policy
+	for _, p := range policies {
+		if !p.ManualOnly && id.HasSuffix(p.Prefix) {
+			matching = append(matching, p)
+		}
+	}
+	if len(matching) == 0 {
+		return nil
+	}
+	rep, err := report.Parse(reportXML)
+	if err != nil {
+		// Non-report XML can be cached (unknown schemas are welcome) but
+		// cannot be archived; skip silently.
+		return nil
+	}
+	for _, p := range matching {
+		var value float64
+		if p.Path == "" {
+			if rep.Succeeded() {
+				value = 1
+			}
+		} else {
+			if rep.Body == nil {
+				continue
+			}
+			v, ok := rep.Body.Float(p.Path)
+			if !ok {
+				continue
+			}
+			value = v
+		}
+		key := id.String() + "|" + p.Name
+		d.mu.Lock()
+		db, ok := d.archives[key]
+		if !ok {
+			start := rep.Header.GMT.Add(-p.Archive.Step)
+			db, err = rrd.NewFromPolicy(start, p.Name, p.Archive)
+			if err != nil {
+				d.mu.Unlock()
+				return fmt.Errorf("depot: policy %s: %w", p.Name, err)
+			}
+			d.archives[key] = db
+		}
+		d.mu.Unlock()
+		if err := db.Update(rep.Header.GMT, value); err != nil {
+			// Out-of-order or duplicate timestamps are dropped, as RRDTool
+			// drops them.
+			continue
+		}
+	}
+	return nil
+}
+
+// ArchiveUpdate records a value directly into a policy archive, bypassing
+// report parsing. Consumers use it to archive derived metrics such as the
+// summary percentages behind Figure 5.
+func (d *Depot) ArchiveUpdate(id branch.ID, policyName string, at time.Time, value float64) error {
+	d.mu.Lock()
+	var pol *Policy
+	for i := range d.policies {
+		if d.policies[i].Name == policyName {
+			pol = &d.policies[i]
+			break
+		}
+	}
+	if pol == nil {
+		d.mu.Unlock()
+		return fmt.Errorf("depot: no policy %s", policyName)
+	}
+	key := id.String() + "|" + policyName
+	db, ok := d.archives[key]
+	if !ok {
+		var err error
+		db, err = rrd.NewFromPolicy(at.Add(-pol.Archive.Step), policyName, pol.Archive)
+		if err != nil {
+			d.mu.Unlock()
+			return err
+		}
+		d.archives[key] = db
+	}
+	d.mu.Unlock()
+	return db.Update(at, value)
+}
+
+// FetchArchive retrieves an archived series for the exact branch identifier
+// and policy.
+func (d *Depot) FetchArchive(id branch.ID, policyName string, cf rrd.CF, start, end time.Time) (*rrd.Series, error) {
+	d.mu.Lock()
+	db, ok := d.archives[id.String()+"|"+policyName]
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("depot: no archive for %s under policy %s", id, policyName)
+	}
+	return db.Fetch(cf, start, end)
+}
+
+// ArchivedSeries lists the (branch, policy) pairs with archives.
+func (d *Depot) ArchivedSeries() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	keys := make([]string, 0, len(d.archives))
+	for k := range d.archives {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Stats summarizes depot activity.
+type Stats struct {
+	Received   uint64
+	Bytes      uint64
+	CacheSize  int
+	CacheCount int
+	Archives   int
+}
+
+// Stats returns current counters.
+func (d *Depot) Stats() Stats {
+	d.mu.Lock()
+	archives := len(d.archives)
+	received := d.received
+	bytes := d.bytes
+	d.mu.Unlock()
+	return Stats{
+		Received:   received,
+		Bytes:      bytes,
+		CacheSize:  d.cache.Size(),
+		CacheCount: d.cache.Count(),
+		Archives:   archives,
+	}
+}
+
+// LatestValue fetches the most recent known value from an archive, or NaN.
+func (d *Depot) LatestValue(id branch.ID, policyName string, cf rrd.CF) float64 {
+	d.mu.Lock()
+	db, ok := d.archives[id.String()+"|"+policyName]
+	d.mu.Unlock()
+	if !ok {
+		return math.NaN()
+	}
+	last := db.Last()
+	s, err := db.Fetch(cf, last.Add(-24*time.Hour), last)
+	if err != nil || len(s.Points) == 0 {
+		return math.NaN()
+	}
+	for i := len(s.Points) - 1; i >= 0; i-- {
+		if !math.IsNaN(s.Points[i].Values[0]) {
+			return s.Points[i].Values[0]
+		}
+	}
+	return math.NaN()
+}

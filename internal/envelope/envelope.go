@@ -1,0 +1,241 @@
+// Package envelope implements the XML envelope the centralized controller
+// wraps around each report before forwarding it to the depot (paper Section
+// 3.2.1): "It then creates a XML envelope, where the content of the
+// envelope is the report and the envelope address is the branch identifier."
+//
+// Two encodings are provided:
+//
+//   - Body mode reproduces the deployed system (reports carried inside the
+//     SOAP body): the report XML is embedded as escaped character data, so
+//     decoding must scan and unescape the entire payload. This is the cost
+//     Section 5.2.2 measures — "it takes almost 3 seconds to unpack the
+//     SOAP envelope" for the largest reports.
+//
+//   - Attachment mode implements the paper's proposed fix ("the reports
+//     will be sent as SOAP attachment rather than in the body of the SOAP
+//     envelope in order to speed up the unpacking process"): a small XML
+//     header followed by the raw report bytes, decoded in O(1).
+package envelope
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"strconv"
+
+	"inca/internal/branch"
+)
+
+// Mode selects the encoding.
+type Mode int
+
+// Encoding modes.
+const (
+	// Body embeds the report as escaped character data (deployed system).
+	Body Mode = iota
+	// Attachment appends the raw report after a fixed-size header
+	// (the paper's planned improvement).
+	Attachment
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	if m == Attachment {
+		return "attachment"
+	}
+	return "body"
+}
+
+// Envelope is a decoded envelope: the address (branch identifier) plus the
+// report payload.
+type Envelope struct {
+	Mode   Mode
+	Branch branch.ID
+	Report []byte
+}
+
+// Encode wraps report under the given address.
+func Encode(mode Mode, id branch.ID, reportXML []byte) ([]byte, error) {
+	var buf bytes.Buffer
+	switch mode {
+	case Body:
+		buf.WriteString(`<envelope mode="body"><address>`)
+		xml.EscapeText(&buf, []byte(id.String()))
+		buf.WriteString(`</address><report>`)
+		// The expensive part the paper measured: the whole report is
+		// escaped into the body.
+		xml.EscapeText(&buf, reportXML)
+		buf.WriteString(`</report></envelope>`)
+	case Attachment:
+		buf.WriteString(`<envelope mode="attachment"><address>`)
+		xml.EscapeText(&buf, []byte(id.String()))
+		buf.WriteString(`</address><attachment length="`)
+		buf.WriteString(strconv.Itoa(len(reportXML)))
+		buf.WriteString(`"/></envelope>` + "\n")
+		buf.Write(reportXML)
+	default:
+		return nil, fmt.Errorf("envelope: unknown mode %d", mode)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode parses an envelope in either mode (auto-detected).
+func Decode(data []byte) (*Envelope, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	var env Envelope
+	// Read the root element.
+	root, err := nextStart(dec)
+	if err != nil {
+		return nil, fmt.Errorf("envelope: no root element: %w", err)
+	}
+	if root.Name.Local != "envelope" {
+		return nil, fmt.Errorf("envelope: root element %q", root.Name.Local)
+	}
+	mode := Body
+	for _, a := range root.Attr {
+		if a.Name.Local == "mode" && a.Value == "attachment" {
+			mode = Attachment
+		}
+	}
+	env.Mode = mode
+	attachLen := -1
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("envelope: truncated: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "address":
+				s, err := collectText(dec)
+				if err != nil {
+					return nil, err
+				}
+				id, err := branch.Parse(s)
+				if err != nil {
+					return nil, fmt.Errorf("envelope: bad address: %w", err)
+				}
+				env.Branch = id
+			case "report":
+				if mode != Body {
+					return nil, fmt.Errorf("envelope: report element in attachment mode")
+				}
+				s, err := collectText(dec)
+				if err != nil {
+					return nil, err
+				}
+				env.Report = []byte(s)
+			case "attachment":
+				if mode != Attachment {
+					return nil, fmt.Errorf("envelope: attachment element in body mode")
+				}
+				for _, a := range t.Attr {
+					if a.Name.Local == "length" {
+						n, err := strconv.Atoi(a.Value)
+						if err != nil || n < 0 {
+							return nil, fmt.Errorf("envelope: bad attachment length %q", a.Value)
+						}
+						attachLen = n
+					}
+				}
+				if err := dec.Skip(); err != nil {
+					return nil, err
+				}
+			default:
+				if err := dec.Skip(); err != nil {
+					return nil, err
+				}
+			}
+		case xml.EndElement:
+			if t.Name.Local != "envelope" {
+				continue
+			}
+			if mode == Attachment {
+				if attachLen < 0 {
+					return nil, fmt.Errorf("envelope: attachment mode without attachment element")
+				}
+				// The raw payload follows the header line.
+				off := int(dec.InputOffset())
+				// Skip the newline separator.
+				if off < len(data) && data[off] == '\n' {
+					off++
+				}
+				if off+attachLen > len(data) {
+					return nil, fmt.Errorf("envelope: attachment truncated (%d of %d bytes)", len(data)-off, attachLen)
+				}
+				env.Report = data[off : off+attachLen]
+			}
+			if env.Report == nil {
+				return nil, fmt.Errorf("envelope: missing report payload")
+			}
+			return &env, nil
+		}
+	}
+}
+
+// Address extracts just the branch identifier from a serialized envelope
+// without unpacking the report payload — the cheap routing peek a
+// distributed depot front end needs (attachment-mode envelopes keep the
+// address in a small fixed-size header, so this is O(header) there).
+func Address(data []byte) (branch.ID, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	root, err := nextStart(dec)
+	if err != nil {
+		return branch.ID{}, fmt.Errorf("envelope: no root element: %w", err)
+	}
+	if root.Name.Local != "envelope" {
+		return branch.ID{}, fmt.Errorf("envelope: root element %q", root.Name.Local)
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return branch.ID{}, fmt.Errorf("envelope: no address element: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Local == "address" {
+				s, err := collectText(dec)
+				if err != nil {
+					return branch.ID{}, err
+				}
+				return branch.Parse(s)
+			}
+			if err := dec.Skip(); err != nil {
+				return branch.ID{}, err
+			}
+		case xml.EndElement:
+			return branch.ID{}, fmt.Errorf("envelope: no address element")
+		}
+	}
+}
+
+func nextStart(dec *xml.Decoder) (xml.StartElement, error) {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return xml.StartElement{}, err
+		}
+		if s, ok := tok.(xml.StartElement); ok {
+			return s, nil
+		}
+	}
+}
+
+func collectText(dec *xml.Decoder) (string, error) {
+	var sb bytes.Buffer
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return "", err
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			sb.Write(t)
+		case xml.EndElement:
+			return sb.String(), nil
+		case xml.StartElement:
+			return "", fmt.Errorf("envelope: unexpected element <%s>", t.Name.Local)
+		}
+	}
+}

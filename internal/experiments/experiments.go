@@ -1,0 +1,93 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (see DESIGN.md §4 for the experiment index). Each experiment
+// returns a Result whose Text is the table/series the paper reports;
+// cmd/inca-bench prints them and bench_test.go wraps the hot paths in
+// testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Result is one regenerated artifact.
+type Result struct {
+	// ID is the experiment identifier (e.g. "table4", "fig9").
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Text is the regenerated table/series/plot.
+	Text string
+	// Notes records scaling decisions and paper-vs-measured remarks.
+	Notes []string
+	// Elapsed is how long the experiment took to run.
+	Elapsed time.Duration
+}
+
+// String renders the result for the terminal.
+func (r Result) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s — %s (ran in %v)\n\n", strings.ToUpper(r.ID), r.Title, r.Elapsed.Round(time.Millisecond))
+	sb.WriteString(r.Text)
+	if len(r.Notes) > 0 {
+		sb.WriteString("\nNotes:\n")
+		for _, n := range r.Notes {
+			fmt.Fprintf(&sb, "  - %s\n", n)
+		}
+	}
+	return sb.String()
+}
+
+// timer wraps an experiment body with elapsed-time measurement.
+func timed(id, title string, fn func(r *Result)) Result {
+	r := Result{ID: id, Title: title}
+	start := time.Now()
+	fn(&r)
+	r.Elapsed = time.Since(start)
+	return r
+}
+
+// All runs every experiment with default options, in paper order.
+func All() []Result {
+	return []Result{
+		Table1(),
+		Table2(),
+		Table3(),
+		Table4(Table4Options{}),
+		Fig4(Fig4Options{}),
+		Fig5(Fig5Options{}),
+		Fig6(Fig6Options{}),
+		Fig7(Fig7Options{}),
+		Fig8(Fig8Options{}),
+		Fig9(Fig9Options{}),
+	}
+}
+
+// ByID runs one experiment by its identifier.
+func ByID(id string) (Result, error) {
+	switch strings.ToLower(id) {
+	case "table1":
+		return Table1(), nil
+	case "table2":
+		return Table2(), nil
+	case "table3":
+		return Table3(), nil
+	case "table4":
+		return Table4(Table4Options{}), nil
+	case "fig4":
+		return Fig4(Fig4Options{}), nil
+	case "fig5":
+		return Fig5(Fig5Options{}), nil
+	case "fig6":
+		return Fig6(Fig6Options{}), nil
+	case "fig7":
+		return Fig7(Fig7Options{}), nil
+	case "fig8":
+		return Fig8(Fig8Options{}), nil
+	case "fig9":
+		return Fig9(Fig9Options{}), nil
+	default:
+		return Result{}, fmt.Errorf("experiments: unknown experiment %q (table1-4, fig4-9)", id)
+	}
+}

@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"time"
+
+	"inca/internal/agent"
+	"inca/internal/branch"
+	"inca/internal/core"
+	"inca/internal/gridsim"
+	"inca/internal/simtime"
+	"inca/internal/stats"
+)
+
+func osWriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Fig7Options scales the agent system-impact experiment.
+type Fig7Options struct {
+	// Days of virtual observation (default 7, matching the paper's week of
+	// `top` sampling at Caltech).
+	Days int
+	Seed int64
+}
+
+// Fig7 regenerates the distributed-controller CPU and memory histograms:
+// the Caltech agent (128 hourly reporters) observed for a week with
+// samples every 10–11 seconds of virtual time, as in Section 5.1.
+func Fig7(opt Fig7Options) Result {
+	if opt.Days <= 0 {
+		opt.Days = 7
+	}
+	title := fmt.Sprintf("Distributed controller CPU/memory utilization at Caltech (%d virtual days)", opt.Days)
+	return timed("fig7", title, func(r *Result) {
+		start := time.Date(2004, 6, 29, 0, 0, 0, 0, time.UTC)
+		clock := simtime.NewSim(start)
+		grid := gridsim.NewTeraGrid(opt.Seed, gridsim.DefaultTeraGridOptions(start.Add(-30*24*time.Hour)))
+		res, _ := grid.Resource("tg-login1.caltech.teragrid.org")
+		spec, err := core.BuildSpec(grid, res, rand.New(rand.NewSource(opt.Seed+7)))
+		if err != nil {
+			r.Text = "error: " + err.Error()
+			return
+		}
+		// The paper measured only the controller process; reports are
+		// discarded rather than forwarded.
+		sink := agent.SinkFunc(func(branch.ID, string, []byte) error { return nil })
+		a, err := agent.New(spec, clock, sink, agent.Simulated)
+		if err != nil {
+			r.Text = "error: " + err.Error()
+			return
+		}
+		end := start.Add(time.Duration(opt.Days) * 24 * time.Hour)
+		var cpu, mem []float64
+		// Samples every 10–11 s (alternating), as the paper's top loop did.
+		sampleGap := []time.Duration{10 * time.Second, 11 * time.Second}
+		nextSample := start
+		gapIdx := 0
+		for clock.Now().Before(end) {
+			// Next event: reporter fire or sample, whichever is sooner.
+			target := nextSample
+			if nf, ok := a.Scheduler().NextFire(); ok && nf.Before(target) {
+				target = nf
+			}
+			clock.AdvanceTo(target)
+			a.Scheduler().RunPending()
+			now := clock.Now()
+			if !now.Before(nextSample) {
+				c, m := a.UsageAt(now)
+				// Report per-CPU utilization as the paper does.
+				cpu = append(cpu, c/float64(res.Hardware.CPUs))
+				mem = append(mem, m)
+				nextSample = nextSample.Add(sampleGap[gapIdx])
+				gapIdx = 1 - gapIdx
+				// Keep the interval log bounded.
+				a.TrimIntervalsBefore(now.Add(-time.Hour))
+			}
+		}
+
+		cpuHist, _ := stats.NewHistogram([]float64{0, 2, 4, 6, 8, 10})
+		cpuHist.AddAll(cpu)
+		memHist, _ := stats.NewHistogram([]float64{0, 20, 40, 60, 80, 107, 150})
+		memHist.AddAll(mem)
+		cpuSum := stats.Summarize(cpu)
+		memSum := stats.Summarize(mem)
+
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "(a) CPU utilization (%% per CPU), %d samples\n", len(cpu))
+		sb.WriteString(cpuHist.Render(func(lo, hi float64) string {
+			return fmt.Sprintf("%g-%g%%", lo, hi)
+		}, 50))
+		fmt.Fprintf(&sb, "mean %.3f%% per CPU; %.1f%% of samples below 2%% per CPU (paper: 99.7%%)\n\n",
+			cpuSum.Mean, 100*stats.FractionBelow(cpu, 2))
+		fmt.Fprintf(&sb, "(b) Memory utilization (MB resident), %d samples\n", len(mem))
+		sb.WriteString(memHist.Render(func(lo, hi float64) string {
+			return fmt.Sprintf("%g-%g MB", lo, hi)
+		}, 50))
+		fmt.Fprintf(&sb, "mean %.1f MB; %.1f%% of samples below 107 MB (paper: 97.6%%)\n",
+			memSum.Mean, 100*stats.FractionBelow(mem, 107))
+		st := a.Stats()
+		fmt.Fprintf(&sb, "\nreporter executions: %d (%d failures, %d killed)\n", st.Runs, st.Failures, st.Killed)
+		r.Text = sb.String()
+		r.Notes = append(r.Notes,
+			"paper: 57,149 samples over a week; average 0.02% CPU per CPU and 35 MB resident (daemon 18 MB + one forked reporter)",
+			"shape to compare: CPU mass in the lowest bucket; memory dominated by the daemon-plus-one-fork level with a short tail of overlapping forks",
+			"the paper's one-off 1 GB fork-storm spike was a Schedule::Cron bug and is not modeled",
+		)
+	})
+}

@@ -1,0 +1,512 @@
+// Package gridsim is the simulated virtual organization this reproduction
+// probes in place of the paper's TeraGrid deployment (see DESIGN.md §3).
+//
+// It models sites, resources (hosts with hardware characteristics), software
+// stacks whose versions change over time, persistent services with
+// deterministic failure episodes and weekly maintenance windows, default
+// user environments and SoftEnv databases, and inter-site network links
+// with diurnal available-bandwidth behaviour.
+//
+// Every query is a pure function of (entity, time, seed): "is the gatekeeper
+// on tg-login1 up at Tuesday 14:03?" always returns the same answer, no
+// matter in what order or how often reporters ask. That makes week-long
+// simulated experiments reproducible bit-for-bit.
+package gridsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"time"
+)
+
+// hash01 maps a seed plus string parts plus an integer to a deterministic
+// float64 in [0, 1).
+func hash01(seed int64, k int64, parts ...string) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v int64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	put(seed)
+	put(k)
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// Grid is the root of a simulated VO.
+type Grid struct {
+	// Seed drives all stochastic behaviour deterministically.
+	Seed  int64
+	Name  string
+	sites map[string]*Site
+	links map[string]*Link
+}
+
+// New creates an empty grid. All randomness derives from seed.
+func New(name string, seed int64) *Grid {
+	return &Grid{Name: name, Seed: seed, sites: make(map[string]*Site), links: make(map[string]*Link)}
+}
+
+// AddSite registers a site; adding an existing name returns the original.
+func (g *Grid) AddSite(name string) *Site {
+	if s, ok := g.sites[name]; ok {
+		return s
+	}
+	s := &Site{Name: name, grid: g, resources: make(map[string]*Resource)}
+	g.sites[name] = s
+	return s
+}
+
+// Site returns a site by name.
+func (g *Grid) Site(name string) (*Site, bool) {
+	s, ok := g.sites[name]
+	return s, ok
+}
+
+// Sites returns all sites sorted by name.
+func (g *Grid) Sites() []*Site {
+	names := make([]string, 0, len(g.sites))
+	for n := range g.sites {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Site, len(names))
+	for i, n := range names {
+		out[i] = g.sites[n]
+	}
+	return out
+}
+
+// Resources returns every resource in the grid, sorted by hostname.
+func (g *Grid) Resources() []*Resource {
+	var out []*Resource
+	for _, s := range g.Sites() {
+		out = append(out, s.Resources()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
+}
+
+// Resource finds a resource by hostname anywhere in the grid.
+func (g *Grid) Resource(host string) (*Resource, bool) {
+	for _, s := range g.sites {
+		if r, ok := s.resources[host]; ok {
+			return r, true
+		}
+	}
+	return nil, false
+}
+
+// Site is one administrative site (e.g. SDSC, NCSA).
+type Site struct {
+	Name      string
+	grid      *Grid
+	resources map[string]*Resource
+}
+
+// AddResource registers a host at the site.
+func (s *Site) AddResource(host string, hw Hardware) *Resource {
+	if r, ok := s.resources[host]; ok {
+		return r
+	}
+	r := &Resource{
+		Host: host, Site: s, Hardware: hw,
+		packages: make(map[string]*Package),
+		services: make(map[string]*Service),
+		env:      make(map[string]string),
+	}
+	s.resources[host] = r
+	return r
+}
+
+// Resources returns the site's resources sorted by hostname.
+func (s *Site) Resources() []*Resource {
+	hosts := make([]string, 0, len(s.resources))
+	for h := range s.resources {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	out := make([]*Resource, len(hosts))
+	for i, h := range hosts {
+		out[i] = s.resources[h]
+	}
+	return out
+}
+
+// Hardware describes a resource for benchmark-style reporters and the
+// Table 3 machine-characteristics listing.
+type Hardware struct {
+	CPUs      int
+	Processor string
+	CPUMHz    int
+	MemoryGB  float64
+}
+
+// Resource is one monitored host.
+type Resource struct {
+	Host     string
+	Site     *Site
+	Hardware Hardware
+
+	packages map[string]*Package
+	services map[string]*Service
+	env      map[string]string
+	softenv  []SoftEnvEntry
+	windows  []MaintenanceWindow
+	outages  []Outage
+}
+
+// Grid returns the owning grid.
+func (r *Resource) Grid() *Grid { return r.Site.grid }
+
+// MaintenanceWindow is a weekly scheduled downtime (TeraGrid's Monday
+// preventative maintenance in the paper's Figure 5).
+type MaintenanceWindow struct {
+	Weekday time.Weekday
+	// Start is the offset into the day (e.g. 8h for 08:00 local-as-UTC).
+	Start time.Duration
+	// Length of the window.
+	Length time.Duration
+}
+
+// AddMaintenance schedules a weekly maintenance window.
+func (r *Resource) AddMaintenance(w MaintenanceWindow) { r.windows = append(r.windows, w) }
+
+// InMaintenance reports whether t falls inside a maintenance window.
+func (r *Resource) InMaintenance(t time.Time) bool {
+	for _, w := range r.windows {
+		if t.Weekday() != w.Weekday {
+			continue
+		}
+		dayStart := time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, t.Location())
+		off := t.Sub(dayStart)
+		if off >= w.Start && off < w.Start+w.Length {
+			return true
+		}
+	}
+	return false
+}
+
+// Outage is an explicitly injected failure of one service (or "*" for the
+// whole resource) over an absolute interval — the failure-injection hook
+// used by tests and experiments.
+type Outage struct {
+	Service  string
+	From, To time.Time
+	Reason   string
+}
+
+// AddOutage injects a failure interval.
+func (r *Resource) AddOutage(o Outage) { r.outages = append(r.outages, o) }
+
+func (r *Resource) injectedOutage(service string, t time.Time) (string, bool) {
+	for _, o := range r.outages {
+		if (o.Service == "*" || o.Service == service) && !t.Before(o.From) && t.Before(o.To) {
+			reason := o.Reason
+			if reason == "" {
+				reason = "injected outage"
+			}
+			return reason, true
+		}
+	}
+	return "", false
+}
+
+// FailureModel produces deterministic pseudo-random outage episodes: within
+// every consecutive epoch of length MTBF, one outage of length MTTR occurs
+// with probability Prob, at a deterministic offset derived from the grid
+// seed and the entity name. Expected availability ≈ 1 - Prob*MTTR/MTBF.
+type FailureModel struct {
+	MTBF time.Duration
+	MTTR time.Duration
+	Prob float64 // 0 disables random failures
+}
+
+// downAt reports whether the entity named key is inside a failure episode.
+func (fm FailureModel) downAt(seed int64, key string, t time.Time) bool {
+	if fm.Prob <= 0 || fm.MTBF <= 0 || fm.MTTR <= 0 {
+		return false
+	}
+	epoch := t.UnixNano() / int64(fm.MTBF)
+	if hash01(seed, epoch, key, "occur") >= fm.Prob {
+		return false
+	}
+	span := fm.MTBF - fm.MTTR
+	if span < 0 {
+		span = 0
+	}
+	start := time.Duration(hash01(seed, epoch, key, "start") * float64(span))
+	off := time.Duration(t.UnixNano() - epoch*int64(fm.MTBF))
+	return off >= start && off < start+fm.MTTR
+}
+
+// Service is a persistent daemon on a resource (GRAM gatekeeper, GridFTP,
+// SSH, SRB, ...).
+type Service struct {
+	Name    string
+	Port    int
+	Failure FailureModel
+	res     *Resource
+}
+
+// AddService registers a service on the resource.
+func (r *Resource) AddService(name string, port int, fm FailureModel) *Service {
+	s := &Service{Name: name, Port: port, Failure: fm, res: r}
+	r.services[name] = s
+	return s
+}
+
+// Service looks up a service by name.
+func (r *Resource) Service(name string) (*Service, bool) {
+	s, ok := r.services[name]
+	return s, ok
+}
+
+// Services returns the resource's services sorted by name.
+func (r *Resource) Services() []*Service {
+	names := make([]string, 0, len(r.services))
+	for n := range r.services {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Service, len(names))
+	for i, n := range names {
+		out[i] = r.services[n]
+	}
+	return out
+}
+
+// ServiceUp reports whether the named service responds at time t, with a
+// human-readable reason when it does not.
+func (r *Resource) ServiceUp(name string, t time.Time) (bool, string) {
+	if r.InMaintenance(t) {
+		return false, "resource in scheduled maintenance"
+	}
+	if reason, down := r.injectedOutage(name, t); down {
+		return false, reason
+	}
+	s, ok := r.services[name]
+	if !ok {
+		return false, fmt.Sprintf("no %s service configured", name)
+	}
+	if s.Failure.downAt(r.Grid().Seed, r.Host+"/"+name, t) {
+		return false, fmt.Sprintf("%s not responding (connection timed out)", name)
+	}
+	return true, ""
+}
+
+// VersionEpoch is one installed version of a package, effective From
+// onwards.
+type VersionEpoch struct {
+	From    time.Time
+	Version string
+	// Broken marks an installation whose unit test fails (e.g. a botched
+	// update) even though the version query succeeds.
+	Broken bool
+}
+
+// Package is one software stack component with a version timeline.
+type Package struct {
+	Name   string
+	epochs []VersionEpoch // sorted by From
+	res    *Resource
+	// UnitTestFailure adds stochastic unit test failures on top of the
+	// timeline (temporal bugs per the paper's service-reliability use case).
+	UnitTestFailure FailureModel
+}
+
+// InstallPackage records that version is installed from time from onwards.
+func (r *Resource) InstallPackage(name, version string, from time.Time) *Package {
+	p, ok := r.packages[name]
+	if !ok {
+		p = &Package{Name: name, res: r}
+		r.packages[name] = p
+	}
+	p.epochs = append(p.epochs, VersionEpoch{From: from, Version: version})
+	sort.SliceStable(p.epochs, func(i, j int) bool { return p.epochs[i].From.Before(p.epochs[j].From) })
+	return p
+}
+
+// BreakPackage marks the installation effective at from as failing its unit
+// test (simulating a bad update) while keeping the version query working.
+func (r *Resource) BreakPackage(name string, from time.Time) error {
+	p, ok := r.packages[name]
+	if !ok {
+		return fmt.Errorf("gridsim: no package %q on %s", name, r.Host)
+	}
+	cur, ok := p.At(from)
+	if !ok {
+		return fmt.Errorf("gridsim: package %q not installed at %v", name, from)
+	}
+	p.epochs = append(p.epochs, VersionEpoch{From: from, Version: cur.Version, Broken: true})
+	sort.SliceStable(p.epochs, func(i, j int) bool { return p.epochs[i].From.Before(p.epochs[j].From) })
+	return nil
+}
+
+// Package looks up a package by name.
+func (r *Resource) Package(name string) (*Package, bool) {
+	p, ok := r.packages[name]
+	return p, ok
+}
+
+// Packages returns the resource's packages sorted by name.
+func (r *Resource) Packages() []*Package {
+	names := make([]string, 0, len(r.packages))
+	for n := range r.packages {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]*Package, len(names))
+	for i, n := range names {
+		out[i] = r.packages[n]
+	}
+	return out
+}
+
+// At returns the version epoch in effect at time t.
+func (p *Package) At(t time.Time) (VersionEpoch, bool) {
+	var cur VersionEpoch
+	found := false
+	for _, e := range p.epochs {
+		if e.From.After(t) {
+			break
+		}
+		cur = e
+		found = true
+	}
+	return cur, found
+}
+
+// UnitTestPasses reports whether the package's unit test succeeds at t,
+// with a reason on failure.
+func (p *Package) UnitTestPasses(t time.Time) (bool, string) {
+	r := p.res
+	if r.InMaintenance(t) {
+		return false, "resource in scheduled maintenance"
+	}
+	if reason, down := r.injectedOutage("pkg:"+p.Name, t); down {
+		return false, reason
+	}
+	e, ok := p.At(t)
+	if !ok {
+		return false, fmt.Sprintf("%s not installed", p.Name)
+	}
+	if e.Broken {
+		return false, fmt.Sprintf("%s-%s unit test failed: wrong output", p.Name, e.Version)
+	}
+	if p.UnitTestFailure.downAt(r.Grid().Seed, r.Host+"/pkgtest/"+p.Name, t) {
+		return false, fmt.Sprintf("%s unit test timed out", p.Name)
+	}
+	return true, ""
+}
+
+// SetEnv sets a default-user-environment variable.
+func (r *Resource) SetEnv(key, value string) { r.env[key] = value }
+
+// Env returns a copy of the default user environment.
+func (r *Resource) Env() map[string]string {
+	out := make(map[string]string, len(r.env))
+	for k, v := range r.env {
+		out[k] = v
+	}
+	return out
+}
+
+// SoftEnvEntry is one key in the resource's SoftEnv database (the paper's
+// Section 4.1 environment-manipulation tool).
+type SoftEnvEntry struct {
+	Key   string
+	Value string
+}
+
+// AddSoftEnv appends a SoftEnv database entry.
+func (r *Resource) AddSoftEnv(key, value string) {
+	r.softenv = append(r.softenv, SoftEnvEntry{Key: key, Value: value})
+}
+
+// SoftEnv returns the SoftEnv database entries.
+func (r *Resource) SoftEnv() []SoftEnvEntry {
+	return append([]SoftEnvEntry(nil), r.softenv...)
+}
+
+// BenchmarkScore returns a deterministic synthetic performance figure for
+// GRASP-style benchmark reporters: proportional to aggregate clock rate
+// with small per-hour noise.
+func (r *Resource) BenchmarkScore(kind string, t time.Time) float64 {
+	base := float64(r.Hardware.CPUs*r.Hardware.CPUMHz) / 1000.0 // "GFLOP-ish"
+	hour := t.Unix() / 3600
+	noise := 0.95 + 0.1*hash01(r.Grid().Seed, hour, r.Host, "bench", kind)
+	return base * noise
+}
+
+// Link is a unidirectional network path between two resources with a
+// diurnal available-bandwidth model.
+type Link struct {
+	Src, Dst string
+	// BaseMbps is the mean available bandwidth.
+	BaseMbps float64
+	// DiurnalFrac is the fractional peak-to-mean swing over a day (business
+	// hours are busier, so available bandwidth dips mid-day).
+	DiurnalFrac float64
+	// NoiseFrac is the fractional per-measurement jitter.
+	NoiseFrac float64
+	grid      *Grid
+	// degradations are injected throughput problems (e.g. a bad Ethernet
+	// driver after an update, per Section 4.2).
+	degradations []Degradation
+}
+
+// Degradation scales a link's bandwidth by Factor during an interval.
+type Degradation struct {
+	From, To time.Time
+	Factor   float64
+	Reason   string
+}
+
+func linkKey(src, dst string) string { return src + "->" + dst }
+
+// SetLink declares (or replaces) the path from src to dst.
+func (g *Grid) SetLink(src, dst string, baseMbps, diurnalFrac, noiseFrac float64) *Link {
+	l := &Link{Src: src, Dst: dst, BaseMbps: baseMbps, DiurnalFrac: diurnalFrac, NoiseFrac: noiseFrac, grid: g}
+	g.links[linkKey(src, dst)] = l
+	return l
+}
+
+// Link returns the path from src to dst.
+func (g *Grid) Link(src, dst string) (*Link, bool) {
+	l, ok := g.links[linkKey(src, dst)]
+	return l, ok
+}
+
+// Degrade injects a throughput degradation.
+func (l *Link) Degrade(d Degradation) { l.degradations = append(l.degradations, d) }
+
+// BandwidthAt returns pathload-style lower and upper available-bandwidth
+// bounds (Mbps) for a measurement starting at t.
+func (l *Link) BandwidthAt(t time.Time) (lower, upper float64) {
+	hourOfDay := float64(t.Hour()) + float64(t.Minute())/60
+	// Dip centered at 14:00; available bandwidth is lowest mid-afternoon.
+	diurnal := 1 - l.DiurnalFrac*0.5*(1+math.Cos((hourOfDay-14)/24*2*math.Pi))
+	bw := l.BaseMbps * diurnal
+	slot := t.Unix() / 600 // fresh noise every 10 minutes
+	noise := 1 + l.NoiseFrac*(2*hash01(l.grid.Seed, slot, l.Src, l.Dst, "noise")-1)
+	bw *= noise
+	for _, d := range l.degradations {
+		if !t.Before(d.From) && t.Before(d.To) {
+			bw *= d.Factor
+		}
+	}
+	if bw < 0 {
+		bw = 0
+	}
+	spread := bw * 0.01 * (1 + hash01(l.grid.Seed, slot, l.Src, l.Dst, "spread"))
+	return bw - spread, bw + spread
+}

@@ -1,0 +1,461 @@
+package gridsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2004, 6, 1, 0, 0, 0, 0, time.UTC)
+
+func newTestGrid() (*Grid, *Resource) {
+	g := New("test", 42)
+	site := g.AddSite("SDSC")
+	r := site.AddResource("login1.sdsc.edu", Hardware{CPUs: 4, Processor: "Xeon", CPUMHz: 2457, MemoryGB: 2})
+	return g, r
+}
+
+func TestSiteAndResourceRegistration(t *testing.T) {
+	g, r := newTestGrid()
+	if s, ok := g.Site("SDSC"); !ok || s.Name != "SDSC" {
+		t.Fatal("site lookup failed")
+	}
+	if _, ok := g.Site("NCSA"); ok {
+		t.Fatal("phantom site")
+	}
+	got, ok := g.Resource("login1.sdsc.edu")
+	if !ok || got != r {
+		t.Fatal("resource lookup failed")
+	}
+	// Idempotent adds return the original.
+	if g.AddSite("SDSC") != r.Site {
+		t.Fatal("AddSite not idempotent")
+	}
+	if r.Site.AddResource("login1.sdsc.edu", Hardware{}) != r {
+		t.Fatal("AddResource not idempotent")
+	}
+	if len(g.Sites()) != 1 || len(g.Resources()) != 1 {
+		t.Fatal("enumeration wrong")
+	}
+}
+
+func TestServiceUpNoService(t *testing.T) {
+	_, r := newTestGrid()
+	up, reason := r.ServiceUp("gridftp", t0)
+	if up || reason == "" {
+		t.Fatalf("missing service reported up (%q)", reason)
+	}
+}
+
+func TestServiceUpNoFailures(t *testing.T) {
+	_, r := newTestGrid()
+	r.AddService("ssh", 22, FailureModel{})
+	for i := 0; i < 100; i++ {
+		up, reason := r.ServiceUp("ssh", t0.Add(time.Duration(i)*time.Hour))
+		if !up {
+			t.Fatalf("failure-free service down at hour %d: %s", i, reason)
+		}
+	}
+}
+
+func TestServiceFailureEpisodes(t *testing.T) {
+	_, r := newTestGrid()
+	fm := FailureModel{MTBF: 24 * time.Hour, MTTR: 2 * time.Hour, Prob: 1}
+	r.AddService("gram", 2119, fm)
+	down := 0
+	const samples = 7 * 24 * 60 // minute samples over a week
+	for i := 0; i < samples; i++ {
+		if up, _ := r.ServiceUp("gram", t0.Add(time.Duration(i)*time.Minute)); !up {
+			down++
+		}
+	}
+	frac := float64(down) / samples
+	want := 2.0 / 24.0
+	if math.Abs(frac-want) > 0.04 {
+		t.Fatalf("downtime fraction %.3f, want ≈ %.3f", frac, want)
+	}
+}
+
+func TestServiceUpDeterministic(t *testing.T) {
+	f := func(hourOffset uint16) bool {
+		g1 := New("g", 7)
+		g2 := New("g", 7)
+		for _, g := range []*Grid{g1, g2} {
+			r := g.AddSite("S").AddResource("h", Hardware{})
+			r.AddService("svc", 1, FailureModel{MTBF: 12 * time.Hour, MTTR: time.Hour, Prob: 0.8})
+		}
+		at := t0.Add(time.Duration(hourOffset) * time.Minute)
+		r1, _ := g1.Resource("h")
+		r2, _ := g2.Resource("h")
+		up1, _ := r1.ServiceUp("svc", at)
+		up2, _ := r2.ServiceUp("svc", at)
+		return up1 == up2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	downA, downB := 0, 0
+	for seed, count := range map[int64]*int{1: &downA, 2: &downB} {
+		g := New("g", seed)
+		r := g.AddSite("S").AddResource("h", Hardware{})
+		r.AddService("svc", 1, FailureModel{MTBF: 6 * time.Hour, MTTR: time.Hour, Prob: 1})
+		for i := 0; i < 500; i++ {
+			if up, _ := r.ServiceUp("svc", t0.Add(time.Duration(i)*10*time.Minute)); !up {
+				*count++
+			}
+		}
+	}
+	if downA == downB {
+		t.Log("identical outage counts across seeds (possible but unlikely)")
+	}
+	if downA == 0 || downB == 0 {
+		t.Fatal("Prob=1 model produced no outages")
+	}
+}
+
+func TestMaintenanceWindow(t *testing.T) {
+	_, r := newTestGrid()
+	r.AddService("ssh", 22, FailureModel{})
+	r.AddMaintenance(MaintenanceWindow{Weekday: time.Monday, Start: 8 * time.Hour, Length: 4 * time.Hour})
+	monday := time.Date(2004, 6, 7, 0, 0, 0, 0, time.UTC) // a Monday
+	if !r.InMaintenance(monday.Add(10 * time.Hour)) {
+		t.Fatal("10:00 Monday not in maintenance")
+	}
+	if r.InMaintenance(monday.Add(7 * time.Hour)) {
+		t.Fatal("07:00 Monday in maintenance")
+	}
+	if r.InMaintenance(monday.Add(12 * time.Hour)) {
+		t.Fatal("12:00 Monday in maintenance (window is half-open)")
+	}
+	if r.InMaintenance(monday.Add(34 * time.Hour)) {
+		t.Fatal("Tuesday in maintenance")
+	}
+	up, reason := r.ServiceUp("ssh", monday.Add(9*time.Hour))
+	if up || reason != "resource in scheduled maintenance" {
+		t.Fatalf("maintenance did not take service down: %v %q", up, reason)
+	}
+}
+
+func TestInjectedOutage(t *testing.T) {
+	_, r := newTestGrid()
+	r.AddService("srb", 5544, FailureModel{})
+	r.AddService("ssh", 22, FailureModel{})
+	r.AddOutage(Outage{Service: "srb", From: t0.Add(time.Hour), To: t0.Add(2 * time.Hour), Reason: "disk full"})
+	if up, _ := r.ServiceUp("srb", t0.Add(30*time.Minute)); !up {
+		t.Fatal("down before outage")
+	}
+	up, reason := r.ServiceUp("srb", t0.Add(90*time.Minute))
+	if up || reason != "disk full" {
+		t.Fatalf("outage not applied: %v %q", up, reason)
+	}
+	if up, _ := r.ServiceUp("ssh", t0.Add(90*time.Minute)); !up {
+		t.Fatal("outage leaked to other service")
+	}
+	if up, _ := r.ServiceUp("srb", t0.Add(2*time.Hour)); !up {
+		t.Fatal("outage did not end (half-open interval)")
+	}
+	// Wildcard outage takes everything down.
+	r.AddOutage(Outage{Service: "*", From: t0.Add(3 * time.Hour), To: t0.Add(4 * time.Hour)})
+	if up, _ := r.ServiceUp("ssh", t0.Add(3*time.Hour+time.Minute)); up {
+		t.Fatal("wildcard outage ignored")
+	}
+}
+
+func TestPackageTimeline(t *testing.T) {
+	_, r := newTestGrid()
+	r.InstallPackage("globus", "2.4.0", t0)
+	r.InstallPackage("globus", "2.4.3", t0.Add(48*time.Hour))
+	p, ok := r.Package("globus")
+	if !ok {
+		t.Fatal("package missing")
+	}
+	if _, ok := p.At(t0.Add(-time.Hour)); ok {
+		t.Fatal("version before install")
+	}
+	e, _ := p.At(t0.Add(time.Hour))
+	if e.Version != "2.4.0" {
+		t.Fatalf("early version = %s", e.Version)
+	}
+	e, _ = p.At(t0.Add(72 * time.Hour))
+	if e.Version != "2.4.3" {
+		t.Fatalf("late version = %s", e.Version)
+	}
+	if pass, _ := p.UnitTestPasses(t0.Add(time.Hour)); !pass {
+		t.Fatal("healthy package failed unit test")
+	}
+}
+
+func TestBreakPackage(t *testing.T) {
+	_, r := newTestGrid()
+	r.InstallPackage("hdf5", "1.6.2", t0)
+	if err := r.BreakPackage("hdf5", t0.Add(24*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := r.Package("hdf5")
+	if pass, _ := p.UnitTestPasses(t0.Add(time.Hour)); !pass {
+		t.Fatal("failed before break")
+	}
+	pass, reason := p.UnitTestPasses(t0.Add(25 * time.Hour))
+	if pass || reason == "" {
+		t.Fatal("break not applied")
+	}
+	// Version query still works after the break.
+	e, ok := p.At(t0.Add(25 * time.Hour))
+	if !ok || e.Version != "1.6.2" {
+		t.Fatalf("version after break = %v %v", e, ok)
+	}
+	if err := r.BreakPackage("ghost", t0); err == nil {
+		t.Fatal("broke nonexistent package")
+	}
+	if err := r.BreakPackage("hdf5", t0.Add(-time.Hour)); err == nil {
+		t.Fatal("broke package before installation")
+	}
+}
+
+func TestEnvAndSoftEnv(t *testing.T) {
+	_, r := newTestGrid()
+	r.SetEnv("GLOBUS_LOCATION", "/usr/globus")
+	env := r.Env()
+	if env["GLOBUS_LOCATION"] != "/usr/globus" {
+		t.Fatal("env not set")
+	}
+	env["GLOBUS_LOCATION"] = "tampered"
+	if r.Env()["GLOBUS_LOCATION"] != "/usr/globus" {
+		t.Fatal("Env returned aliasing map")
+	}
+	r.AddSoftEnv("+globus", "GLOBUS_LOCATION=/usr/globus")
+	se := r.SoftEnv()
+	if len(se) != 1 || se[0].Key != "+globus" {
+		t.Fatalf("softenv = %v", se)
+	}
+}
+
+func TestBenchmarkScore(t *testing.T) {
+	_, r := newTestGrid()
+	s1 := r.BenchmarkScore("flops", t0)
+	s2 := r.BenchmarkScore("flops", t0)
+	if s1 != s2 {
+		t.Fatal("benchmark not deterministic")
+	}
+	base := float64(4*2457) / 1000
+	if s1 < base*0.9 || s1 > base*1.1 {
+		t.Fatalf("score %g outside ±10%% of %g", s1, base)
+	}
+	if r.BenchmarkScore("flops", t0.Add(2*time.Hour)) == s1 {
+		t.Log("scores equal across hours (unlikely but possible)")
+	}
+}
+
+func TestLinkBandwidth(t *testing.T) {
+	g, _ := newTestGrid()
+	g.AddSite("Caltech").AddResource("login1.caltech.edu", Hardware{})
+	l := g.SetLink("login1.sdsc.edu", "login1.caltech.edu", 990, 0.10, 0.02)
+	if _, ok := g.Link("login1.sdsc.edu", "login1.caltech.edu"); !ok {
+		t.Fatal("link lookup failed")
+	}
+	if _, ok := g.Link("login1.caltech.edu", "login1.sdsc.edu"); ok {
+		t.Fatal("reverse link should not exist")
+	}
+	var lo, hi float64
+	minBW, maxBW := math.Inf(1), math.Inf(-1)
+	for h := 0; h < 24; h++ {
+		lo, hi = l.BandwidthAt(t0.Add(time.Duration(h) * time.Hour))
+		if lo >= hi {
+			t.Fatalf("bounds inverted at hour %d: %g >= %g", h, lo, hi)
+		}
+		mid := (lo + hi) / 2
+		if mid < minBW {
+			minBW = mid
+		}
+		if mid > maxBW {
+			maxBW = mid
+		}
+	}
+	if minBW < 990*0.8 || maxBW > 990*1.1 {
+		t.Fatalf("bandwidth range [%g, %g] implausible for base 990", minBW, maxBW)
+	}
+	if maxBW-minBW < 990*0.03 {
+		t.Fatalf("no diurnal variation: range [%g, %g]", minBW, maxBW)
+	}
+}
+
+func TestLinkDegradation(t *testing.T) {
+	g, _ := newTestGrid()
+	l := g.SetLink("a", "b", 1000, 0, 0)
+	l.Degrade(Degradation{From: t0.Add(time.Hour), To: t0.Add(2 * time.Hour), Factor: 0.1, Reason: "bad driver"})
+	_, before := l.BandwidthAt(t0)
+	_, during := l.BandwidthAt(t0.Add(90 * time.Minute))
+	if during > before*0.2 {
+		t.Fatalf("degradation not applied: %g vs %g", during, before)
+	}
+	_, after := l.BandwidthAt(t0.Add(3 * time.Hour))
+	if after < before*0.9 {
+		t.Fatalf("degradation did not end: %g vs %g", after, before)
+	}
+}
+
+func TestNewTeraGridShape(t *testing.T) {
+	g := NewTeraGrid(1, DefaultTeraGridOptions(t0))
+	if len(g.Sites()) != 6 {
+		t.Fatalf("sites = %d, want 6", len(g.Sites()))
+	}
+	res := g.Resources()
+	if len(res) != 10 {
+		t.Fatalf("resources = %d, want 10", len(res))
+	}
+	caltech, ok := g.Resource("tg-login1.caltech.teragrid.org")
+	if !ok {
+		t.Fatal("Caltech login node missing")
+	}
+	// Table 3 hardware.
+	if caltech.Hardware.CPUs != 2 || caltech.Hardware.CPUMHz != 1296 || caltech.Hardware.MemoryGB != 6.0 {
+		t.Fatalf("Caltech hardware = %+v", caltech.Hardware)
+	}
+	// Software stack present.
+	for _, pkg := range []string{"globus", "mpich", "atlas", "hdf4", "hdf5", "pbs", "srb", "condor-g"} {
+		p, ok := caltech.Package(pkg)
+		if !ok {
+			t.Fatalf("package %s missing", pkg)
+		}
+		if _, ok := p.At(t0.Add(time.Hour)); !ok {
+			t.Fatalf("package %s has no version at install+1h", pkg)
+		}
+	}
+	// Services present.
+	for _, svc := range []string{"gram-gatekeeper", "gridftp", "ssh", "srb"} {
+		if _, ok := caltech.Service(svc); !ok {
+			t.Fatalf("service %s missing", svc)
+		}
+	}
+	// Environment contract.
+	if caltech.Env()["GLOBUS_LOCATION"] == "" {
+		t.Fatal("default environment missing GLOBUS_LOCATION")
+	}
+	if len(caltech.SoftEnv()) == 0 {
+		t.Fatal("SoftEnv database empty")
+	}
+	// Figure 6's path exists with ~990 Mbps base.
+	l, ok := g.Link("tg-login1.sdsc.teragrid.org", "tg-login1.caltech.teragrid.org")
+	if !ok {
+		t.Fatal("SDSC→Caltech link missing")
+	}
+	lo, hi := l.BandwidthAt(t0.Add(3 * time.Hour))
+	if lo < 700 || hi > 1200 {
+		t.Fatalf("SDSC→Caltech bandwidth [%g,%g] out of plausible range", lo, hi)
+	}
+}
+
+func TestTeraGridMondayMaintenance(t *testing.T) {
+	g := NewTeraGrid(1, DefaultTeraGridOptions(t0))
+	r, _ := g.Resource("tg-login1.sdsc.teragrid.org")
+	monday := time.Date(2004, 7, 12, 9, 0, 0, 0, time.UTC)
+	if monday.Weekday() != time.Monday {
+		t.Fatal("test date not a Monday")
+	}
+	if !r.InMaintenance(monday) {
+		t.Fatal("no Monday maintenance")
+	}
+	opt := DefaultTeraGridOptions(t0)
+	opt.MondayMaintenance = false
+	g2 := NewTeraGrid(1, opt)
+	r2, _ := g2.Resource("tg-login1.sdsc.teragrid.org")
+	if r2.InMaintenance(monday) {
+		t.Fatal("maintenance present despite being disabled")
+	}
+}
+
+func TestTeraGridReporterCount(t *testing.T) {
+	n, err := TeraGridReporterCount("tg-login1.caltech.teragrid.org")
+	if err != nil || n != 128 {
+		t.Fatalf("count = %d, %v", n, err)
+	}
+	total := 0
+	for _, h := range TeraGridHosts {
+		total += h.Reporters
+	}
+	if total != 1060 {
+		t.Fatalf("Table 2 total = %d, want 1060", total)
+	}
+	if _, err := TeraGridReporterCount("nowhere.example.org"); err == nil {
+		t.Fatal("unknown host accepted")
+	}
+}
+
+func TestPackageCategory(t *testing.T) {
+	cases := map[string]string{
+		"globus":    "grid",
+		"gx-map":    "grid",
+		"mpich":     "development",
+		"scalapack": "development",
+		"superlu":   "development",
+		"vtk":       "development",
+		"pbs":       "cluster",
+		"maui":      "cluster",
+		"unknown":   "grid",
+	}
+	for pkg, want := range cases {
+		if got := PackageCategory(pkg); got != want {
+			t.Errorf("PackageCategory(%s) = %s, want %s", pkg, got, want)
+		}
+	}
+}
+
+func TestKindOf(t *testing.T) {
+	cases := map[string]HostKind{
+		"tg-viz-login1.uc.teragrid.org": VizHost,
+		"tg-login1.sdsc.teragrid.org":   FullHost,
+		"rachel.psc.edu":                ReducedHost,
+	}
+	for host, want := range cases {
+		got, err := KindOf(host)
+		if err != nil || got != want {
+			t.Errorf("KindOf(%s) = %v,%v want %v", host, got, err, want)
+		}
+	}
+	if _, err := KindOf("nowhere"); err == nil {
+		t.Error("unknown host accepted")
+	}
+}
+
+func TestPackageInstallationByKind(t *testing.T) {
+	g := NewTeraGrid(1, DefaultTeraGridOptions(t0))
+	viz, _ := g.Resource("tg-viz-login1.uc.teragrid.org")
+	full, _ := g.Resource("tg-login1.sdsc.teragrid.org")
+	reduced, _ := g.Resource("rachel.psc.edu")
+
+	// Viz stack only on the viz node.
+	if _, ok := viz.Package("paraview"); !ok {
+		t.Error("viz node missing paraview")
+	}
+	if _, ok := full.Package("paraview"); ok {
+		t.Error("full node has paraview")
+	}
+	// Extended stack everywhere.
+	for _, r := range []*Resource{viz, full, reduced} {
+		if _, ok := r.Package("scalapack"); !ok {
+			t.Errorf("%s missing scalapack", r.Host)
+		}
+	}
+	// gm absent only on reduced hosts.
+	if _, ok := full.Package(ReducedSkipPackage); !ok {
+		t.Error("full node missing gm")
+	}
+	if _, ok := reduced.Package(ReducedSkipPackage); ok {
+		t.Error("reduced node has gm (no Myrinet on the Alphas)")
+	}
+}
+
+func TestSoftEnvSizesVaryByHost(t *testing.T) {
+	g := NewTeraGrid(1, DefaultTeraGridOptions(t0))
+	sizes := map[int]bool{}
+	for _, r := range g.Resources() {
+		sizes[len(r.SoftEnv())] = true
+	}
+	if len(sizes) < 5 {
+		t.Fatalf("softenv databases not varied: %d distinct sizes", len(sizes))
+	}
+}

@@ -1,0 +1,286 @@
+package gridsim
+
+import (
+	"fmt"
+	"time"
+)
+
+// TeraGridHosts lists the ten production login nodes from Table 2 of the
+// paper, with their sites and the number of reporters each executed hourly.
+var TeraGridHosts = []struct {
+	Site      string
+	Host      string
+	Reporters int
+}{
+	{"ANL", "tg-viz-login1.uc.teragrid.org", 136},
+	{"ANL", "tg-login2.uc.teragrid.org", 128},
+	{"Caltech", "tg-login1.caltech.teragrid.org", 128},
+	{"NCSA", "tg-login1.ncsa.teragrid.org", 128},
+	{"PSC", "rachel.psc.edu", 71},
+	{"PSC", "lemieux.psc.edu", 71},
+	{"Purdue", "cycle.cc.purdue.edu", 128},
+	{"Purdue", "tg-login.rcs.purdue.edu", 71},
+	{"SDSC", "tg-login1.sdsc.teragrid.org", 128},
+	{"SDSC", "dslogin.sdsc.edu", 71},
+}
+
+// GridPackages are the Grid-category software stack components (Section
+// 4.1): Globus Toolkit, Condor-G, GridFTP client tools, SRB client.
+var GridPackages = map[string]string{
+	"globus":   "2.4.3",
+	"condor-g": "6.6.5",
+	"gridftp":  "2.4.3",
+	"srb":      "3.2.1",
+	"gsi":      "2.4.3",
+	"openssh":  "3.8.1",
+	"gpt":      "3.1",
+	"myproxy":  "1.14",
+	"tgcp":     "1.0",
+	"uberftp":  "1.15",
+}
+
+// DevelopmentPackages are the Development-category libraries.
+var DevelopmentPackages = map[string]string{
+	"mpich":        "1.2.5",
+	"atlas":        "3.6.0",
+	"hdf4":         "4.2r0",
+	"hdf5":         "1.6.2",
+	"blas":         "3.0",
+	"lapack":       "3.0",
+	"fftw":         "3.0.1",
+	"gm":           "2.0.6",
+	"papi":         "3.0",
+	"gsl":          "1.5",
+	"petsc":        "2.2.0",
+	"globus-devel": "2.4.3",
+}
+
+// ClusterPackages are the Cluster-category components (batch scheduler and
+// friends).
+var ClusterPackages = map[string]string{
+	"pbs":     "2.3.16",
+	"softenv": "1.4.2",
+}
+
+// ExtendedPackages are stack components probed only on full-production
+// login nodes (the 128/136-reporter rows of Table 2); they are installed
+// everywhere but are not part of the core hosting-environment agreement.
+var ExtendedPackages = map[string]string{
+	"gx-map":    "0.4.1",
+	"scalapack": "1.7.0",
+	"superlu":   "3.0",
+	"maui":      "3.2.6",
+}
+
+// VizPackages are the visualization stack present only on the ANL viz
+// login node, accounting for its extra reporters in Table 2.
+var VizPackages = map[string]string{
+	"chromium": "1.7",
+	"mesa":     "5.0.2",
+	"vtk":      "4.2.1",
+	"paraview": "1.8.3",
+}
+
+// ReducedSkipPackage is the core package absent on reduced (71-reporter)
+// hosts: the PSC Alpha systems had no Myrinet, so no gm driver.
+const ReducedSkipPackage = "gm"
+
+// PackageCategory classifies any known package into the status-page
+// category used by reporter naming and the agreement ("grid",
+// "development", or "cluster").
+func PackageCategory(name string) string {
+	switch name {
+	case "scalapack", "superlu":
+		return "development"
+	case "maui":
+		return "cluster"
+	case "gx-map":
+		return "grid"
+	}
+	if _, ok := DevelopmentPackages[name]; ok {
+		return "development"
+	}
+	if _, ok := ClusterPackages[name]; ok {
+		return "cluster"
+	}
+	if _, ok := VizPackages[name]; ok {
+		return "development"
+	}
+	return "grid"
+}
+
+// HostKind classifies a TeraGrid host by its Table 2 reporter count.
+type HostKind int
+
+// Host kinds.
+const (
+	// FullHost runs the complete 128-reporter set.
+	FullHost HostKind = iota
+	// VizHost runs the full set plus the viz stack (136 reporters).
+	VizHost
+	// ReducedHost runs the trimmed 71-reporter set.
+	ReducedHost
+)
+
+// KindOf returns the host kind for a Table 2 host.
+func KindOf(host string) (HostKind, error) {
+	n, err := TeraGridReporterCount(host)
+	if err != nil {
+		return 0, err
+	}
+	switch n {
+	case 136:
+		return VizHost, nil
+	case 71:
+		return ReducedHost, nil
+	default:
+		return FullHost, nil
+	}
+}
+
+// TeraGridServices are the cross-site-tested services from Section 4.1.
+var TeraGridServices = []struct {
+	Name string
+	Port int
+}{
+	{"gram-gatekeeper", 2119},
+	{"gridftp", 2811},
+	{"ssh", 22},
+	{"srb", 5544},
+}
+
+// TeraGridEnv is the default-user-environment contract checked by the
+// environment reporter.
+var TeraGridEnv = map[string]string{
+	"TG_CLUSTER_SCRATCH": "/scratch",
+	"TG_APPS_PREFIX":     "/usr/teragrid/apps",
+	"GLOBUS_LOCATION":    "/usr/teragrid/globus",
+	"SOFTENV_ALIASES":    "/etc/softenv-aliases",
+	"MPICH_HOME":         "/usr/teragrid/mpich",
+}
+
+// TeraGridOptions tunes the synthetic deployment.
+type TeraGridOptions struct {
+	// InstallTime is when the software stack was installed (package version
+	// epochs start here). Required.
+	InstallTime time.Time
+	// ServiceFailures applies to every service (zero Prob disables).
+	ServiceFailures FailureModel
+	// UnitTestFailures applies to every package unit test.
+	UnitTestFailures FailureModel
+	// MondayMaintenance adds the paper's Monday preventative-maintenance
+	// window (08:00–12:00) to every resource.
+	MondayMaintenance bool
+}
+
+// DefaultTeraGridOptions mirror the deployment the paper observed: Monday
+// maintenance plus occasional service failures ("Mondays are
+// preventative-maintenance days ... the other times indicate a system
+// failure").
+func DefaultTeraGridOptions(install time.Time) TeraGridOptions {
+	return TeraGridOptions{
+		InstallTime:       install,
+		ServiceFailures:   FailureModel{MTBF: 3 * 24 * time.Hour, MTTR: 2 * time.Hour, Prob: 0.5},
+		UnitTestFailures:  FailureModel{MTBF: 7 * 24 * time.Hour, MTTR: 1 * time.Hour, Prob: 0.3},
+		MondayMaintenance: true,
+	}
+}
+
+// NewTeraGrid builds the ten-resource simulated TeraGrid used by the
+// examples and the experiment harness: sites and hosts per Table 2,
+// representative hardware per Table 3, the CTSS-style software stack,
+// cross-site services, default user environments, SoftEnv databases, and a
+// 40 Gb/s-class backbone of inter-site links.
+func NewTeraGrid(seed int64, opt TeraGridOptions) *Grid {
+	g := New("teragrid", seed)
+	hwFor := func(host string) Hardware {
+		switch host {
+		case "tg-login1.caltech.teragrid.org":
+			// From Table 3.
+			return Hardware{CPUs: 2, Processor: "Intel Itanium 2", CPUMHz: 1296, MemoryGB: 6.0}
+		case "lemieux.psc.edu", "rachel.psc.edu":
+			return Hardware{CPUs: 4, Processor: "HP Alpha EV68", CPUMHz: 1000, MemoryGB: 4.0}
+		case "dslogin.sdsc.edu":
+			return Hardware{CPUs: 8, Processor: "IBM Power4", CPUMHz: 1500, MemoryGB: 16.0}
+		default:
+			return Hardware{CPUs: 2, Processor: "Intel Itanium 2", CPUMHz: 1300, MemoryGB: 4.0}
+		}
+	}
+	for _, h := range TeraGridHosts {
+		site := g.AddSite(h.Site)
+		r := site.AddResource(h.Host, hwFor(h.Host))
+		kind, _ := KindOf(h.Host)
+		install := func(m map[string]string) {
+			for name, ver := range m {
+				if kind == ReducedHost && name == ReducedSkipPackage {
+					continue
+				}
+				p := r.InstallPackage(name, ver, opt.InstallTime)
+				p.UnitTestFailure = opt.UnitTestFailures
+			}
+		}
+		install(GridPackages)
+		install(DevelopmentPackages)
+		install(ClusterPackages)
+		install(ExtendedPackages)
+		if kind == VizHost {
+			install(VizPackages)
+		}
+		for _, svc := range TeraGridServices {
+			r.AddService(svc.Name, svc.Port, opt.ServiceFailures)
+		}
+		for k, v := range TeraGridEnv {
+			r.SetEnv(k, v)
+		}
+		// A realistic default login environment carries a few dozen more
+		// variables beyond the agreement's required set; they size the env
+		// report realistically for the Figure 8 distribution (4–10 KB).
+		for i := 0; i < 60; i++ {
+			r.SetEnv(fmt.Sprintf("TG_SITE_VAR_%02d", i),
+				fmt.Sprintf("/usr/teragrid/site/%s/path-%02d", h.Site, i))
+		}
+		r.AddSoftEnv("@teragrid", "+globus +mpich +atlas")
+		r.AddSoftEnv("+globus", "GLOBUS_LOCATION=/usr/teragrid/globus")
+		r.AddSoftEnv("+mpich", "MPICH_HOME=/usr/teragrid/mpich")
+		r.AddSoftEnv("+atlas", "ATLAS_HOME=/usr/teragrid/atlas")
+		// The SoftEnv database enumerates every installed application and
+		// version key; its dump is the largest routine report in the
+		// deployment. Database size varies by site, spreading the dumps
+		// across the 20–50 KB buckets of Table 4 / Figure 8.
+		softEnvEntries := 110 + 15*len(g.Resources())
+		for i := 0; i < softEnvEntries; i++ {
+			r.AddSoftEnv(fmt.Sprintf("+app-%03d-%d.%d", i, i%7, i%3),
+				fmt.Sprintf("APP_%03d_HOME=/usr/teragrid/apps/app-%03d PATH_APPEND=/usr/teragrid/apps/app-%03d/bin MANPATH_APPEND=/usr/teragrid/apps/app-%03d/man", i, i, i, i))
+		}
+		if opt.MondayMaintenance {
+			r.AddMaintenance(MaintenanceWindow{Weekday: time.Monday, Start: 8 * time.Hour, Length: 4 * time.Hour})
+		}
+	}
+	// Full mesh of inter-site links between login nodes; the SDSC→Caltech
+	// path mirrors Figure 6's ~990 Mbps pathload measurements.
+	hosts := TeraGridHosts
+	for _, a := range hosts {
+		for _, b := range hosts {
+			if a.Host == b.Host {
+				continue
+			}
+			base := 990.0
+			if a.Site == b.Site {
+				base = 7900.0 // intra-site
+			}
+			g.SetLink(a.Host, b.Host, base, 0.10, 0.02)
+		}
+	}
+	return g
+}
+
+// TeraGridReporterCount returns Table 2's reporters-per-hour figure for a
+// host.
+func TeraGridReporterCount(host string) (int, error) {
+	for _, h := range TeraGridHosts {
+		if h.Host == host {
+			return h.Reporters, nil
+		}
+	}
+	return 0, fmt.Errorf("gridsim: unknown TeraGrid host %q", host)
+}

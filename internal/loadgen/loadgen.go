@@ -1,0 +1,161 @@
+// Package loadgen reproduces the synthetic depot workload of paper Section
+// 5.2.2: "a simple reporter that read one of four premade reports and
+// printed its contents to standard out. The four synthetic report sizes
+// were 851, 9,257, 23,168, and 45,527 bytes," with a specification file
+// controlling how often the reporter ran and which file it printed, making
+// it possible to hold the cache at target sizes between 0.928 MB and
+// 5.4 MB.
+package loadgen
+
+import (
+	"fmt"
+	"time"
+
+	"inca/internal/branch"
+	"inca/internal/report"
+)
+
+// PaperReportSizes are the four premade report sizes from Section 5.2.2
+// (bytes), themselves "a sample of actual TeraGrid reporter sizes".
+var PaperReportSizes = []int{851, 9257, 23168, 45527}
+
+// PaperCacheSizes are the steady-state cache sizes examined in Figure 9
+// (bytes).
+var PaperCacheSizes = []int{
+	928 * 1024,
+	1800 * 1024,
+	2700 * 1024,
+	3600 * 1024,
+	4400 * 1024,
+	5400 * 1024,
+}
+
+// PremadeReport builds a serialized report of exactly size bytes (padding
+// the body with measurement rows and a final filler element). Minimum
+// feasible size is about 400 bytes; smaller requests return an error.
+func PremadeReport(size int) ([]byte, error) {
+	base := buildReport(0)
+	data, err := report.Marshal(base)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > size {
+		return nil, fmt.Errorf("loadgen: size %d below minimum report size %d", size, len(data))
+	}
+	// The pad leaf costs len("<pad></pad>") plus its content.
+	const overhead = len("<pad></pad>")
+	padLen := size - len(data) - overhead
+	if padLen < 0 {
+		padLen = 0
+	}
+	rep := buildReport(padLen)
+	data, err = report.Marshal(rep)
+	if err != nil {
+		return nil, err
+	}
+	// Fine-tune: adjust pad by the exact difference (escaping never
+	// triggers on the pad alphabet, so length is linear).
+	diff := size - len(data)
+	if diff != 0 {
+		padLen += diff
+		if padLen < 0 {
+			return nil, fmt.Errorf("loadgen: cannot hit size %d exactly", size)
+		}
+		rep = buildReport(padLen)
+		if data, err = report.Marshal(rep); err != nil {
+			return nil, err
+		}
+	}
+	if len(data) != size {
+		return nil, fmt.Errorf("loadgen: produced %d bytes, want %d", len(data), size)
+	}
+	return data, nil
+}
+
+func buildReport(padLen int) *report.Report {
+	r := report.New("synthetic.premade", "1.0", "inca.sdsc.edu",
+		time.Date(2004, 7, 7, 0, 0, 0, 0, time.UTC))
+	body := report.Branch("synthetic", "premade",
+		report.Branch("statistic", "sample",
+			report.Leaf("value", "1.00"),
+			report.Leaf("units", "count")),
+	)
+	if padLen > 0 {
+		pad := make([]byte, padLen)
+		for i := range pad {
+			pad[i] = "abcdefghijklmnopqrstuvwxyz0123456789"[i%36]
+		}
+		body.Add(report.Leaf("pad", string(pad)))
+	}
+	r.Body = body
+	return r
+}
+
+// MustPremadeReport panics on error; for experiment setup code.
+func MustPremadeReport(size int) []byte {
+	data, err := PremadeReport(size)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}
+
+// Store abstracts the depot-facing insertion the workload drives.
+type Store interface {
+	Store(id branch.ID, reportXML []byte) error
+	Size() int
+}
+
+// FillToSize inserts premade reports of reportSize under distinct branch
+// identifiers until the store reaches at least targetBytes, returning the
+// number of distinct identifiers used. The identifiers live under
+// vo=synthetic so they never collide with deployment data.
+func FillToSize(s Store, targetBytes, reportSize int) (int, error) {
+	data, err := PremadeReport(reportSize)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for s.Size() < targetBytes {
+		id := branch.MustParse(fmt.Sprintf("seq=fill%06d,size=s%d,vo=synthetic", n, reportSize))
+		if err := s.Store(id, data); err != nil {
+			return n, err
+		}
+		n++
+		if n > 1<<20 {
+			return n, fmt.Errorf("loadgen: fill did not converge")
+		}
+	}
+	return n, nil
+}
+
+// UpdateCycle replays steady-state updates: it overwrites round-robin
+// among the n identifiers FillToSize created, holding the cache size fixed
+// (replacement semantics) — the Section 5.2.2 methodology of emulating
+// many clients with one high-frequency client.
+type UpdateCycle struct {
+	store      Store
+	reportSize int
+	data       []byte
+	n          int
+	next       int
+}
+
+// NewUpdateCycle prepares a cycle over the identifiers created by a fill.
+func NewUpdateCycle(s Store, reportSize, idCount int) (*UpdateCycle, error) {
+	if idCount <= 0 {
+		return nil, fmt.Errorf("loadgen: empty identifier set")
+	}
+	data, err := PremadeReport(reportSize)
+	if err != nil {
+		return nil, err
+	}
+	return &UpdateCycle{store: s, reportSize: reportSize, data: data, n: idCount}, nil
+}
+
+// Step performs one steady-state update and returns the identifier used.
+func (u *UpdateCycle) Step() (branch.ID, error) {
+	id := branch.MustParse(fmt.Sprintf("seq=fill%06d,size=s%d,vo=synthetic", u.next, u.reportSize))
+	u.next = (u.next + 1) % u.n
+	return id, u.store.Store(id, u.data)
+}

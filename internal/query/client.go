@@ -1,0 +1,216 @@
+package query
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"inca/internal/branch"
+	"inca/internal/depot"
+	"inca/internal/rrd"
+)
+
+// Client is the data-consumer (and remote-controller) side of the
+// web-service interface.
+type Client struct {
+	// Base is the server URL, e.g. "http://inca.sdsc.edu:8080".
+	Base string
+	// HTTP is the transport; nil uses http.DefaultClient.
+	HTTP *http.Client
+}
+
+// NewClient returns a client for base.
+func NewClient(base string) *Client { return &Client{Base: base} }
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) get(path string, params url.Values) ([]byte, error) {
+	u := c.Base + path
+	if len(params) > 0 {
+		u += "?" + params.Encode()
+	}
+	resp, err := c.http().Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("query: %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
+	}
+	return body, nil
+}
+
+// StoreEnvelope posts an envelope to the depot; it implements
+// controller.DepotClient so a centralized controller can talk to a remote
+// depot exactly as it would an in-process one.
+func (c *Client) StoreEnvelope(data []byte) (depot.Receipt, error) {
+	resp, err := c.http().Post(c.Base+"/store", "text/xml", bytes.NewReader(data))
+	if err != nil {
+		return depot.Receipt{}, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return depot.Receipt{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return depot.Receipt{}, fmt.Errorf("query: store: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	var xr xmlReceipt
+	if err := xml.Unmarshal(body, &xr); err != nil {
+		return depot.Receipt{}, fmt.Errorf("query: bad receipt: %w", err)
+	}
+	id, err := branch.Parse(xr.Branch)
+	if err != nil {
+		return depot.Receipt{}, fmt.Errorf("query: bad receipt branch: %w", err)
+	}
+	return depot.Receipt{
+		Branch:     id,
+		ReportSize: xr.ReportSize,
+		CacheSize:  xr.CacheSize,
+		Unpack:     time.Duration(xr.UnpackNs),
+		Insert:     time.Duration(xr.InsertNs),
+		Archive:    time.Duration(xr.ArchiveNs),
+		Added:      xr.Added,
+	}, nil
+}
+
+// UploadPolicy uploads an archival policy.
+func (c *Client) UploadPolicy(p depot.Policy) error {
+	xp := xmlPolicy{
+		Name:        p.Name,
+		Prefix:      p.Prefix.String(),
+		Path:        p.Path,
+		Step:        p.Archive.Step.String(),
+		Granularity: p.Archive.Granularity,
+		History:     p.Archive.History.String(),
+	}
+	if p.Archive.Heartbeat > 0 {
+		xp.Heartbeat = p.Archive.Heartbeat.String()
+	}
+	if len(p.Archive.CFs) > 0 {
+		names := make([]string, len(p.Archive.CFs))
+		for i, cf := range p.Archive.CFs {
+			names[i] = cf.String()
+		}
+		xp.CFs = strings.Join(names, ",")
+	}
+	data, err := xml.Marshal(xp)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Post(c.Base+"/policy", "text/xml", bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("query: policy: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	return nil
+}
+
+// Cache fetches the subtree at a branch identifier ("" for the whole
+// cache — which, as the paper notes, tasks the consumer with a large
+// amount of XML processing).
+func (c *Client) Cache(branchID string) ([]byte, error) {
+	return c.get("/cache", url.Values{"branch": {branchID}})
+}
+
+// Reports fetches the raw report list under a branch prefix.
+func (c *Client) Reports(branchID string) ([]byte, error) {
+	return c.get("/reports", url.Values{"branch": {branchID}})
+}
+
+// ArchivePoint is one sample of a fetched archive series.
+type ArchivePoint struct {
+	Time  time.Time
+	Value float64
+}
+
+// Archive fetches an archived series.
+func (c *Client) Archive(branchID, policy string, cf rrd.CF, start, end time.Time) ([]ArchivePoint, error) {
+	body, err := c.get("/archive", url.Values{
+		"branch": {branchID},
+		"policy": {policy},
+		"cf":     {cf.String()},
+		"start":  {start.Format(time.RFC3339)},
+		"end":    {end.Format(time.RFC3339)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows, err := csv.NewReader(bytes.NewReader(body)).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("query: bad archive csv: %w", err)
+	}
+	var out []ArchivePoint
+	for i, row := range rows {
+		if i == 0 || len(row) != 2 {
+			continue // header
+		}
+		ts, err := time.Parse(time.RFC3339, row[0])
+		if err != nil {
+			return nil, fmt.Errorf("query: bad archive time %q: %w", row[0], err)
+		}
+		v := math.NaN()
+		if row[1] != "nan" {
+			if v, err = strconv.ParseFloat(row[1], 64); err != nil {
+				return nil, fmt.Errorf("query: bad archive value %q: %w", row[1], err)
+			}
+		}
+		out = append(out, ArchivePoint{Time: ts, Value: v})
+	}
+	return out, nil
+}
+
+// Graph fetches the ASCII graph of an archived series.
+func (c *Client) Graph(branchID, policy string, cf rrd.CF, start, end time.Time, title, ylabel string) (string, error) {
+	body, err := c.get("/graph", url.Values{
+		"branch": {branchID},
+		"policy": {policy},
+		"cf":     {cf.String()},
+		"start":  {start.Format(time.RFC3339)},
+		"end":    {end.Format(time.RFC3339)},
+		"title":  {title},
+		"ylabel": {ylabel},
+	})
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
+// Stats fetches depot counters.
+func (c *Client) Stats() (depot.Stats, error) {
+	body, err := c.get("/stats", nil)
+	if err != nil {
+		return depot.Stats{}, err
+	}
+	var xs xmlStats
+	if err := xml.Unmarshal(body, &xs); err != nil {
+		return depot.Stats{}, err
+	}
+	return depot.Stats{
+		Received: xs.Received, Bytes: xs.Bytes,
+		CacheSize: xs.CacheSize, CacheCount: xs.CacheCount, Archives: xs.Archives,
+	}, nil
+}

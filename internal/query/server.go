@@ -1,0 +1,376 @@
+// Package query implements Inca's web-service layer: the depot's store
+// interface used by the centralized controller (paper Section 3.2.1) and
+// the querying interface for data consumers (Section 3.2.3), which serves
+// both current data from the cache (by branch identifier, or the whole
+// cache when none is supplied) and archived time series.
+package query
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"inca/internal/agreement"
+	"inca/internal/branch"
+	"inca/internal/consumer"
+	"inca/internal/depot"
+	"inca/internal/rrd"
+)
+
+// Server exposes a depot over HTTP.
+type Server struct {
+	d     *depot.Depot
+	specs *SpecStore
+}
+
+// NewServer wraps d.
+func NewServer(d *depot.Depot) *Server { return &Server{d: d} }
+
+// Handler returns the HTTP mux:
+//
+//	POST /store    — envelope in the body; returns an XML receipt
+//	POST /policy   — archival policy XML
+//	GET  /cache    — ?branch= subtree (whole cache when omitted)
+//	GET  /reports  — ?branch= all reports under the prefix
+//	GET  /archive  — ?branch=&policy=&cf=&start=&end= CSV series
+//	GET  /graph    — same params plus &title=&ylabel=; ASCII plot
+//	GET  /stats    — depot counters as XML
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/store", s.handleStore)
+	mux.HandleFunc("/policy", s.handlePolicy)
+	mux.HandleFunc("/cache", s.handleCache)
+	mux.HandleFunc("/reports", s.handleReports)
+	mux.HandleFunc("/archive", s.handleArchive)
+	mux.HandleFunc("/graph", s.handleGraph)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/spec", s.handleSpec)
+	mux.HandleFunc("/availability", s.handleAvailability)
+	return mux
+}
+
+// handleAvailability renders the VO-wide availability overview page:
+// GET /availability?resource=a&resource=b&category=Grid&start=&end=[&format=text]
+func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	resources := q["resource"]
+	if len(resources) == 0 {
+		http.Error(w, "at least one resource parameter required", http.StatusBadRequest)
+		return
+	}
+	var cats []agreement.Category
+	for _, c := range q["category"] {
+		cats = append(cats, agreement.Category(c))
+	}
+	if len(cats) == 0 {
+		cats = append(agreement.Categories[:0:0], agreement.Categories...)
+		cats = append(cats, "Total")
+	}
+	start, err := time.Parse(time.RFC3339, q.Get("start"))
+	if err != nil {
+		http.Error(w, "bad start: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	end, err := time.Parse(time.RFC3339, q.Get("end"))
+	if err != nil {
+		http.Error(w, "bad end: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	page, err := consumer.BuildAvailabilityPage(s.d, "Availability overview", resources, cats, start, end)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if q.Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, page.Text())
+		return
+	}
+	html, err := page.HTML()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write(html)
+}
+
+// xmlReceipt is the wire form of a depot.Receipt.
+type xmlReceipt struct {
+	XMLName    xml.Name `xml:"receipt"`
+	Branch     string   `xml:"branch,attr"`
+	ReportSize int      `xml:"reportSize,attr"`
+	CacheSize  int      `xml:"cacheSize,attr"`
+	UnpackNs   int64    `xml:"unpackNs,attr"`
+	InsertNs   int64    `xml:"insertNs,attr"`
+	ArchiveNs  int64    `xml:"archiveNs,attr"`
+	Added      bool     `xml:"added,attr"`
+}
+
+func (s *Server) handleStore(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 32<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rec, err := s.d.StoreEnvelope(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml")
+	xml.NewEncoder(w).Encode(xmlReceipt{
+		Branch:     rec.Branch.String(),
+		ReportSize: rec.ReportSize,
+		CacheSize:  rec.CacheSize,
+		UnpackNs:   rec.Unpack.Nanoseconds(),
+		InsertNs:   rec.Insert.Nanoseconds(),
+		ArchiveNs:  rec.Archive.Nanoseconds(),
+		Added:      rec.Added,
+	})
+}
+
+// xmlPolicy is the wire form of a depot.Policy.
+type xmlPolicy struct {
+	XMLName     xml.Name `xml:"archivalPolicy"`
+	Name        string   `xml:"name,attr"`
+	Prefix      string   `xml:"prefix,attr"`
+	Path        string   `xml:"path,attr"`
+	Step        string   `xml:"step,attr"`
+	Granularity int      `xml:"granularity,attr"`
+	History     string   `xml:"history,attr"`
+	Heartbeat   string   `xml:"heartbeat,attr"`
+	// CFs is a comma-separated consolidation function list (default
+	// AVERAGE).
+	CFs string `xml:"cfs,attr"`
+}
+
+func (s *Server) handlePolicy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var xp xmlPolicy
+	if err := xml.Unmarshal(body, &xp); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	p, err := policyFromXML(xp)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := s.d.AddPolicy(p); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+func policyFromXML(xp xmlPolicy) (depot.Policy, error) {
+	prefix, err := branch.Parse(xp.Prefix)
+	if err != nil {
+		return depot.Policy{}, fmt.Errorf("bad prefix: %w", err)
+	}
+	step, err := time.ParseDuration(xp.Step)
+	if err != nil {
+		return depot.Policy{}, fmt.Errorf("bad step: %w", err)
+	}
+	history, err := time.ParseDuration(xp.History)
+	if err != nil {
+		return depot.Policy{}, fmt.Errorf("bad history: %w", err)
+	}
+	var hb time.Duration
+	if xp.Heartbeat != "" {
+		if hb, err = time.ParseDuration(xp.Heartbeat); err != nil {
+			return depot.Policy{}, fmt.Errorf("bad heartbeat: %w", err)
+		}
+	}
+	var cfs []rrd.CF
+	if xp.CFs != "" {
+		for _, s := range strings.Split(xp.CFs, ",") {
+			cf, err := parseCF(strings.TrimSpace(s))
+			if err != nil {
+				return depot.Policy{}, err
+			}
+			cfs = append(cfs, cf)
+		}
+	}
+	return depot.Policy{
+		Name:   xp.Name,
+		Prefix: prefix,
+		Path:   xp.Path,
+		Archive: rrd.ArchivalPolicy{
+			Step:        step,
+			Granularity: xp.Granularity,
+			History:     history,
+			Heartbeat:   hb,
+			CFs:         cfs,
+		},
+	}, nil
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	id, err := branch.Parse(r.URL.Query().Get("branch"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sub, ok, err := s.d.Cache().Query(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if !ok {
+		http.Error(w, "no data at branch "+id.String(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml")
+	w.Write(sub)
+}
+
+func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
+	id, err := branch.Parse(r.URL.Query().Get("branch"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	stored, err := s.d.Cache().Reports(id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/xml")
+	fmt.Fprintf(w, "<reports>")
+	for _, st := range stored {
+		fmt.Fprintf(w, `<stored branch="%s">`, xmlEscape(st.ID.String()))
+		w.Write(st.XML)
+		fmt.Fprintf(w, "</stored>")
+	}
+	fmt.Fprintf(w, "</reports>")
+}
+
+func xmlEscape(s string) string {
+	var sb strings.Builder
+	xml.EscapeText(&sb, []byte(s))
+	return sb.String()
+}
+
+func parseCF(s string) (rrd.CF, error) {
+	switch strings.ToUpper(s) {
+	case "", "AVERAGE":
+		return rrd.Average, nil
+	case "MIN":
+		return rrd.Min, nil
+	case "MAX":
+		return rrd.Max, nil
+	case "LAST":
+		return rrd.Last, nil
+	default:
+		return 0, fmt.Errorf("unknown consolidation function %q", s)
+	}
+}
+
+func (s *Server) archiveParams(r *http.Request) (branch.ID, string, rrd.CF, time.Time, time.Time, error) {
+	q := r.URL.Query()
+	id, err := branch.Parse(q.Get("branch"))
+	if err != nil {
+		return branch.ID{}, "", 0, time.Time{}, time.Time{}, err
+	}
+	policy := q.Get("policy")
+	if policy == "" {
+		return branch.ID{}, "", 0, time.Time{}, time.Time{}, fmt.Errorf("policy parameter required")
+	}
+	cf, err := parseCF(q.Get("cf"))
+	if err != nil {
+		return branch.ID{}, "", 0, time.Time{}, time.Time{}, err
+	}
+	start, err := time.Parse(time.RFC3339, q.Get("start"))
+	if err != nil {
+		return branch.ID{}, "", 0, time.Time{}, time.Time{}, fmt.Errorf("bad start: %w", err)
+	}
+	end, err := time.Parse(time.RFC3339, q.Get("end"))
+	if err != nil {
+		return branch.ID{}, "", 0, time.Time{}, time.Time{}, fmt.Errorf("bad end: %w", err)
+	}
+	return id, policy, cf, start, end, nil
+}
+
+func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
+	id, policy, cf, start, end, err := s.archiveParams(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	series, err := s.d.FetchArchive(id, policy, cf, start, end)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	fmt.Fprintf(w, "time,value\n")
+	for _, p := range series.Points {
+		v := "nan"
+		if !math.IsNaN(p.Values[0]) {
+			v = strconv.FormatFloat(p.Values[0], 'g', -1, 64)
+		}
+		fmt.Fprintf(w, "%s,%s\n", p.Time.Format(time.RFC3339), v)
+	}
+}
+
+func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
+	id, policy, cf, start, end, err := s.archiveParams(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	series, err := s.d.FetchArchive(id, policy, cf, start, end)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	out, err := rrd.Graph(series, policy, rrd.GraphOptions{
+		Title:  q.Get("title"),
+		YLabel: q.Get("ylabel"),
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	io.WriteString(w, out)
+}
+
+// xmlStats is the wire form of depot.Stats.
+type xmlStats struct {
+	XMLName    xml.Name `xml:"depotStats"`
+	Received   uint64   `xml:"received,attr"`
+	Bytes      uint64   `xml:"bytes,attr"`
+	CacheSize  int      `xml:"cacheSize,attr"`
+	CacheCount int      `xml:"cacheCount,attr"`
+	Archives   int      `xml:"archives,attr"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.d.Stats()
+	w.Header().Set("Content-Type", "text/xml")
+	xml.NewEncoder(w).Encode(xmlStats{
+		Received: st.Received, Bytes: st.Bytes,
+		CacheSize: st.CacheSize, CacheCount: st.CacheCount, Archives: st.Archives,
+	})
+}

@@ -1,0 +1,307 @@
+// Package report implements the Inca reporter specification (paper Section
+// 3.1.2): the XML document every reporter emits, split into a uniform header,
+// an open-schema body, and a uniform footer.
+//
+// The header carries metadata about the run (reporter name/version, host,
+// GMT timestamp, working directory, input arguments). The footer carries an
+// exit status; a failed run must include a brief error message. The body is
+// an arbitrary element tree with one structural restriction that enables
+// generic handling: every branch element (an element containing other
+// elements) carries a unique identifier, so any piece of data can be located
+// with a path such as
+//
+//	value,statistic=lowerBound,metric=bandwidth
+//
+// (leaf first, root last — see Figure 2 of the paper and the Find method).
+package report
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Arg is one input argument supplied to a reporter at run time, echoed in
+// the report header so consumers can see exactly how the data was produced.
+type Arg struct {
+	Name  string
+	Value string
+}
+
+// Header is the uniform metadata section present in every report.
+type Header struct {
+	// Name identifies the reporter, conventionally a reversed-DNS-style
+	// dotted name such as "grid.middleware.globus.unit.gatekeeper".
+	Name string
+	// Version is the reporter's own version string.
+	Version string
+	// Hostname is the machine the reporter ran on.
+	Hostname string
+	// GMT is the UTC timestamp of the run.
+	GMT time.Time
+	// WorkingDir is the directory the reporter executed in.
+	WorkingDir string
+	// ReporterPath is where the reporter binary/script was installed.
+	ReporterPath string
+	// Args echoes the run-time input arguments.
+	Args []Arg
+}
+
+// Footer is the uniform trailer: an exit status, plus a brief error message
+// when the run failed.
+type Footer struct {
+	Completed    bool
+	ErrorMessage string
+}
+
+// Report is one complete Inca report.
+type Report struct {
+	Header Header
+	Body   *Node
+	Footer Footer
+}
+
+// Node is one element of the open-schema body. A branch node (len(Children)
+// > 0) is identified among its siblings by (Tag, ID); the ID is serialized
+// as a leading <ID> child element exactly as in Figure 2 of the paper. A
+// leaf node carries character data in Text.
+type Node struct {
+	Tag      string
+	ID       string
+	Text     string
+	Children []*Node
+}
+
+// Branch constructs a branch node with the given tag, unique identifier and
+// children.
+func Branch(tag, id string, children ...*Node) *Node {
+	return &Node{Tag: tag, ID: id, Children: children}
+}
+
+// Leaf constructs a leaf node holding character data.
+func Leaf(tag, text string) *Node { return &Node{Tag: tag, Text: text} }
+
+// Leaff constructs a leaf node from a format string.
+func Leaff(tag, format string, args ...interface{}) *Node {
+	return &Node{Tag: tag, Text: fmt.Sprintf(format, args...)}
+}
+
+// Add appends children to n and returns n for chaining.
+func (n *Node) Add(children ...*Node) *Node {
+	n.Children = append(n.Children, children...)
+	return n
+}
+
+// IsBranch reports whether n contains child elements.
+func (n *Node) IsBranch() bool { return len(n.Children) > 0 }
+
+// key is the sibling-uniqueness key required by the reporter specification.
+func (n *Node) key() string { return n.Tag + "\x00" + n.ID }
+
+// Child returns the first child matching tag and, if id is non-empty, the
+// matching ID.
+func (n *Node) Child(tag, id string) (*Node, bool) {
+	for _, c := range n.Children {
+		if c.Tag == tag && (id == "" || c.ID == id) {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// Find locates a node by an Inca path expression: comma-separated components
+// ordered leaf-first, root-last, each either "tag" or "tag=id". The search
+// starts at n, whose own tag/ID must match the final (root) component — or,
+// when called on a synthetic container, n may be the parent of the root
+// component. Find returns the leaf node addressed by the full path.
+//
+// Example (Figure 2): body.Find("value,statistic=lowerBound,metric=bandwidth")
+// returns the <value> leaf under the lowerBound statistic.
+func (n *Node) Find(path string) (*Node, bool) {
+	comps, err := splitPath(path)
+	if err != nil {
+		return nil, false
+	}
+	if len(comps) == 0 {
+		return n, true
+	}
+	// Components root-first for descent.
+	root := comps[len(comps)-1]
+	if n.matches(root) {
+		return n.descend(comps[:len(comps)-1])
+	}
+	// Allow n to be a container whose child is the root component.
+	if c, ok := n.Child(root.tag, root.id); ok {
+		return c.descend(comps[:len(comps)-1])
+	}
+	return nil, false
+}
+
+// Value is Find followed by extraction of the node's character data.
+func (n *Node) Value(path string) (string, bool) {
+	target, ok := n.Find(path)
+	if !ok {
+		return "", false
+	}
+	return target.Text, true
+}
+
+// Float is Find followed by parsing the node's character data as a float64.
+func (n *Node) Float(path string) (float64, bool) {
+	s, ok := n.Value(path)
+	if !ok {
+		return 0, false
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+type pathComp struct {
+	tag string
+	id  string
+}
+
+func splitPath(path string) ([]pathComp, error) {
+	path = strings.TrimSpace(path)
+	if path == "" {
+		return nil, nil
+	}
+	parts := strings.Split(path, ",")
+	comps := make([]pathComp, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			return nil, fmt.Errorf("report: empty path component in %q", path)
+		}
+		if eq := strings.IndexByte(p, '='); eq >= 0 {
+			comps = append(comps, pathComp{tag: strings.TrimSpace(p[:eq]), id: strings.TrimSpace(p[eq+1:])})
+		} else {
+			comps = append(comps, pathComp{tag: p})
+		}
+	}
+	return comps, nil
+}
+
+func (n *Node) matches(c pathComp) bool {
+	return n.Tag == c.tag && (c.id == "" || n.ID == c.id)
+}
+
+// descend follows the remaining components (still leaf-first order) from n.
+func (n *Node) descend(comps []pathComp) (*Node, bool) {
+	cur := n
+	for i := len(comps) - 1; i >= 0; i-- {
+		next, ok := cur.Child(comps[i].tag, comps[i].id)
+		if !ok {
+			return nil, false
+		}
+		cur = next
+	}
+	return cur, true
+}
+
+// Walk invokes fn on n and every descendant, pre-order. Returning false from
+// fn prunes that subtree.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Clone returns a deep copy of the subtree rooted at n.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	out := &Node{Tag: n.Tag, ID: n.ID, Text: n.Text}
+	if n.Children != nil {
+		out.Children = make([]*Node, len(n.Children))
+		for i, c := range n.Children {
+			out.Children[i] = c.Clone()
+		}
+	}
+	return out
+}
+
+// Validate checks r against the reporter specification:
+//   - header: reporter name, hostname and timestamp are mandatory;
+//   - footer: a failed run must carry a brief error message;
+//   - body: sibling elements must be uniquely identified by (tag, ID), and
+//     branch nodes must not also carry character data.
+func (r *Report) Validate() error {
+	if r.Header.Name == "" {
+		return fmt.Errorf("report: header missing reporter name")
+	}
+	if r.Header.Hostname == "" {
+		return fmt.Errorf("report: header missing hostname")
+	}
+	if r.Header.GMT.IsZero() {
+		return fmt.Errorf("report: header missing GMT timestamp")
+	}
+	if !r.Footer.Completed && strings.TrimSpace(r.Footer.ErrorMessage) == "" {
+		return fmt.Errorf("report: failed run must include an error message")
+	}
+	if r.Body != nil {
+		if err := r.Body.validate("body"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *Node) validate(at string) error {
+	if n.Tag == "" {
+		return fmt.Errorf("report: node with empty tag under %s", at)
+	}
+	if n.Tag == "ID" {
+		return fmt.Errorf("report: element name ID is reserved (under %s)", at)
+	}
+	if !n.IsBranch() {
+		return nil
+	}
+	if strings.TrimSpace(n.Text) != "" {
+		return fmt.Errorf("report: branch %s/%s mixes character data with child elements", at, n.Tag)
+	}
+	seen := make(map[string]bool, len(n.Children))
+	for _, c := range n.Children {
+		k := c.key()
+		if seen[k] {
+			return fmt.Errorf("report: duplicate sibling %s id=%q under %s/%s", c.Tag, c.ID, at, n.Tag)
+		}
+		seen[k] = true
+		if err := c.validate(at + "/" + n.Tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Succeeded reports whether the footer marks a successful run.
+func (r *Report) Succeeded() bool { return r.Footer.Completed }
+
+// New returns a report with the header stamped from the given reporter
+// identity, host and clock time, ready for a body to be attached.
+func New(name, version, hostname string, now time.Time) *Report {
+	return &Report{
+		Header: Header{
+			Name:     name,
+			Version:  version,
+			Hostname: hostname,
+			GMT:      now.UTC(),
+		},
+		Footer: Footer{Completed: true},
+	}
+}
+
+// Fail marks the report as failed with the given message and returns it.
+func (r *Report) Fail(format string, args ...interface{}) *Report {
+	r.Footer.Completed = false
+	r.Footer.ErrorMessage = fmt.Sprintf(format, args...)
+	return r
+}

@@ -1,0 +1,276 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var testTime = time.Date(2004, 7, 7, 12, 0, 0, 0, time.UTC)
+
+// figure2Body builds the bandwidth metric tree from Figure 2 of the paper.
+func figure2Body() *Node {
+	return Branch("metric", "bandwidth",
+		Branch("statistic", "upperBound",
+			Leaf("value", "998.67"),
+			Leaf("units", "Mbps"),
+		),
+		Branch("statistic", "lowerBound",
+			Leaf("value", "984.99"),
+			Leaf("units", "Mbps"),
+		),
+	)
+}
+
+func sampleReport() *Report {
+	r := New("grid.network.pathload", "1.2", "tg-login1.sdsc.teragrid.org", testTime)
+	r.Header.WorkingDir = "/home/inca"
+	r.Header.ReporterPath = "/home/inca/reporters/pathload"
+	r.Header.Args = []Arg{{Name: "dest", Value: "caltech"}, {Name: "timeout", Value: "300"}}
+	r.Body = figure2Body()
+	return r
+}
+
+func TestNewStampsHeader(t *testing.T) {
+	r := New("a.b", "1.0", "host1", testTime)
+	if r.Header.Name != "a.b" || r.Header.Hostname != "host1" {
+		t.Fatalf("header = %+v", r.Header)
+	}
+	if !r.Header.GMT.Equal(testTime) {
+		t.Fatalf("GMT = %v", r.Header.GMT)
+	}
+	if !r.Succeeded() {
+		t.Fatal("new report not marked successful")
+	}
+}
+
+func TestFail(t *testing.T) {
+	r := New("a.b", "1.0", "h", testTime).Fail("cannot contact %s", "gatekeeper")
+	if r.Succeeded() {
+		t.Fatal("failed report marked successful")
+	}
+	if r.Footer.ErrorMessage != "cannot contact gatekeeper" {
+		t.Fatalf("error = %q", r.Footer.ErrorMessage)
+	}
+}
+
+func TestFindPaperPath(t *testing.T) {
+	body := figure2Body()
+	// The exact path expression quoted in Section 3.1.2.
+	n, ok := body.Find("value,statistic=lowerBound,metric=bandwidth")
+	if !ok {
+		t.Fatal("paper path not found")
+	}
+	if n.Text != "984.99" {
+		t.Fatalf("value = %q, want 984.99", n.Text)
+	}
+	n, ok = body.Find("units,statistic=upperBound,metric=bandwidth")
+	if !ok || n.Text != "Mbps" {
+		t.Fatalf("units lookup = %v, %v", n, ok)
+	}
+}
+
+func TestFindUnqualifiedComponent(t *testing.T) {
+	body := Branch("pkg", "globus", Leaf("version", "2.4.3"))
+	n, ok := body.Find("version,pkg")
+	if !ok || n.Text != "2.4.3" {
+		t.Fatalf("Find = %v,%v", n, ok)
+	}
+}
+
+func TestFindMisses(t *testing.T) {
+	body := figure2Body()
+	cases := []string{
+		"value,statistic=median,metric=bandwidth", // no such ID
+		"value,statistic=lowerBound,metric=rtt",   // wrong root ID
+		"nope,metric=bandwidth",                   // no such leaf
+		"value,,metric=bandwidth",                 // malformed
+	}
+	for _, c := range cases {
+		if _, ok := body.Find(c); ok {
+			t.Errorf("Find(%q) succeeded, want miss", c)
+		}
+	}
+}
+
+func TestFindEmptyPathReturnsSelf(t *testing.T) {
+	body := figure2Body()
+	n, ok := body.Find("")
+	if !ok || n != body {
+		t.Fatal("empty path should return the node itself")
+	}
+}
+
+func TestFloat(t *testing.T) {
+	body := figure2Body()
+	f, ok := body.Float("value,statistic=upperBound,metric=bandwidth")
+	if !ok || f != 998.67 {
+		t.Fatalf("Float = %g,%v", f, ok)
+	}
+	if _, ok := body.Float("units,statistic=upperBound,metric=bandwidth"); ok {
+		t.Fatal("Float parsed a non-numeric leaf")
+	}
+}
+
+func TestWalkAndClone(t *testing.T) {
+	body := figure2Body()
+	count := 0
+	body.Walk(func(n *Node) bool { count++; return true })
+	if count != 7 {
+		t.Fatalf("Walk visited %d nodes, want 7", count)
+	}
+	// Pruning stops descent.
+	count = 0
+	body.Walk(func(n *Node) bool { count++; return n.Tag != "statistic" })
+	if count != 3 {
+		t.Fatalf("pruned Walk visited %d nodes, want 3", count)
+	}
+	clone := body.Clone()
+	clone.Children[0].Children[0].Text = "mutated"
+	if v, _ := body.Value("value,statistic=upperBound,metric=bandwidth"); v != "998.67" {
+		t.Fatal("Clone aliases original nodes")
+	}
+}
+
+func TestCloneNil(t *testing.T) {
+	var n *Node
+	if n.Clone() != nil {
+		t.Fatal("Clone(nil) != nil")
+	}
+}
+
+func TestValidateAcceptsSample(t *testing.T) {
+	if err := sampleReport().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateHeaderRequirements(t *testing.T) {
+	r := sampleReport()
+	r.Header.Name = ""
+	if err := r.Validate(); err == nil {
+		t.Fatal("missing name accepted")
+	}
+	r = sampleReport()
+	r.Header.Hostname = ""
+	if err := r.Validate(); err == nil {
+		t.Fatal("missing hostname accepted")
+	}
+	r = sampleReport()
+	r.Header.GMT = time.Time{}
+	if err := r.Validate(); err == nil {
+		t.Fatal("missing timestamp accepted")
+	}
+}
+
+func TestValidateFailureNeedsMessage(t *testing.T) {
+	r := sampleReport()
+	r.Footer = Footer{Completed: false}
+	if err := r.Validate(); err == nil {
+		t.Fatal("failure without message accepted")
+	}
+	r.Footer.ErrorMessage = "   "
+	if err := r.Validate(); err == nil {
+		t.Fatal("blank message accepted")
+	}
+	r.Footer.ErrorMessage = "gatekeeper down"
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDuplicateSiblings(t *testing.T) {
+	r := sampleReport()
+	r.Body = Branch("metric", "bw",
+		Branch("statistic", "x", Leaf("value", "1")),
+		Branch("statistic", "x", Leaf("value", "2")),
+	)
+	if err := r.Validate(); err == nil {
+		t.Fatal("duplicate (tag,ID) siblings accepted")
+	}
+	// Same tag with distinct IDs is the whole point of IDs.
+	r.Body = figure2Body()
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Distinct tags need no IDs.
+	r.Body = Branch("pkg", "p", Leaf("version", "1"), Leaf("location", "/usr"))
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate leaf tags without IDs are ambiguous.
+	r.Body = Branch("pkg", "p", Leaf("version", "1"), Leaf("version", "2"))
+	if err := r.Validate(); err == nil {
+		t.Fatal("ambiguous duplicate leaves accepted")
+	}
+}
+
+func TestValidateReservedIDTag(t *testing.T) {
+	r := sampleReport()
+	r.Body = Branch("m", "x", Leaf("ID", "oops"))
+	if err := r.Validate(); err == nil {
+		t.Fatal("element named ID accepted")
+	}
+}
+
+func TestValidateBranchWithText(t *testing.T) {
+	r := sampleReport()
+	r.Body = &Node{Tag: "m", ID: "x", Text: "stray", Children: []*Node{Leaf("v", "1")}}
+	if err := r.Validate(); err == nil {
+		t.Fatal("mixed content accepted")
+	}
+}
+
+func TestChildLookup(t *testing.T) {
+	body := figure2Body()
+	c, ok := body.Child("statistic", "lowerBound")
+	if !ok || c.ID != "lowerBound" {
+		t.Fatalf("Child = %v,%v", c, ok)
+	}
+	if _, ok := body.Child("statistic", "median"); ok {
+		t.Fatal("found nonexistent child")
+	}
+	// Empty id matches first tag occurrence.
+	c, ok = body.Child("statistic", "")
+	if !ok || c.ID != "upperBound" {
+		t.Fatalf("Child(tag only) = %v,%v", c, ok)
+	}
+}
+
+func TestLeaff(t *testing.T) {
+	n := Leaff("value", "%.2f", 3.14159)
+	if n.Text != "3.14" {
+		t.Fatalf("Leaff = %q", n.Text)
+	}
+}
+
+func TestAddChaining(t *testing.T) {
+	n := Branch("a", "1").Add(Leaf("b", "x")).Add(Leaf("c", "y"), Leaf("d", "z"))
+	if len(n.Children) != 3 {
+		t.Fatalf("children = %d", len(n.Children))
+	}
+}
+
+func TestValidateDeepNesting(t *testing.T) {
+	// Build a 50-deep chain; validation should recurse cleanly.
+	leaf := Leaf("v", "1")
+	cur := leaf
+	for i := 0; i < 50; i++ {
+		cur = Branch("level", "only", cur)
+	}
+	r := sampleReport()
+	r.Body = cur
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValueMiss(t *testing.T) {
+	body := figure2Body()
+	if _, ok := body.Value("missing,metric=bandwidth"); ok {
+		t.Fatal("Value hit on missing path")
+	}
+	if v, ok := body.Value("value,statistic=lowerBound,metric=bandwidth"); !ok || !strings.Contains(v, "984") {
+		t.Fatalf("Value = %q,%v", v, ok)
+	}
+}

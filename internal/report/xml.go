@@ -1,0 +1,528 @@
+package report
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// The wire format mirrors the structure described in Section 3.1.2: a
+// uniform <header> and <footer> around an open-schema <body>. Branch
+// identifiers inside the body are carried as a leading <ID> child element,
+// exactly as in Figure 2 of the paper.
+//
+//	<incaReport>
+//	  <header>
+//	    <reporter><name>…</name><version>…</version></reporter>
+//	    <hostname>…</hostname>
+//	    <gmt>2004-07-07T12:00:00Z</gmt>
+//	    <workingDir>…</workingDir>
+//	    <reporterPath>…</reporterPath>
+//	    <args><arg><name>…</name><value>…</value></arg>…</args>
+//	  </header>
+//	  <body>…</body>
+//	  <footer>
+//	    <completed>true|false</completed>
+//	    <errorMessage>…</errorMessage>
+//	  </footer>
+//	</incaReport>
+
+const gmtLayout = time.RFC3339
+
+// Marshal serializes r to its XML wire form. It does not validate; call
+// Validate first when the report comes from untrusted reporter code.
+func Marshal(r *Report) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Write streams the XML wire form of r to w.
+func Write(w io.Writer, r *Report) error {
+	enc := xml.NewEncoder(w)
+	if err := writeReport(enc, r); err != nil {
+		return err
+	}
+	return enc.Flush()
+}
+
+func writeReport(enc *xml.Encoder, r *Report) error {
+	root := xml.StartElement{Name: xml.Name{Local: "incaReport"}}
+	if err := enc.EncodeToken(root); err != nil {
+		return err
+	}
+	if err := writeHeader(enc, &r.Header); err != nil {
+		return err
+	}
+	body := xml.StartElement{Name: xml.Name{Local: "body"}}
+	if err := enc.EncodeToken(body); err != nil {
+		return err
+	}
+	if r.Body != nil {
+		if err := writeNode(enc, r.Body); err != nil {
+			return err
+		}
+	}
+	if err := enc.EncodeToken(body.End()); err != nil {
+		return err
+	}
+	if err := writeFooter(enc, &r.Footer); err != nil {
+		return err
+	}
+	return enc.EncodeToken(root.End())
+}
+
+func writeSimple(enc *xml.Encoder, tag, text string) error {
+	el := xml.StartElement{Name: xml.Name{Local: tag}}
+	if err := enc.EncodeToken(el); err != nil {
+		return err
+	}
+	if text != "" {
+		if err := enc.EncodeToken(xml.CharData(text)); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(el.End())
+}
+
+func writeHeader(enc *xml.Encoder, h *Header) error {
+	hdr := xml.StartElement{Name: xml.Name{Local: "header"}}
+	if err := enc.EncodeToken(hdr); err != nil {
+		return err
+	}
+	rep := xml.StartElement{Name: xml.Name{Local: "reporter"}}
+	if err := enc.EncodeToken(rep); err != nil {
+		return err
+	}
+	if err := writeSimple(enc, "name", h.Name); err != nil {
+		return err
+	}
+	if err := writeSimple(enc, "version", h.Version); err != nil {
+		return err
+	}
+	if err := enc.EncodeToken(rep.End()); err != nil {
+		return err
+	}
+	if err := writeSimple(enc, "hostname", h.Hostname); err != nil {
+		return err
+	}
+	if err := writeSimple(enc, "gmt", h.GMT.UTC().Format(gmtLayout)); err != nil {
+		return err
+	}
+	if h.WorkingDir != "" {
+		if err := writeSimple(enc, "workingDir", h.WorkingDir); err != nil {
+			return err
+		}
+	}
+	if h.ReporterPath != "" {
+		if err := writeSimple(enc, "reporterPath", h.ReporterPath); err != nil {
+			return err
+		}
+	}
+	if len(h.Args) > 0 {
+		args := xml.StartElement{Name: xml.Name{Local: "args"}}
+		if err := enc.EncodeToken(args); err != nil {
+			return err
+		}
+		for _, a := range h.Args {
+			arg := xml.StartElement{Name: xml.Name{Local: "arg"}}
+			if err := enc.EncodeToken(arg); err != nil {
+				return err
+			}
+			if err := writeSimple(enc, "name", a.Name); err != nil {
+				return err
+			}
+			if err := writeSimple(enc, "value", a.Value); err != nil {
+				return err
+			}
+			if err := enc.EncodeToken(arg.End()); err != nil {
+				return err
+			}
+		}
+		if err := enc.EncodeToken(args.End()); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(hdr.End())
+}
+
+func writeFooter(enc *xml.Encoder, f *Footer) error {
+	ftr := xml.StartElement{Name: xml.Name{Local: "footer"}}
+	if err := enc.EncodeToken(ftr); err != nil {
+		return err
+	}
+	completed := "false"
+	if f.Completed {
+		completed = "true"
+	}
+	if err := writeSimple(enc, "completed", completed); err != nil {
+		return err
+	}
+	if f.ErrorMessage != "" {
+		if err := writeSimple(enc, "errorMessage", f.ErrorMessage); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(ftr.End())
+}
+
+func writeNode(enc *xml.Encoder, n *Node) error {
+	el := xml.StartElement{Name: xml.Name{Local: n.Tag}}
+	if err := enc.EncodeToken(el); err != nil {
+		return err
+	}
+	if n.ID != "" {
+		if err := writeSimple(enc, "ID", n.ID); err != nil {
+			return err
+		}
+	}
+	if n.IsBranch() {
+		for _, c := range n.Children {
+			if err := writeNode(enc, c); err != nil {
+				return err
+			}
+		}
+	} else if n.Text != "" {
+		if err := enc.EncodeToken(xml.CharData(n.Text)); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(el.End())
+}
+
+// Parse decodes the XML wire form of a report using a streaming token
+// scan (the depot's cache design requires SAX-style processing; see Section
+// 3.2.2).
+func Parse(data []byte) (*Report, error) {
+	return Read(bytes.NewReader(data))
+}
+
+// Read decodes a report from r.
+func Read(r io.Reader) (*Report, error) {
+	dec := xml.NewDecoder(r)
+	start, err := nextStart(dec)
+	if err != nil {
+		return nil, fmt.Errorf("report: no root element: %w", err)
+	}
+	if start.Name.Local != "incaReport" {
+		return nil, fmt.Errorf("report: root element %q, want incaReport", start.Name.Local)
+	}
+	var rep Report
+	sawHeader, sawFooter := false, false
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("report: truncated document: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "header":
+				if err := parseHeader(dec, &rep.Header); err != nil {
+					return nil, err
+				}
+				sawHeader = true
+			case "body":
+				body, err := parseBody(dec)
+				if err != nil {
+					return nil, err
+				}
+				rep.Body = body
+			case "footer":
+				if err := parseFooter(dec, &rep.Footer); err != nil {
+					return nil, err
+				}
+				sawFooter = true
+			default:
+				if err := dec.Skip(); err != nil {
+					return nil, err
+				}
+			}
+		case xml.EndElement:
+			if t.Name.Local == "incaReport" {
+				if !sawHeader {
+					return nil, fmt.Errorf("report: missing header")
+				}
+				if !sawFooter {
+					return nil, fmt.Errorf("report: missing footer")
+				}
+				return &rep, nil
+			}
+		}
+	}
+}
+
+func nextStart(dec *xml.Decoder) (xml.StartElement, error) {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return xml.StartElement{}, err
+		}
+		if s, ok := tok.(xml.StartElement); ok {
+			return s, nil
+		}
+	}
+}
+
+// collectText reads character data until the current element's end tag.
+func collectText(dec *xml.Decoder) (string, error) {
+	var sb strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return "", err
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			sb.Write(t)
+		case xml.EndElement:
+			return sb.String(), nil
+		case xml.StartElement:
+			return "", fmt.Errorf("report: unexpected element <%s> in text content", t.Name.Local)
+		}
+	}
+}
+
+func parseHeader(dec *xml.Decoder, h *Header) error {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "reporter":
+				if err := parseReporterIdent(dec, h); err != nil {
+					return err
+				}
+			case "hostname":
+				if h.Hostname, err = collectText(dec); err != nil {
+					return err
+				}
+			case "gmt":
+				s, err := collectText(dec)
+				if err != nil {
+					return err
+				}
+				ts, err := time.Parse(gmtLayout, strings.TrimSpace(s))
+				if err != nil {
+					return fmt.Errorf("report: bad gmt %q: %w", s, err)
+				}
+				h.GMT = ts
+			case "workingDir":
+				if h.WorkingDir, err = collectText(dec); err != nil {
+					return err
+				}
+			case "reporterPath":
+				if h.ReporterPath, err = collectText(dec); err != nil {
+					return err
+				}
+			case "args":
+				if err := parseArgs(dec, h); err != nil {
+					return err
+				}
+			default:
+				if err := dec.Skip(); err != nil {
+					return err
+				}
+			}
+		case xml.EndElement:
+			return nil
+		}
+	}
+}
+
+func parseReporterIdent(dec *xml.Decoder, h *Header) error {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "name":
+				if h.Name, err = collectText(dec); err != nil {
+					return err
+				}
+			case "version":
+				if h.Version, err = collectText(dec); err != nil {
+					return err
+				}
+			default:
+				if err := dec.Skip(); err != nil {
+					return err
+				}
+			}
+		case xml.EndElement:
+			return nil
+		}
+	}
+}
+
+func parseArgs(dec *xml.Decoder, h *Header) error {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Local != "arg" {
+				if err := dec.Skip(); err != nil {
+					return err
+				}
+				continue
+			}
+			var a Arg
+			for {
+				tok, err := dec.Token()
+				if err != nil {
+					return err
+				}
+				if s, ok := tok.(xml.StartElement); ok {
+					switch s.Name.Local {
+					case "name":
+						if a.Name, err = collectText(dec); err != nil {
+							return err
+						}
+					case "value":
+						if a.Value, err = collectText(dec); err != nil {
+							return err
+						}
+					default:
+						if err := dec.Skip(); err != nil {
+							return err
+						}
+					}
+					continue
+				}
+				if _, ok := tok.(xml.EndElement); ok {
+					break
+				}
+			}
+			h.Args = append(h.Args, a)
+		case xml.EndElement:
+			return nil
+		}
+	}
+}
+
+func parseFooter(dec *xml.Decoder, f *Footer) error {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "completed":
+				s, err := collectText(dec)
+				if err != nil {
+					return err
+				}
+				f.Completed = strings.TrimSpace(s) == "true"
+			case "errorMessage":
+				if f.ErrorMessage, err = collectText(dec); err != nil {
+					return err
+				}
+			default:
+				if err := dec.Skip(); err != nil {
+					return err
+				}
+			}
+		case xml.EndElement:
+			return nil
+		}
+	}
+}
+
+// parseBody reads the open-schema body: at most one root node is expected
+// (nil for an empty body).
+func parseBody(dec *xml.Decoder) (*Node, error) {
+	var root *Node
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			n, err := parseNode(dec, t)
+			if err != nil {
+				return nil, err
+			}
+			if root != nil {
+				return nil, fmt.Errorf("report: body has multiple roots (%s then %s)", root.Tag, n.Tag)
+			}
+			root = n
+		case xml.EndElement:
+			return root, nil
+		}
+	}
+}
+
+// ParseNodeXML decodes a standalone body fragment (a single element tree).
+// The depot uses it when reconstructing subtrees from the cache.
+func ParseNodeXML(data []byte) (*Node, error) {
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	start, err := nextStart(dec)
+	if err != nil {
+		return nil, fmt.Errorf("report: no element in fragment: %w", err)
+	}
+	return parseNode(dec, start)
+}
+
+// MarshalNodeXML serializes a standalone body fragment.
+func MarshalNodeXML(n *Node) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := xml.NewEncoder(&buf)
+	if err := writeNode(enc, n); err != nil {
+		return nil, err
+	}
+	if err := enc.Flush(); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func parseNode(dec *xml.Decoder, start xml.StartElement) (*Node, error) {
+	n := &Node{Tag: start.Name.Local}
+	var text strings.Builder
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Local == "ID" && n.ID == "" && len(n.Children) == 0 {
+				id, err := collectText(dec)
+				if err != nil {
+					return nil, err
+				}
+				n.ID = strings.TrimSpace(id)
+				continue
+			}
+			child, err := parseNode(dec, t)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, child)
+		case xml.CharData:
+			text.Write(t)
+		case xml.EndElement:
+			if !n.IsBranch() {
+				n.Text = strings.TrimSpace(text.String())
+			}
+			return n, nil
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package report
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMarshalParseRoundTrip(t *testing.T) {
+	orig := sampleReport()
+	data, err := Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, data)
+	}
+	if !reflect.DeepEqual(orig.Header, back.Header) {
+		t.Fatalf("header round trip:\n got %+v\nwant %+v", back.Header, orig.Header)
+	}
+	if !reflect.DeepEqual(orig.Footer, back.Footer) {
+		t.Fatalf("footer round trip: got %+v want %+v", back.Footer, orig.Footer)
+	}
+	if !reflect.DeepEqual(orig.Body, back.Body) {
+		t.Fatalf("body round trip:\n got %#v\nwant %#v", back.Body, orig.Body)
+	}
+}
+
+func TestMarshalFailedReport(t *testing.T) {
+	orig := New("unit.globus", "1.0", "h", testTime).Fail("gatekeeper timed out")
+	data, err := Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Succeeded() {
+		t.Fatal("failure flag lost")
+	}
+	if back.Footer.ErrorMessage != "gatekeeper timed out" {
+		t.Fatalf("error = %q", back.Footer.ErrorMessage)
+	}
+	if back.Body != nil {
+		t.Fatalf("empty body round-tripped as %+v", back.Body)
+	}
+}
+
+func TestMarshalEscapesSpecials(t *testing.T) {
+	orig := New("r", "1", "h", testTime)
+	orig.Body = Branch("msg", "m1", Leaf("text", `a <b> & "c" 'd'`))
+	orig.Footer.ErrorMessage = "x < y & z"
+	orig.Footer.Completed = false
+	data, err := Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("a <b>")) {
+		t.Fatalf("unescaped markup in output: %s", data)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := back.Body.Value("text,msg=m1"); v != `a <b> & "c" 'd'` {
+		t.Fatalf("escaped text round trip = %q", v)
+	}
+	if back.Footer.ErrorMessage != "x < y & z" {
+		t.Fatalf("footer round trip = %q", back.Footer.ErrorMessage)
+	}
+}
+
+func TestParseFigure2Snippet(t *testing.T) {
+	// The literal element structure from Figure 2 of the paper, embedded in
+	// a report body.
+	doc := `<incaReport>
+	<header>
+	  <reporter><name>bw</name><version>1</version></reporter>
+	  <hostname>h</hostname>
+	  <gmt>2004-07-07T12:00:00Z</gmt>
+	</header>
+	<body>
+	  <metric>
+	    <ID>bandwidth</ID>
+	    <statistic>
+	      <ID>upperBound</ID>
+	      <value>998.67</value>
+	      <units>Mbps</units>
+	    </statistic>
+	    <statistic>
+	      <ID>lowerBound</ID>
+	      <value>984.99</value>
+	      <units>Mbps</units>
+	    </statistic>
+	  </metric>
+	</body>
+	<footer><completed>true</completed></footer>
+	</incaReport>`
+	r, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f, ok := r.Body.Float("value,statistic=lowerBound,metric=bandwidth")
+	if !ok || f != 984.99 {
+		t.Fatalf("lowerBound = %g,%v", f, ok)
+	}
+	if r.Header.Name != "bw" || r.Header.Hostname != "h" {
+		t.Fatalf("header = %+v", r.Header)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not xml",
+		"<wrongRoot></wrongRoot>",
+		"<incaReport><header>", // truncated
+		"<incaReport><footer><completed>true</completed></footer></incaReport>",                                                              // no header
+		"<incaReport><header><reporter><name>x</name></reporter><hostname>h</hostname><gmt>2004-07-07T12:00:00Z</gmt></header></incaReport>", // no footer
+		"<incaReport><header><gmt>yesterday</gmt></header><footer><completed>true</completed></footer></incaReport>",                         // bad time
+	}
+	for _, c := range cases {
+		if _, err := Parse([]byte(c)); err == nil {
+			t.Errorf("Parse accepted %q", c)
+		}
+	}
+}
+
+func TestParseMultipleBodyRootsRejected(t *testing.T) {
+	doc := `<incaReport><header><reporter><name>x</name></reporter><hostname>h</hostname><gmt>2004-07-07T12:00:00Z</gmt></header>` +
+		`<body><a><ID>1</ID></a><b><ID>2</ID></b></body>` +
+		`<footer><completed>true</completed></footer></incaReport>`
+	if _, err := Parse([]byte(doc)); err == nil {
+		t.Fatal("multi-root body accepted")
+	}
+}
+
+func TestParseSkipsUnknownHeaderFields(t *testing.T) {
+	doc := `<incaReport><header><futureField>x</futureField><reporter><name>x</name><extra>1</extra></reporter><hostname>h</hostname><gmt>2004-07-07T12:00:00Z</gmt></header>` +
+		`<body/><footer><completed>true</completed><note>n</note></footer></incaReport>`
+	r, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Header.Name != "x" {
+		t.Fatalf("name = %q", r.Header.Name)
+	}
+}
+
+func TestNodeFragmentRoundTrip(t *testing.T) {
+	n := figure2Body()
+	data, err := MarshalNodeXML(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseNodeXML(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(n, back) {
+		t.Fatalf("fragment round trip:\n got %#v\nwant %#v", back, n)
+	}
+}
+
+func TestParseNodeXMLErrors(t *testing.T) {
+	if _, err := ParseNodeXML(nil); err == nil {
+		t.Fatal("empty fragment accepted")
+	}
+	if _, err := ParseNodeXML([]byte("<open>")); err == nil {
+		t.Fatal("truncated fragment accepted")
+	}
+}
+
+// randomNode builds a random valid body tree with unique sibling keys.
+func randomNode(r *rand.Rand, depth int) *Node {
+	tags := []string{"metric", "statistic", "pkg", "env", "test", "result"}
+	tag := tags[r.Intn(len(tags))]
+	if depth <= 0 || r.Intn(3) == 0 {
+		return Leaf(tag, randText(r))
+	}
+	n := Branch(tag, "id"+randText(r))
+	kids := 1 + r.Intn(3)
+	for i := 0; i < kids; i++ {
+		c := randomNode(r, depth-1)
+		c.ID = c.ID + "-" + string(rune('a'+i)) // force sibling uniqueness
+		if !c.IsBranch() {
+			c.ID = ""
+			c.Tag = c.Tag + string(rune('a'+i))
+		}
+		n.Add(c)
+	}
+	return n
+}
+
+func randText(r *rand.Rand) string {
+	const alpha = "abcdefghij0123456789 .<>&"
+	n := 1 + r.Intn(12)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alpha[r.Intn(len(alpha))]
+	}
+	return strings.TrimSpace(string(b))
+}
+
+func TestRandomBodyRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		orig := New("prop.test", "1", "h", testTime)
+		orig.Body = randomNode(r, 3)
+		data, err := Marshal(orig)
+		if err != nil {
+			return false
+		}
+		back, err := Parse(data)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(normalize(orig.Body), normalize(back.Body))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// normalize trims leaf text the way the parser does, so random trees whose
+// text has leading/trailing whitespace still compare equal after a round
+// trip.
+func normalize(n *Node) *Node {
+	if n == nil {
+		return nil
+	}
+	c := n.Clone()
+	c.Walk(func(x *Node) bool {
+		if !x.IsBranch() {
+			x.Text = strings.TrimSpace(x.Text)
+		}
+		return true
+	})
+	return c
+}
+
+func TestMarshalDeterministic(t *testing.T) {
+	r := sampleReport()
+	a, err := Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("Marshal is not deterministic")
+	}
+}
+
+func TestGMTAlwaysUTC(t *testing.T) {
+	loc := time.FixedZone("PDT", -7*3600)
+	r := New("r", "1", "h", time.Date(2004, 7, 7, 5, 0, 0, 0, loc))
+	data, err := Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte("2004-07-07T12:00:00Z")) {
+		t.Fatalf("timestamp not normalized to UTC: %s", data)
+	}
+}
+
+func TestMinimalHeaderRoundTrip(t *testing.T) {
+	// No working dir, no reporter path, no args: optional header fields
+	// must be omitted and still round-trip.
+	orig := New("bare.probe", "0.1", "h", testTime)
+	data, err := Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("workingDir")) || bytes.Contains(data, []byte("args")) {
+		t.Fatalf("optional fields serialized when empty: %s", data)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig.Header, back.Header) {
+		t.Fatalf("minimal header round trip: %+v vs %+v", back.Header, orig.Header)
+	}
+}
+
+func TestArgsWithSpecialCharacters(t *testing.T) {
+	orig := New("argtest", "1", "h", testTime)
+	orig.Header.Args = []Arg{
+		{Name: "expr", Value: `a < b && c > "d"`},
+		{Name: "empty", Value: ""},
+	}
+	data, err := Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(orig.Header.Args, back.Header.Args) {
+		t.Fatalf("args round trip: %+v vs %+v", back.Header.Args, orig.Header.Args)
+	}
+}
+
+func TestParseArgsSkipsForeignElements(t *testing.T) {
+	doc := `<incaReport><header><reporter><name>x</name></reporter><hostname>h</hostname><gmt>2004-07-07T12:00:00Z</gmt>` +
+		`<args><future>1</future><arg><name>a</name><value>1</value><note>n</note></arg></args></header>` +
+		`<body/><footer><completed>true</completed></footer></incaReport>`
+	r, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Header.Args) != 1 || r.Header.Args[0].Name != "a" {
+		t.Fatalf("args = %+v", r.Header.Args)
+	}
+}

@@ -1,0 +1,95 @@
+package reporter
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"time"
+
+	"inca/internal/report"
+)
+
+// Exec runs an external reporter program — the deployed system's normal
+// case ("a reporter can be written in any language", Section 3.1.2): the
+// process is executed with the series' arguments on its command line and
+// must print a specification-compliant XML report on standard output.
+//
+// The rendered scripts from catalog.Script are themselves runnable Exec
+// reporters.
+type Exec struct {
+	ReporterName        string
+	ReporterVersion     string
+	ReporterDescription string
+	// Path is the program to execute.
+	Path string
+	// Interpreter, when set, runs Path through it (e.g. "/bin/sh").
+	Interpreter string
+	// Timeout bounds the subprocess (also enforced by the agent's series
+	// limit; this is the reporter-local backstop). Zero means no local
+	// timeout.
+	Timeout time.Duration
+}
+
+// Name implements Reporter.
+func (e *Exec) Name() string { return e.ReporterName }
+
+// Version implements Reporter.
+func (e *Exec) Version() string {
+	if e.ReporterVersion == "" {
+		return "1.0"
+	}
+	return e.ReporterVersion
+}
+
+// Description implements Reporter.
+func (e *Exec) Description() string { return e.ReporterDescription }
+
+// Run implements Reporter: it executes the program and parses its stdout
+// as a report. Execution errors and malformed output become error reports,
+// never panics — a broken external reporter must not take down the agent.
+func (e *Exec) Run(ctx *Context) *report.Report {
+	cctx := context.Background()
+	var cancel context.CancelFunc = func() {}
+	if e.Timeout > 0 {
+		cctx, cancel = context.WithTimeout(cctx, e.Timeout)
+	}
+	defer cancel()
+
+	var cmd *exec.Cmd
+	if e.Interpreter != "" {
+		cmd = exec.CommandContext(cctx, e.Interpreter, e.Path)
+	} else {
+		cmd = exec.CommandContext(cctx, e.Path)
+	}
+	for _, a := range ctx.Args {
+		cmd.Args = append(cmd.Args, fmt.Sprintf("--%s=%s", a.Name, a.Value))
+	}
+	if ctx.WorkingDir != "" {
+		// Only honour the working directory when it exists; a misconfigured
+		// spec should surface as a probe failure, not prevent every run.
+		if st, err := os.Stat(ctx.WorkingDir); err == nil && st.IsDir() {
+			cmd.Dir = ctx.WorkingDir
+		}
+	}
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	// Don't hang on grandchildren that inherit the output pipes after the
+	// reporter itself is killed.
+	cmd.WaitDelay = time.Second
+
+	runErr := cmd.Run()
+	rep, parseErr := report.Parse(stdout.Bytes())
+	switch {
+	case parseErr == nil:
+		// The program spoke the specification; trust its own header and
+		// footer (a failing probe exits non-zero AND reports the failure).
+		return rep
+	case runErr != nil:
+		return New(e, ctx).Fail("reporter process failed: %v (stderr: %.200s)", runErr, stderr.String())
+	default:
+		return New(e, ctx).Fail("reporter printed malformed output: %v (first bytes: %.120q)", parseErr, stdout.String())
+	}
+}

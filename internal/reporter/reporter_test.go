@@ -1,0 +1,231 @@
+package reporter
+
+import (
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"inca/internal/report"
+)
+
+var testTime = time.Date(2004, 7, 7, 12, 0, 0, 0, time.UTC)
+
+func testCtx() *Context {
+	return &Context{
+		Hostname:     "login1.example.org",
+		Now:          testTime,
+		WorkingDir:   "/home/inca",
+		ReporterPath: "/home/inca/reporters",
+		Args: []report.Arg{
+			{Name: "dest", Value: "siteB"},
+			{Name: "timeout", Value: "300"},
+		},
+	}
+}
+
+func TestContextArg(t *testing.T) {
+	ctx := testCtx()
+	if v := ctx.Arg("dest", "x"); v != "siteB" {
+		t.Fatalf("Arg(dest) = %q", v)
+	}
+	if v := ctx.Arg("missing", "fallback"); v != "fallback" {
+		t.Fatalf("Arg(missing) = %q", v)
+	}
+}
+
+func TestNewStampsEverything(t *testing.T) {
+	f := &Func{ReporterName: "probe.x", ReporterVersion: "2.1"}
+	rep := New(f, testCtx())
+	h := rep.Header
+	if h.Name != "probe.x" || h.Version != "2.1" || h.Hostname != "login1.example.org" {
+		t.Fatalf("header = %+v", h)
+	}
+	if h.WorkingDir != "/home/inca" || h.ReporterPath != "/home/inca/reporters" {
+		t.Fatalf("paths = %+v", h)
+	}
+	if len(h.Args) != 2 || h.Args[0].Name != "dest" {
+		t.Fatalf("args = %+v", h.Args)
+	}
+	if !h.GMT.Equal(testTime) {
+		t.Fatalf("GMT = %v", h.GMT)
+	}
+	// Args must be copied, not aliased.
+	ctx := testCtx()
+	rep = New(f, ctx)
+	ctx.Args[0].Value = "tampered"
+	if rep.Header.Args[0].Value == "tampered" {
+		t.Fatal("args aliased")
+	}
+}
+
+func TestFuncReporter(t *testing.T) {
+	f := &Func{
+		ReporterName:        "probe.y",
+		ReporterDescription: "desc",
+		Duration:            3 * time.Second,
+		Fn: func(ctx *Context, rep *report.Report) {
+			rep.Body = report.Branch("probe", "y", report.Leaf("arg", ctx.Arg("dest", "")))
+		},
+	}
+	if f.Name() != "probe.y" || f.Description() != "desc" || f.Version() != "1.0" {
+		t.Fatal("metadata wrong")
+	}
+	if f.RunDuration(nil) != 3*time.Second {
+		t.Fatal("duration wrong")
+	}
+	rep := f.Run(testCtx())
+	if v, _ := rep.Body.Value("arg,probe=y"); v != "siteB" {
+		t.Fatalf("body arg = %q", v)
+	}
+}
+
+func TestValidateCatchesBadReporters(t *testing.T) {
+	cases := []struct {
+		name string
+		r    Reporter
+	}{
+		{"nil report", &badReporter{mode: "nil"}},
+		{"wrong header name", &badReporter{mode: "wrongname"}},
+		{"invalid body", &badReporter{mode: "dupids"}},
+		{"failure without message", &badReporter{mode: "silentfail"}},
+	}
+	for _, c := range cases {
+		if err := Validate(c.r, testCtx()); err == nil {
+			t.Errorf("%s: Validate accepted", c.name)
+		}
+	}
+	good := &Func{ReporterName: "ok", Fn: func(ctx *Context, rep *report.Report) {
+		rep.Body = report.Branch("m", "1", report.Leaf("v", "x"))
+	}}
+	if err := Validate(good, testCtx()); err != nil {
+		t.Fatalf("good reporter rejected: %v", err)
+	}
+}
+
+type badReporter struct{ mode string }
+
+func (b *badReporter) Name() string        { return "bad.reporter" }
+func (b *badReporter) Version() string     { return "1" }
+func (b *badReporter) Description() string { return "bad" }
+func (b *badReporter) Run(ctx *Context) *report.Report {
+	switch b.mode {
+	case "nil":
+		return nil
+	case "wrongname":
+		return report.New("different.name", "1", ctx.Hostname, ctx.Now)
+	case "dupids":
+		r := New(b, ctx)
+		r.Body = report.Branch("m", "1",
+			report.Branch("s", "x", report.Leaf("v", "1")),
+			report.Branch("s", "x", report.Leaf("v", "2")))
+		return r
+	case "silentfail":
+		r := New(b, ctx)
+		r.Footer.Completed = false
+		return r
+	}
+	return New(b, ctx)
+}
+
+func TestExecReporterRunsScript(t *testing.T) {
+	dir := t.TempDir()
+	script := dir + "/probe.sh"
+	content := `#!/bin/sh
+cat <<'EOF'
+<incaReport>
+<header><reporter><name>exec.probe</name><version>1.0</version></reporter>
+<hostname>exechost</hostname><gmt>2004-07-07T12:00:00Z</gmt></header>
+<body><probe><ID>x</ID><got>$1</got></probe></body>
+<footer><completed>true</completed></footer>
+</incaReport>
+EOF
+`
+	if err := writeFile(script, content); err != nil {
+		t.Fatal(err)
+	}
+	e := &Exec{ReporterName: "exec.probe", Path: script, Interpreter: "/bin/sh", Timeout: 10 * time.Second}
+	rep := e.Run(testCtx())
+	if !rep.Succeeded() {
+		t.Fatalf("exec reporter failed: %s", rep.Footer.ErrorMessage)
+	}
+	if rep.Header.Name != "exec.probe" || rep.Header.Hostname != "exechost" {
+		t.Fatalf("header = %+v", rep.Header)
+	}
+	if _, ok := rep.Body.Value("got,probe=x"); !ok {
+		t.Fatalf("body = %+v", rep.Body)
+	}
+}
+
+func TestExecReporterFailures(t *testing.T) {
+	dir := t.TempDir()
+	// Exits non-zero with garbage output.
+	bad := dir + "/bad.sh"
+	if err := writeFile(bad, "#!/bin/sh\necho not xml\nexit 3\n"); err != nil {
+		t.Fatal(err)
+	}
+	e := &Exec{ReporterName: "exec.bad", Path: bad, Interpreter: "/bin/sh"}
+	rep := e.Run(testCtx())
+	if rep.Succeeded() {
+		t.Fatal("failing process reported success")
+	}
+	if !strings.Contains(rep.Footer.ErrorMessage, "reporter process failed") {
+		t.Fatalf("error = %q", rep.Footer.ErrorMessage)
+	}
+
+	// Exits zero but prints garbage.
+	garbage := dir + "/garbage.sh"
+	if err := writeFile(garbage, "#!/bin/sh\necho '<not><valid>'\n"); err != nil {
+		t.Fatal(err)
+	}
+	e = &Exec{ReporterName: "exec.garbage", Path: garbage, Interpreter: "/bin/sh"}
+	rep = e.Run(testCtx())
+	if rep.Succeeded() || !strings.Contains(rep.Footer.ErrorMessage, "malformed output") {
+		t.Fatalf("garbage output: %+v", rep.Footer)
+	}
+
+	// Missing binary.
+	e = &Exec{ReporterName: "exec.missing", Path: dir + "/nonexistent"}
+	rep = e.Run(testCtx())
+	if rep.Succeeded() {
+		t.Fatal("missing binary reported success")
+	}
+}
+
+func TestExecReporterTimeout(t *testing.T) {
+	dir := t.TempDir()
+	slow := dir + "/slow.sh"
+	if err := writeFile(slow, "#!/bin/sh\nsleep 30\n"); err != nil {
+		t.Fatal(err)
+	}
+	e := &Exec{ReporterName: "exec.slow", Path: slow, Interpreter: "/bin/sh", Timeout: 100 * time.Millisecond}
+	start := time.Now()
+	rep := e.Run(testCtx())
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("timeout not enforced")
+	}
+	if rep.Succeeded() {
+		t.Fatal("timed-out process reported success")
+	}
+}
+
+// TestExecFailureReportStillSpecCompliant: even reports fabricated from a
+// broken subprocess must marshal and validate.
+func TestExecFailureReportSpecCompliant(t *testing.T) {
+	e := &Exec{ReporterName: "exec.none", Path: "/definitely/not/here"}
+	rep := e.Run(testCtx())
+	if err := rep.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := report.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := report.Parse(data); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o755)
+}

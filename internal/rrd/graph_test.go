@@ -1,0 +1,106 @@
+package rrd
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func seriesWith(vals []float64) *Series {
+	s := &Series{CF: Average, Resolution: time.Minute, DSNames: []string{"v"}}
+	for i, v := range vals {
+		s.Points = append(s.Points, Point{Time: t0.Add(time.Duration(i) * time.Minute), Values: []float64{v}})
+	}
+	return s
+}
+
+func TestGraphBasic(t *testing.T) {
+	vals := make([]float64, 60)
+	for i := range vals {
+		vals[i] = 50 + 40*math.Sin(float64(i)/10)
+	}
+	out, err := Graph(seriesWith(vals), "v", GraphOptions{Title: "bandwidth", YLabel: "Mbps", Width: 60, Height: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "bandwidth") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("no plot marks:\n%s", out)
+	}
+	if !strings.Contains(out, "Mbps") {
+		t.Fatalf("missing y label:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 12 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+}
+
+func TestGraphUnknownDS(t *testing.T) {
+	if _, err := Graph(seriesWith([]float64{1}), "ghost", GraphOptions{}); err == nil {
+		t.Fatal("unknown DS accepted")
+	}
+}
+
+func TestGraphAllNaN(t *testing.T) {
+	out, err := Graph(seriesWith([]float64{math.NaN(), math.NaN()}), "v", GraphOptions{Width: 10, Height: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "*") {
+		t.Fatalf("marks plotted for all-unknown series:\n%s", out)
+	}
+}
+
+func TestGraphFixedRangeClamps(t *testing.T) {
+	out, err := Graph(seriesWith([]float64{-50, 0, 50, 150}), "v", GraphOptions{YMin: 0, YMax: 100, Width: 8, Height: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "100.00") || !strings.Contains(out, "0.00") {
+		t.Fatalf("fixed range labels missing:\n%s", out)
+	}
+}
+
+func TestGraphConstantSeries(t *testing.T) {
+	out, err := Graph(seriesWith([]float64{5, 5, 5}), "v", GraphOptions{Width: 12, Height: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series not plotted:\n%s", out)
+	}
+}
+
+func TestGraphEmptySeries(t *testing.T) {
+	s := &Series{CF: Average, Resolution: time.Minute, DSNames: []string{"v"}}
+	out, err := Graph(s, "v", GraphOptions{Width: 10, Height: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == "" {
+		t.Fatal("empty output")
+	}
+}
+
+func TestSparkLine(t *testing.T) {
+	got := SparkLine([]float64{0, 1, 2, 3})
+	if len([]rune(got)) != 4 {
+		t.Fatalf("length = %d", len([]rune(got)))
+	}
+	if got[0] == got[len(got)-1] {
+		t.Fatalf("no variation: %q", got)
+	}
+	if s := SparkLine([]float64{math.NaN(), math.NaN()}); s != "··" {
+		t.Fatalf("all-NaN = %q", s)
+	}
+	if s := SparkLine([]float64{7, 7}); !strings.HasPrefix(s, "▁") {
+		t.Fatalf("constant = %q", s)
+	}
+	if s := SparkLine([]float64{1, math.NaN(), 2}); []rune(s)[1] != '·' {
+		t.Fatalf("NaN gap = %q", s)
+	}
+}

@@ -1,0 +1,216 @@
+package rrd
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Durable archives — the paper's future-work "improved data archival
+// methods". A DB serializes to a compact binary image (magic "INCARRD",
+// version 1) capturing every data source, archive ring, and in-progress
+// consolidation, so a depot restart loses nothing.
+
+const persistMagic = "INCARRD1"
+
+type binWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (b *binWriter) u64(v uint64) {
+	if b.err != nil {
+		return
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	_, b.err = b.w.Write(buf[:])
+}
+
+func (b *binWriter) i64(v int64)         { b.u64(uint64(v)) }
+func (b *binWriter) f64(v float64)       { b.u64(math.Float64bits(v)) }
+func (b *binWriter) dur(v time.Duration) { b.i64(int64(v)) }
+func (b *binWriter) time(v time.Time)    { b.i64(v.UnixNano()) }
+func (b *binWriter) str(s string) {
+	b.u64(uint64(len(s)))
+	if b.err != nil {
+		return
+	}
+	_, b.err = b.w.WriteString(s)
+}
+
+type binReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (b *binReader) u64() uint64 {
+	if b.err != nil {
+		return 0
+	}
+	var buf [8]byte
+	if _, err := io.ReadFull(b.r, buf[:]); err != nil {
+		b.err = err
+		return 0
+	}
+	return binary.BigEndian.Uint64(buf[:])
+}
+
+func (b *binReader) i64() int64         { return int64(b.u64()) }
+func (b *binReader) f64() float64       { return math.Float64frombits(b.u64()) }
+func (b *binReader) dur() time.Duration { return time.Duration(b.i64()) }
+func (b *binReader) time() time.Time    { return time.Unix(0, b.i64()).UTC() }
+func (b *binReader) str() string {
+	n := b.u64()
+	if b.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		b.err = fmt.Errorf("rrd: implausible string length %d", n)
+		return ""
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(b.r, buf); err != nil {
+		b.err = err
+		return ""
+	}
+	return string(buf)
+}
+
+// WriteTo serializes the database. It implements io.WriterTo.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cw := &countingWriter{w: w}
+	b := &binWriter{w: bufio.NewWriter(cw)}
+	b.str(persistMagic)
+	b.dur(db.step)
+	b.time(db.created)
+	b.time(db.lastUpdate)
+	b.u64(db.updates)
+	b.u64(uint64(len(db.ds)))
+	for i, d := range db.ds {
+		b.str(d.Name)
+		b.u64(uint64(d.Type))
+		b.dur(d.Heartbeat)
+		b.f64(d.Min)
+		b.f64(d.Max)
+		b.f64(db.lastRaw[i])
+		b.f64(db.pdpSum[i])
+		b.dur(db.pdpKnown[i])
+	}
+	b.u64(uint64(len(db.rras)))
+	for _, r := range db.rras {
+		b.u64(uint64(r.def.CF))
+		b.f64(r.def.XFF)
+		b.u64(uint64(r.def.Steps))
+		b.u64(uint64(r.def.Rows))
+		b.i64(int64(r.newest))
+		b.i64(int64(r.filled))
+		b.time(r.lastEnd)
+		b.u64(uint64(r.pdpCount))
+		for _, a := range r.acc {
+			b.f64(a.sum)
+			b.f64(a.min)
+			b.f64(a.max)
+			b.f64(a.last)
+			b.u64(uint64(a.known))
+			b.u64(uint64(a.unknown))
+		}
+		for _, row := range r.ring {
+			for _, v := range row {
+				b.f64(v)
+			}
+		}
+	}
+	if b.err == nil {
+		b.err = b.w.Flush()
+	}
+	return cw.n, b.err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ReadDB deserializes a database written by WriteTo.
+func ReadDB(r io.Reader) (*DB, error) {
+	b := &binReader{r: bufio.NewReader(r)}
+	if magic := b.str(); magic != persistMagic {
+		if b.err != nil {
+			return nil, fmt.Errorf("rrd: read header: %w", b.err)
+		}
+		return nil, fmt.Errorf("rrd: bad magic %q", magic)
+	}
+	db := &DB{}
+	db.step = b.dur()
+	db.created = b.time()
+	db.lastUpdate = b.time()
+	db.updates = b.u64()
+	nds := b.u64()
+	if b.err == nil && (nds == 0 || nds > 1<<16) {
+		return nil, fmt.Errorf("rrd: implausible data source count %d", nds)
+	}
+	for i := uint64(0); i < nds && b.err == nil; i++ {
+		var d DS
+		d.Name = b.str()
+		d.Type = DSType(b.u64())
+		d.Heartbeat = b.dur()
+		d.Min = b.f64()
+		d.Max = b.f64()
+		db.ds = append(db.ds, d)
+		db.lastRaw = append(db.lastRaw, b.f64())
+		db.pdpSum = append(db.pdpSum, b.f64())
+		db.pdpKnown = append(db.pdpKnown, b.dur())
+	}
+	nrra := b.u64()
+	if b.err == nil && (nrra == 0 || nrra > 1<<16) {
+		return nil, fmt.Errorf("rrd: implausible archive count %d", nrra)
+	}
+	for i := uint64(0); i < nrra && b.err == nil; i++ {
+		st := &rraState{}
+		st.def.CF = CF(b.u64())
+		st.def.XFF = b.f64()
+		st.def.Steps = int(b.u64())
+		st.def.Rows = int(b.u64())
+		st.newest = int(b.i64())
+		st.filled = int(b.i64())
+		st.lastEnd = b.time()
+		st.pdpCount = int(b.u64())
+		if b.err == nil && (st.def.Rows <= 0 || st.def.Rows > 1<<24 || st.def.Steps <= 0) {
+			return nil, fmt.Errorf("rrd: implausible archive geometry %d×%d", st.def.Steps, st.def.Rows)
+		}
+		st.acc = make([]cdpAcc, nds)
+		for j := range st.acc {
+			st.acc[j].sum = b.f64()
+			st.acc[j].min = b.f64()
+			st.acc[j].max = b.f64()
+			st.acc[j].last = b.f64()
+			st.acc[j].known = int(b.u64())
+			st.acc[j].unknown = int(b.u64())
+		}
+		st.ring = make([][]float64, st.def.Rows)
+		for j := range st.ring {
+			row := make([]float64, nds)
+			for k := range row {
+				row[k] = b.f64()
+			}
+			st.ring[j] = row
+		}
+		db.rras = append(db.rras, st)
+	}
+	if b.err != nil {
+		return nil, fmt.Errorf("rrd: truncated image: %w", b.err)
+	}
+	return db, nil
+}

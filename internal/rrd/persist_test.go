@@ -1,0 +1,219 @@
+package rrd
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func populatedDB(t *testing.T, seed int64, updates int) *DB {
+	t.Helper()
+	ds := []DS{
+		{Name: "bw", Type: Gauge, Heartbeat: 10 * time.Minute, Min: math.NaN(), Max: math.NaN()},
+		{Name: "pkts", Type: Counter, Heartbeat: 10 * time.Minute, Min: math.NaN(), Max: math.NaN()},
+	}
+	rras := []RRA{
+		{CF: Average, XFF: 0.5, Steps: 1, Rows: 64},
+		{CF: Max, XFF: 0.3, Steps: 5, Rows: 32},
+	}
+	db, err := New(t0, time.Minute, ds, rras)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	counter := 0.0
+	for i := 1; i <= updates; i++ {
+		counter += float64(r.Intn(500))
+		v := r.Float64() * 1000
+		if r.Intn(10) == 0 {
+			v = math.NaN()
+		}
+		// Irregular timestamps exercise partial PDP state.
+		at := t0.Add(time.Duration(i)*time.Minute + time.Duration(r.Intn(30))*time.Second)
+		if err := db.Update(at, v, counter); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func fetchAll(t *testing.T, db *DB, cf CF) *Series {
+	t.Helper()
+	s, err := db.Fetch(cf, t0, t0.Add(24*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// seriesEqual compares fetched series treating NaN == NaN.
+func seriesEqual(a, b *Series) bool {
+	if a.Resolution != b.Resolution || len(a.Points) != len(b.Points) {
+		return false
+	}
+	for i := range a.Points {
+		if !a.Points[i].Time.Equal(b.Points[i].Time) {
+			return false
+		}
+		for j := range a.Points[i].Values {
+			x, y := a.Points[i].Values[j], b.Points[i].Values[j]
+			if math.IsNaN(x) != math.IsNaN(y) {
+				return false
+			}
+			if !math.IsNaN(x) && x != y {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	db := populatedDB(t, 1, 200)
+	var buf bytes.Buffer
+	n, err := db.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d, wrote %d", n, buf.Len())
+	}
+	back, err := ReadDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Step() != db.Step() || !back.Last().Equal(db.Last()) || back.Updates() != db.Updates() {
+		t.Fatalf("metadata: step %v/%v last %v/%v updates %d/%d",
+			back.Step(), db.Step(), back.Last(), db.Last(), back.Updates(), db.Updates())
+	}
+	if !reflect.DeepEqual(back.DSNames(), db.DSNames()) {
+		t.Fatalf("ds names: %v vs %v", back.DSNames(), db.DSNames())
+	}
+	for _, cf := range []CF{Average, Max} {
+		if !seriesEqual(fetchAll(t, db, cf), fetchAll(t, back, cf)) {
+			t.Fatalf("%s series diverge after round trip", cf)
+		}
+	}
+}
+
+// TestPersistMidConsolidation: the in-progress PDP and CDP state must
+// survive, so continuing updates after a reload matches never reloading.
+func TestPersistContinuationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		seed %= 1000
+		orig := populatedDBQuiet(seed, 47) // 47 updates: mid-window for the 5-step RRA
+		var buf bytes.Buffer
+		if _, err := orig.WriteTo(&buf); err != nil {
+			return false
+		}
+		reloaded, err := ReadDB(&buf)
+		if err != nil {
+			return false
+		}
+		// Apply identical further updates to both.
+		r1 := rand.New(rand.NewSource(seed + 999))
+		r2 := rand.New(rand.NewSource(seed + 999))
+		applyMore(orig, r1, 30)
+		applyMore(reloaded, r2, 30)
+		for _, cf := range []CF{Average, Max} {
+			a, err1 := orig.Fetch(cf, t0, t0.Add(24*time.Hour))
+			b, err2 := reloaded.Fetch(cf, t0, t0.Add(24*time.Hour))
+			if err1 != nil || err2 != nil || !seriesEqual(a, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func populatedDBQuiet(seed int64, updates int) *DB {
+	ds := []DS{
+		{Name: "bw", Type: Gauge, Heartbeat: 10 * time.Minute, Min: math.NaN(), Max: math.NaN()},
+		{Name: "pkts", Type: Counter, Heartbeat: 10 * time.Minute, Min: math.NaN(), Max: math.NaN()},
+	}
+	rras := []RRA{
+		{CF: Average, XFF: 0.5, Steps: 1, Rows: 64},
+		{CF: Max, XFF: 0.3, Steps: 5, Rows: 32},
+	}
+	db, _ := New(t0, time.Minute, ds, rras)
+	r := rand.New(rand.NewSource(seed))
+	counter := 0.0
+	for i := 1; i <= updates; i++ {
+		counter += float64(r.Intn(500))
+		db.Update(t0.Add(time.Duration(i)*time.Minute+time.Duration(r.Intn(30))*time.Second),
+			r.Float64()*1000, counter)
+	}
+	return db
+}
+
+func applyMore(db *DB, r *rand.Rand, n int) {
+	last := db.Last()
+	counter := 1e9 // restart-safe: Counter treats decrease as unknown once
+	for i := 1; i <= n; i++ {
+		counter += float64(r.Intn(500))
+		db.Update(last.Add(time.Duration(i)*time.Minute), r.Float64()*1000, counter)
+	}
+}
+
+func TestReadDBRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("\x00\x00\x00\x00\x00\x00\x00\x08NOTMAGIC"),
+	}
+	for _, c := range cases {
+		if _, err := ReadDB(bytes.NewReader(c)); err == nil {
+			t.Errorf("ReadDB accepted %q", c)
+		}
+	}
+	// Truncated valid image.
+	db := populatedDB(t, 2, 20)
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadDB(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated image accepted")
+	}
+}
+
+func TestPersistedImageIsCompact(t *testing.T) {
+	db := populatedDB(t, 3, 500)
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// 2 DS × (64+32) rows ≈ 1.5 KB of samples; the image must stay within
+	// a small multiple, not balloon per-update.
+	if buf.Len() > 8*1024 {
+		t.Fatalf("image is %d bytes for 96 rows × 2 ds", buf.Len())
+	}
+}
+
+func TestReloadedDBAcceptsUpdates(t *testing.T) {
+	db := populatedDB(t, 4, 50)
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Monotonicity is preserved: an update at or before the stored
+	// lastUpdate is rejected; after succeeds.
+	if err := back.Update(back.Last(), 1, 1); err == nil {
+		t.Fatal("stale update accepted after reload")
+	}
+	if err := back.Update(back.Last().Add(time.Minute), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}

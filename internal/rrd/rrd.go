@@ -1,0 +1,473 @@
+// Package rrd is a from-scratch round-robin database in the style of
+// RRDTool, which the paper's depot uses to archive numerical data (Section
+// 3.2.2): fixed-step primary data points (PDPs) derived from timestamped
+// updates, consolidated into round-robin archives (RRAs) by AVERAGE / MIN /
+// MAX / LAST functions, with a heartbeat for staleness and an xff threshold
+// controlling how many unknown inputs a consolidated point tolerates.
+//
+// An Inca archival policy ("granularity of archiving (e.g., every fifth
+// measurement) and the length of history to keep") maps onto an RRA with
+// Steps = granularity and Rows = history/granularity.
+package rrd
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// CF is a consolidation function.
+type CF int
+
+// Consolidation functions supported by RRAs.
+const (
+	Average CF = iota
+	Min
+	Max
+	Last
+)
+
+// String returns the RRDTool-style name of the consolidation function.
+func (c CF) String() string {
+	switch c {
+	case Average:
+		return "AVERAGE"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Last:
+		return "LAST"
+	default:
+		return fmt.Sprintf("CF(%d)", int(c))
+	}
+}
+
+// DSType describes how raw update values convert to a rate/value.
+type DSType int
+
+// Data source types.
+const (
+	// Gauge stores the value as supplied (temperatures, bandwidth
+	// estimates, pass percentages).
+	Gauge DSType = iota
+	// Counter stores the per-second rate of an ever-increasing counter;
+	// a decrease marks the interval unknown (counter reset).
+	Counter
+	// Derive is Counter that permits decreases (signed rate).
+	Derive
+	// Absolute divides each supplied value by the interval length (counts
+	// since last update).
+	Absolute
+)
+
+// String returns the RRDTool-style name of the data source type.
+func (d DSType) String() string {
+	switch d {
+	case Gauge:
+		return "GAUGE"
+	case Counter:
+		return "COUNTER"
+	case Derive:
+		return "DERIVE"
+	case Absolute:
+		return "ABSOLUTE"
+	default:
+		return fmt.Sprintf("DSType(%d)", int(d))
+	}
+}
+
+// DS declares one data source.
+type DS struct {
+	Name string
+	Type DSType
+	// Heartbeat is the maximum silence between updates before the interval
+	// is treated as unknown.
+	Heartbeat time.Duration
+	// Min and Max clamp validity; use NaN for unbounded.
+	Min, Max float64
+}
+
+// RRA declares one round-robin archive.
+type RRA struct {
+	CF CF
+	// XFF is the maximum fraction of unknown PDPs a consolidated point may
+	// absorb and still be known (0 ≤ XFF < 1).
+	XFF float64
+	// Steps is how many PDPs consolidate into one row.
+	Steps int
+	// Rows is the archive length.
+	Rows int
+}
+
+// rraState is an RRA plus its ring buffer and in-progress consolidation.
+type rraState struct {
+	def  RRA
+	ring [][]float64 // [row][ds]
+	// newest is the index of the most recently written row; -1 when empty.
+	newest int
+	filled int
+	// end of the most recently completed consolidation window
+	lastEnd time.Time
+	// in-progress CDP accumulation
+	acc      []cdpAcc
+	pdpCount int
+}
+
+type cdpAcc struct {
+	sum     float64
+	min     float64
+	max     float64
+	last    float64
+	known   int
+	unknown int
+}
+
+// DB is an in-memory round-robin database. All methods are safe for
+// concurrent use.
+type DB struct {
+	mu         sync.Mutex
+	step       time.Duration
+	ds         []DS
+	rras       []*rraState
+	created    time.Time
+	lastUpdate time.Time
+	lastRaw    []float64 // previous raw input per DS (Counter/Derive)
+	// PDP accumulation for the step window containing lastUpdate.
+	pdpSum   []float64       // per DS: sum of rate*seconds over known subintervals
+	pdpKnown []time.Duration // per DS: known time accumulated in the current window
+	updates  uint64
+}
+
+// New creates a database. start becomes the initial "last update" instant;
+// the first real update must be after it.
+func New(start time.Time, step time.Duration, ds []DS, rras []RRA) (*DB, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("rrd: non-positive step %v", step)
+	}
+	if len(ds) == 0 {
+		return nil, fmt.Errorf("rrd: no data sources")
+	}
+	names := make(map[string]bool)
+	for i, d := range ds {
+		if d.Name == "" {
+			return nil, fmt.Errorf("rrd: data source %d has no name", i)
+		}
+		if names[d.Name] {
+			return nil, fmt.Errorf("rrd: duplicate data source %q", d.Name)
+		}
+		names[d.Name] = true
+		if d.Heartbeat <= 0 {
+			return nil, fmt.Errorf("rrd: data source %q has non-positive heartbeat", d.Name)
+		}
+	}
+	if len(rras) == 0 {
+		return nil, fmt.Errorf("rrd: no archives")
+	}
+	db := &DB{
+		step:       step,
+		ds:         append([]DS(nil), ds...),
+		created:    start,
+		lastUpdate: start,
+		lastRaw:    make([]float64, len(ds)),
+		pdpSum:     make([]float64, len(ds)),
+		pdpKnown:   make([]time.Duration, len(ds)),
+	}
+	for i := range db.lastRaw {
+		db.lastRaw[i] = math.NaN()
+	}
+	base := start.Truncate(step)
+	for _, r := range rras {
+		if r.Steps <= 0 || r.Rows <= 0 {
+			return nil, fmt.Errorf("rrd: archive %s has non-positive steps/rows", r.CF)
+		}
+		if r.XFF < 0 || r.XFF >= 1 {
+			return nil, fmt.Errorf("rrd: archive %s xff %g out of [0,1)", r.CF, r.XFF)
+		}
+		st := &rraState{def: r, newest: -1, lastEnd: base, acc: make([]cdpAcc, len(ds))}
+		st.ring = make([][]float64, r.Rows)
+		for i := range st.ring {
+			st.ring[i] = make([]float64, len(ds))
+			for j := range st.ring[i] {
+				st.ring[i][j] = math.NaN()
+			}
+		}
+		resetAcc(st.acc)
+		db.rras = append(db.rras, st)
+	}
+	return db, nil
+}
+
+func resetAcc(acc []cdpAcc) {
+	for i := range acc {
+		acc[i] = cdpAcc{min: math.Inf(1), max: math.Inf(-1), last: math.NaN()}
+	}
+}
+
+// Step returns the PDP step.
+func (db *DB) Step() time.Duration { return db.step }
+
+// Last returns the time of the most recent update.
+func (db *DB) Last() time.Time {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.lastUpdate
+}
+
+// Updates returns the number of successful updates applied.
+func (db *DB) Updates() uint64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.updates
+}
+
+// DSNames returns the data source names in declaration order.
+func (db *DB) DSNames() []string {
+	out := make([]string, len(db.ds))
+	for i, d := range db.ds {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Update records raw values for every data source at time t. Updates must
+// be strictly newer than the previous one. Use math.NaN for an unknown
+// value.
+func (db *DB) Update(t time.Time, values ...float64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if len(values) != len(db.ds) {
+		return fmt.Errorf("rrd: update has %d values, want %d", len(values), len(db.ds))
+	}
+	if !t.After(db.lastUpdate) {
+		return fmt.Errorf("rrd: update at %v not after last update %v", t, db.lastUpdate)
+	}
+	dt := t.Sub(db.lastUpdate)
+	secs := dt.Seconds()
+
+	// Convert raw inputs to rates/values per DS type.
+	rates := make([]float64, len(db.ds))
+	for i, d := range db.ds {
+		v := values[i]
+		switch d.Type {
+		case Gauge:
+			rates[i] = v
+		case Counter:
+			prev := db.lastRaw[i]
+			if math.IsNaN(prev) || math.IsNaN(v) || v < prev {
+				rates[i] = math.NaN()
+			} else {
+				rates[i] = (v - prev) / secs
+			}
+		case Derive:
+			prev := db.lastRaw[i]
+			if math.IsNaN(prev) || math.IsNaN(v) {
+				rates[i] = math.NaN()
+			} else {
+				rates[i] = (v - prev) / secs
+			}
+		case Absolute:
+			if math.IsNaN(v) {
+				rates[i] = math.NaN()
+			} else {
+				rates[i] = v / secs
+			}
+		}
+		if dt > d.Heartbeat {
+			rates[i] = math.NaN()
+		}
+		if !math.IsNaN(rates[i]) {
+			if !math.IsNaN(d.Min) && rates[i] < d.Min {
+				rates[i] = math.NaN()
+			}
+			if !math.IsNaN(d.Max) && rates[i] > d.Max {
+				rates[i] = math.NaN()
+			}
+		}
+		db.lastRaw[i] = v
+	}
+
+	// Distribute the interval across step windows, finalizing each PDP the
+	// interval completes. Within one Update the rate is constant, so each
+	// segment contributes rate*segmentSeconds to its window's accumulator.
+	cursor := db.lastUpdate
+	for {
+		windowEnd := cursor.Truncate(db.step).Add(db.step)
+		segEnd := windowEnd
+		if t.Before(segEnd) {
+			segEnd = t
+		}
+		seg := segEnd.Sub(cursor)
+		for i := range rates {
+			if !math.IsNaN(rates[i]) {
+				db.pdpSum[i] += rates[i] * seg.Seconds()
+				db.pdpKnown[i] += seg
+			}
+		}
+		cursor = segEnd
+		if cursor.Before(windowEnd) {
+			break // interval consumed; PDP window still open
+		}
+		// Finalize the PDP for [windowEnd-step, windowEnd): a data source
+		// must have been known for at least half the window (RRDTool's
+		// rule) or its PDP is unknown.
+		pdp := make([]float64, len(db.ds))
+		for i := range pdp {
+			if db.pdpKnown[i]*2 < db.step {
+				pdp[i] = math.NaN()
+			} else {
+				pdp[i] = db.pdpSum[i] / db.pdpKnown[i].Seconds()
+			}
+			db.pdpSum[i] = 0
+			db.pdpKnown[i] = 0
+		}
+		for _, rra := range db.rras {
+			rra.pushPDP(windowEnd, pdp, db.step)
+		}
+		if !cursor.Before(t) {
+			break
+		}
+	}
+	db.lastUpdate = t
+	db.updates++
+	return nil
+}
+
+// pushPDP folds one finalized PDP (for the window ending at end) into the
+// archive's in-progress consolidation.
+func (r *rraState) pushPDP(end time.Time, pdp []float64, step time.Duration) {
+	for i, v := range pdp {
+		a := &r.acc[i]
+		if math.IsNaN(v) {
+			a.unknown++
+		} else {
+			a.known++
+			a.sum += v
+			if v < a.min {
+				a.min = v
+			}
+			if v > a.max {
+				a.max = v
+			}
+			a.last = v
+		}
+	}
+	r.pdpCount++
+	if r.pdpCount < r.def.Steps {
+		return
+	}
+	row := make([]float64, len(pdp))
+	for i := range pdp {
+		a := &r.acc[i]
+		if float64(a.unknown)/float64(r.def.Steps) > r.def.XFF || a.known == 0 {
+			row[i] = math.NaN()
+			continue
+		}
+		switch r.def.CF {
+		case Average:
+			row[i] = a.sum / float64(a.known)
+		case Min:
+			row[i] = a.min
+		case Max:
+			row[i] = a.max
+		case Last:
+			row[i] = a.last
+		}
+	}
+	r.newest = (r.newest + 1) % r.def.Rows
+	r.ring[r.newest] = row
+	if r.filled < r.def.Rows {
+		r.filled++
+	}
+	r.lastEnd = end
+	r.pdpCount = 0
+	resetAcc(r.acc)
+}
+
+// Point is one fetched sample: the end of its consolidation window and one
+// value per data source.
+type Point struct {
+	Time   time.Time
+	Values []float64
+}
+
+// Series is the result of a Fetch.
+type Series struct {
+	CF         CF
+	Resolution time.Duration
+	DSNames    []string
+	Points     []Point
+}
+
+// Values returns the series for the named data source.
+func (s *Series) Values(ds string) ([]float64, error) {
+	idx := -1
+	for i, n := range s.DSNames {
+		if n == ds {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, fmt.Errorf("rrd: no data source %q", ds)
+	}
+	out := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		out[i] = p.Values[idx]
+	}
+	return out, nil
+}
+
+// Fetch returns consolidated data with the given CF covering [start, end].
+// It picks the finest-resolution archive with that CF whose retention
+// reaches back to start (falling back to the longest-retention archive when
+// none does, as RRDTool does).
+func (db *DB) Fetch(cf CF, start, end time.Time) (*Series, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if end.Before(start) {
+		return nil, fmt.Errorf("rrd: fetch end %v before start %v", end, start)
+	}
+	var candidates []*rraState
+	for _, r := range db.rras {
+		if r.def.CF == cf {
+			candidates = append(candidates, r)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("rrd: no archive with CF %s", cf)
+	}
+	// Sort by resolution fine→coarse.
+	sort.Slice(candidates, func(i, j int) bool {
+		return candidates[i].def.Steps < candidates[j].def.Steps
+	})
+	chosen := candidates[len(candidates)-1]
+	for _, r := range candidates {
+		res := db.step * time.Duration(r.def.Steps)
+		oldest := r.lastEnd.Add(-time.Duration(r.filled) * res)
+		if !oldest.After(start) {
+			chosen = r
+			break
+		}
+	}
+	res := db.step * time.Duration(chosen.def.Steps)
+	s := &Series{CF: cf, Resolution: res, DSNames: db.DSNames()}
+	if chosen.filled == 0 {
+		return s, nil
+	}
+	oldestIdx := (chosen.newest - chosen.filled + 1 + chosen.def.Rows*2) % chosen.def.Rows
+	for i := 0; i < chosen.filled; i++ {
+		rowTime := chosen.lastEnd.Add(-time.Duration(chosen.filled-1-i) * res)
+		if rowTime.Before(start) || rowTime.After(end) {
+			continue
+		}
+		idx := (oldestIdx + i) % chosen.def.Rows
+		s.Points = append(s.Points, Point{
+			Time:   rowTime,
+			Values: append([]float64(nil), chosen.ring[idx]...),
+		})
+	}
+	return s, nil
+}

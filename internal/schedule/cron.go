@@ -1,0 +1,264 @@
+// Package schedule implements the distributed controller's execution
+// scheduling (paper Section 3.1.3): classic five-field cron expressions, the
+// randomized-offset placement of periodic reporters ("a reporter executed
+// hourly can be randomly chosen to run at the 20th minute of each hour"),
+// and a clock-driven scheduler with the dependency-aware extension the paper
+// lists as future work (Section 6).
+package schedule
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// fieldSet is a bitmask of allowed values for one cron field.
+type fieldSet uint64
+
+func (f fieldSet) has(v int) bool { return f&(1<<uint(v)) != 0 }
+
+// Spec is a parsed cron expression. The zero value is invalid; construct
+// with ParseCron or Every.
+type Spec struct {
+	min, hour, dom, month, dow fieldSet
+	// domStar/dowStar record whether the field was written as "*", which
+	// changes the day-matching rule: when both day fields are restricted,
+	// standard cron matches their union, otherwise their intersection.
+	domStar, dowStar bool
+	source           string
+}
+
+// String returns the original cron expression.
+func (s *Spec) String() string { return s.source }
+
+type fieldDef struct {
+	name     string
+	min, max int
+	names    map[string]int
+}
+
+var fieldDefs = [5]fieldDef{
+	{name: "minute", min: 0, max: 59},
+	{name: "hour", min: 0, max: 23},
+	{name: "day-of-month", min: 1, max: 31},
+	{name: "month", min: 1, max: 12, names: map[string]int{
+		"jan": 1, "feb": 2, "mar": 3, "apr": 4, "may": 5, "jun": 6,
+		"jul": 7, "aug": 8, "sep": 9, "oct": 10, "nov": 11, "dec": 12}},
+	{name: "day-of-week", min: 0, max: 7, names: map[string]int{
+		"sun": 0, "mon": 1, "tue": 2, "wed": 3, "thu": 4, "fri": 5, "sat": 6}},
+}
+
+// ParseCron parses a five-field cron expression ("minute hour day-of-month
+// month day-of-week"). Supported syntax: "*", single values, names (jan,
+// mon, ...), ranges a-b, lists a,b,c, and steps */n or a-b/n. Day-of-week 7
+// is an alias for Sunday.
+func ParseCron(expr string) (*Spec, error) {
+	fields := strings.Fields(expr)
+	if len(fields) != 5 {
+		return nil, fmt.Errorf("schedule: %q: want 5 fields, got %d", expr, len(fields))
+	}
+	var sets [5]fieldSet
+	var stars [5]bool
+	for i, f := range fields {
+		set, star, err := parseField(f, fieldDefs[i])
+		if err != nil {
+			return nil, fmt.Errorf("schedule: %q: %s field: %w", expr, fieldDefs[i].name, err)
+		}
+		sets[i], stars[i] = set, star
+	}
+	s := &Spec{
+		min: sets[0], hour: sets[1], dom: sets[2], month: sets[3], dow: sets[4],
+		domStar: stars[2], dowStar: stars[4],
+		source: strings.Join(fields, " "),
+	}
+	// Fold dow 7 onto 0.
+	if s.dow.has(7) {
+		s.dow |= 1 // Sunday
+		s.dow &^= 1 << 7
+	}
+	return s, nil
+}
+
+// MustParseCron is ParseCron that panics on error.
+func MustParseCron(expr string) *Spec {
+	s, err := ParseCron(expr)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func parseField(f string, def fieldDef) (fieldSet, bool, error) {
+	var set fieldSet
+	star := false
+	for _, part := range strings.Split(f, ",") {
+		if part == "" {
+			return 0, false, fmt.Errorf("empty list element in %q", f)
+		}
+		rangePart, step := part, 1
+		if slash := strings.IndexByte(part, '/'); slash >= 0 {
+			rangePart = part[:slash]
+			n, err := strconv.Atoi(part[slash+1:])
+			if err != nil || n <= 0 {
+				return 0, false, fmt.Errorf("bad step in %q", part)
+			}
+			step = n
+		}
+		lo, hi := def.min, def.max
+		switch {
+		case rangePart == "*":
+			if len(f) == 1 {
+				star = true
+			}
+		case strings.Contains(rangePart, "-"):
+			dash := strings.IndexByte(rangePart, '-')
+			var err error
+			if lo, err = parseValue(rangePart[:dash], def); err != nil {
+				return 0, false, err
+			}
+			if hi, err = parseValue(rangePart[dash+1:], def); err != nil {
+				return 0, false, err
+			}
+			if lo > hi {
+				return 0, false, fmt.Errorf("inverted range %q", rangePart)
+			}
+		default:
+			v, err := parseValue(rangePart, def)
+			if err != nil {
+				return 0, false, err
+			}
+			lo, hi = v, v
+			if step != 1 {
+				// "5/10" means 5 to max by 10 in classic cron.
+				hi = def.max
+			}
+		}
+		for v := lo; v <= hi; v += step {
+			set |= 1 << uint(v)
+		}
+	}
+	if set == 0 {
+		return 0, false, fmt.Errorf("field %q selects nothing", f)
+	}
+	return set, star, nil
+}
+
+func parseValue(s string, def fieldDef) (int, error) {
+	if def.names != nil {
+		if v, ok := def.names[strings.ToLower(s)]; ok {
+			return v, nil
+		}
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad value %q", s)
+	}
+	if v < def.min || v > def.max {
+		return 0, fmt.Errorf("value %d out of range [%d,%d]", v, def.min, def.max)
+	}
+	return v, nil
+}
+
+// dayMatches applies the classic cron day rule: if both day-of-month and
+// day-of-week are restricted, a date matches when either does; otherwise
+// both (trivially, for the starred one) must match.
+func (s *Spec) dayMatches(t time.Time) bool {
+	domOK := s.dom.has(t.Day())
+	dowOK := s.dow.has(int(t.Weekday()))
+	if !s.domStar && !s.dowStar {
+		return domOK || dowOK
+	}
+	return domOK && dowOK
+}
+
+// Next returns the first time strictly after t that matches the spec, in
+// t's location. It searches up to five years ahead; beyond that it returns
+// the zero time (the expression can never fire, e.g. Feb 30).
+func (s *Spec) Next(t time.Time) time.Time {
+	// Start at the next whole minute.
+	t = t.Truncate(time.Minute).Add(time.Minute)
+	limit := t.AddDate(5, 0, 0)
+	for t.Before(limit) {
+		if !s.month.has(int(t.Month())) {
+			// Jump to the first instant of the next month.
+			t = time.Date(t.Year(), t.Month(), 1, 0, 0, 0, 0, t.Location()).AddDate(0, 1, 0)
+			continue
+		}
+		if !s.dayMatches(t) {
+			t = time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, t.Location()).AddDate(0, 0, 1)
+			continue
+		}
+		if !s.hour.has(t.Hour()) {
+			t = time.Date(t.Year(), t.Month(), t.Day(), t.Hour(), 0, 0, 0, t.Location()).Add(time.Hour)
+			continue
+		}
+		if !s.min.has(t.Minute()) {
+			t = t.Add(time.Minute)
+			continue
+		}
+		return t
+	}
+	return time.Time{}
+}
+
+// Matches reports whether the instant t (to minute precision) satisfies the
+// spec.
+func (s *Spec) Matches(t time.Time) bool {
+	return s.min.has(t.Minute()) && s.hour.has(t.Hour()) &&
+		s.month.has(int(t.Month())) && s.dayMatches(t)
+}
+
+// Every builds a cron spec that fires once per period at a random offset
+// within the period, reproducing the distributed controller's load-spreading
+// placement (Section 3.1.3). Supported periods: divisors of one hour in
+// whole minutes, whole-hour periods dividing 24 hours, one day, and one
+// week. rng supplies the offset; pass a seeded source for reproducible
+// deployments.
+func Every(period time.Duration, rng *rand.Rand) (*Spec, error) {
+	minutes := int(period / time.Minute)
+	if time.Duration(minutes)*time.Minute != period {
+		return nil, fmt.Errorf("schedule: period %v not a whole number of minutes", period)
+	}
+	switch {
+	case minutes <= 0:
+		return nil, fmt.Errorf("schedule: non-positive period %v", period)
+	case minutes < 60:
+		if 60%minutes != 0 {
+			return nil, fmt.Errorf("schedule: sub-hourly period %v must divide 60 minutes", period)
+		}
+		off := rng.Intn(minutes)
+		if minutes == 1 {
+			return ParseCron("* * * * *")
+		}
+		return ParseCron(fmt.Sprintf("%d-59/%d * * * *", off, minutes))
+	case minutes == 60:
+		return ParseCron(fmt.Sprintf("%d * * * *", rng.Intn(60)))
+	case minutes%60 == 0 && minutes < 24*60:
+		hours := minutes / 60
+		if 24%hours != 0 {
+			return nil, fmt.Errorf("schedule: multi-hour period %v must divide 24 hours", period)
+		}
+		m, h := rng.Intn(60), rng.Intn(hours)
+		if hours == 1 {
+			return ParseCron(fmt.Sprintf("%d * * * *", m))
+		}
+		return ParseCron(fmt.Sprintf("%d %d-23/%d * * *", m, h, hours))
+	case minutes == 24*60:
+		return ParseCron(fmt.Sprintf("%d %d * * *", rng.Intn(60), rng.Intn(24)))
+	case minutes == 7*24*60:
+		return ParseCron(fmt.Sprintf("%d %d * * %d", rng.Intn(60), rng.Intn(24), rng.Intn(7)))
+	default:
+		return nil, fmt.Errorf("schedule: unsupported period %v", period)
+	}
+}
+
+// MustEvery is Every that panics on error.
+func MustEvery(period time.Duration, rng *rand.Rand) *Spec {
+	s, err := Every(period, rng)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

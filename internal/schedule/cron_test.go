@@ -1,0 +1,273 @@
+package schedule
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// base is a Wednesday.
+var base = time.Date(2004, 7, 7, 0, 0, 0, 0, time.UTC)
+
+func TestParseCronFieldCount(t *testing.T) {
+	for _, bad := range []string{"", "* * * *", "* * * * * *", "*"} {
+		if _, err := ParseCron(bad); err == nil {
+			t.Errorf("ParseCron(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseCronBadFields(t *testing.T) {
+	cases := []string{
+		"60 * * * *",   // minute out of range
+		"* 24 * * *",   // hour out of range
+		"* * 0 * *",    // dom out of range
+		"* * * 13 *",   // month out of range
+		"* * * * 8",    // dow out of range
+		"a * * * *",    // garbage
+		"1-0 * * * *",  // inverted range
+		"*/0 * * * *",  // zero step
+		"*/x * * * *",  // bad step
+		"1,,2 * * * *", // empty list element
+	}
+	for _, c := range cases {
+		if _, err := ParseCron(c); err == nil {
+			t.Errorf("ParseCron(%q) accepted", c)
+		}
+	}
+}
+
+func TestNextSimpleMinute(t *testing.T) {
+	s := MustParseCron("20 * * * *")
+	got := s.Next(base)
+	want := base.Add(20 * time.Minute)
+	if !got.Equal(want) {
+		t.Fatalf("Next = %v, want %v", got, want)
+	}
+	// From 00:20 exactly, the next fire is 01:20 (strictly after).
+	got = s.Next(want)
+	if !got.Equal(want.Add(time.Hour)) {
+		t.Fatalf("Next from fire time = %v", got)
+	}
+}
+
+func TestNextStepField(t *testing.T) {
+	s := MustParseCron("5-59/10 * * * *")
+	times := []time.Time{s.Next(base)}
+	for i := 0; i < 6; i++ {
+		times = append(times, s.Next(times[len(times)-1]))
+	}
+	wantMinutes := []int{5, 15, 25, 35, 45, 55, 5}
+	for i, w := range wantMinutes {
+		if times[i].Minute() != w {
+			t.Fatalf("fire %d at minute %d, want %d", i, times[i].Minute(), w)
+		}
+	}
+	if times[6].Hour() != 1 {
+		t.Fatalf("wrap to next hour failed: %v", times[6])
+	}
+}
+
+func TestNextHourlyList(t *testing.T) {
+	s := MustParseCron("0 6,18 * * *")
+	got := s.Next(base)
+	if got.Hour() != 6 || got.Minute() != 0 {
+		t.Fatalf("Next = %v", got)
+	}
+	got = s.Next(got)
+	if got.Hour() != 18 {
+		t.Fatalf("second fire = %v", got)
+	}
+}
+
+func TestNextMonthNames(t *testing.T) {
+	s := MustParseCron("0 0 1 sep *")
+	got := s.Next(base)
+	want := time.Date(2004, 9, 1, 0, 0, 0, 0, time.UTC)
+	if !got.Equal(want) {
+		t.Fatalf("Next = %v, want %v", got, want)
+	}
+}
+
+func TestNextDowNames(t *testing.T) {
+	s := MustParseCron("30 4 * * mon")
+	got := s.Next(base) // base is Wed Jul 7
+	want := time.Date(2004, 7, 12, 4, 30, 0, 0, time.UTC)
+	if !got.Equal(want) {
+		t.Fatalf("Next = %v, want %v (a Monday)", got, want)
+	}
+	if got.Weekday() != time.Monday {
+		t.Fatalf("fired on %v", got.Weekday())
+	}
+}
+
+func TestDow7IsSunday(t *testing.T) {
+	s7 := MustParseCron("0 0 * * 7")
+	s0 := MustParseCron("0 0 * * 0")
+	if !s7.Next(base).Equal(s0.Next(base)) {
+		t.Fatalf("dow 7 (%v) != dow 0 (%v)", s7.Next(base), s0.Next(base))
+	}
+	if s7.Next(base).Weekday() != time.Sunday {
+		t.Fatalf("dow 7 fired on %v", s7.Next(base).Weekday())
+	}
+}
+
+func TestDomDowUnionRule(t *testing.T) {
+	// Both restricted: classic cron fires on the 15th OR on Fridays.
+	s := MustParseCron("0 0 15 * fri")
+	got := s.Next(base) // Wed Jul 7 → Fri Jul 9 (dow match before dom 15)
+	if got.Day() != 9 || got.Weekday() != time.Friday {
+		t.Fatalf("first = %v", got)
+	}
+	got = s.Next(got) // → Thu Jul 15 (dom match)
+	if got.Day() != 15 {
+		t.Fatalf("second = %v", got)
+	}
+}
+
+func TestDomDowIntersectionWhenOneStarred(t *testing.T) {
+	// Only dow restricted: fires every Friday regardless of dom.
+	s := MustParseCron("0 0 * * fri")
+	got := s.Next(base)
+	if got.Weekday() != time.Friday || got.Day() != 9 {
+		t.Fatalf("Next = %v", got)
+	}
+}
+
+func TestNextImpossibleSpecReturnsZero(t *testing.T) {
+	s := MustParseCron("0 0 31 feb *")
+	if got := s.Next(base); !got.IsZero() {
+		t.Fatalf("impossible spec fired at %v", got)
+	}
+}
+
+func TestNextFeb29(t *testing.T) {
+	s := MustParseCron("0 0 29 feb *")
+	got := s.Next(base)
+	want := time.Date(2008, 2, 29, 0, 0, 0, 0, time.UTC)
+	if !got.Equal(want) {
+		t.Fatalf("Next = %v, want %v", got, want)
+	}
+}
+
+func TestMatchesAgreesWithNextProperty(t *testing.T) {
+	specs := []*Spec{
+		MustParseCron("20 * * * *"),
+		MustParseCron("5-59/10 * * * *"),
+		MustParseCron("0 */4 * * *"),
+		MustParseCron("15 3 * * mon"),
+		MustParseCron("0 0 1,15 * *"),
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := specs[r.Intn(len(specs))]
+		start := base.Add(time.Duration(r.Intn(100000)) * time.Minute)
+		n := s.Next(start)
+		if n.IsZero() {
+			return false
+		}
+		if !n.After(start) {
+			return false
+		}
+		if !s.Matches(n) {
+			return false
+		}
+		// No matching instant may exist strictly between start+1min and n.
+		probe := start.Truncate(time.Minute).Add(time.Minute)
+		for probe.Before(n) {
+			if s.Matches(probe) {
+				return false
+			}
+			probe = probe.Add(time.Minute)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEveryRandomOffsetWithinPeriod(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, period := range []time.Duration{time.Minute, 5 * time.Minute, 10 * time.Minute,
+		30 * time.Minute, time.Hour, 4 * time.Hour, 24 * time.Hour, 7 * 24 * time.Hour} {
+		s, err := Every(period, rng)
+		if err != nil {
+			t.Fatalf("Every(%v): %v", period, err)
+		}
+		// Consecutive fires must be exactly one period apart.
+		t1 := s.Next(base)
+		t2 := s.Next(t1)
+		if got := t2.Sub(t1); got != period {
+			t.Fatalf("Every(%v): consecutive fires %v apart (%v then %v)", period, got, t1, t2)
+		}
+		// First fire lands within one period of the start.
+		if t1.Sub(base) > period {
+			t.Fatalf("Every(%v): first fire %v more than a period after start", period, t1)
+		}
+	}
+}
+
+func TestEveryRandomizesPlacement(t *testing.T) {
+	// Across many seeds the hourly offsets should spread out (the paper's
+	// reason for randomization: distributing reporter impact).
+	minutes := make(map[int]bool)
+	for seed := int64(0); seed < 40; seed++ {
+		s := MustEvery(time.Hour, rand.New(rand.NewSource(seed)))
+		minutes[s.Next(base).Minute()] = true
+	}
+	if len(minutes) < 10 {
+		t.Fatalf("only %d distinct offsets across 40 seeds", len(minutes))
+	}
+}
+
+func TestEveryRejectsBadPeriods(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range []time.Duration{0, -time.Hour, 7 * time.Minute, 90 * time.Minute,
+		5 * time.Hour, 48 * time.Hour, 30 * time.Second} {
+		if _, err := Every(p, rng); err == nil {
+			t.Errorf("Every(%v) accepted", p)
+		}
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	s := MustParseCron("20  *  * * *")
+	if s.String() != "20 * * * *" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestSingleValueWithStep(t *testing.T) {
+	// "5/10" in the hour field: 5,15 (classic cron extends to max).
+	s := MustParseCron("0 5/10 * * *")
+	t1 := s.Next(base)
+	t2 := s.Next(t1)
+	if t1.Hour() != 5 || t2.Hour() != 15 {
+		t.Fatalf("fires at hours %d,%d; want 5,15", t1.Hour(), t2.Hour())
+	}
+}
+
+func TestDowNameRange(t *testing.T) {
+	s := MustParseCron("0 9 * * mon-fri")
+	fire := s.Next(base) // base is Wed Jul 7
+	if fire.Weekday() != time.Wednesday || fire.Hour() != 9 {
+		t.Fatalf("first fire = %v", fire)
+	}
+	// From Friday 09:00, next is Monday.
+	friday := time.Date(2004, 7, 9, 9, 0, 0, 0, time.UTC)
+	next := s.Next(friday)
+	if next.Weekday() != time.Monday {
+		t.Fatalf("weekend not skipped: %v (%v)", next, next.Weekday())
+	}
+}
+
+func TestMonthNameRangeWithStep(t *testing.T) {
+	s := MustParseCron("0 0 1 jan-dec/3 *")
+	fire := s.Next(base) // Jul 7 → Oct 1 (months 1,4,7,10; Jul 1 already past)
+	want := time.Date(2004, 10, 1, 0, 0, 0, 0, time.UTC)
+	if !fire.Equal(want) {
+		t.Fatalf("fire = %v, want %v", fire, want)
+	}
+}

@@ -1,0 +1,280 @@
+package schedule
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"inca/internal/simtime"
+)
+
+// Entry is one scheduled unit of work: a cron spec plus an action. Entries
+// may declare dependencies on other entries by name — the paper's Section 6
+// future-work item ("more advanced test scheduling, specifically allowing
+// for dependencies"). When several entries fire at the same instant, an
+// entry runs after its dependencies, and is skipped (with ErrDependency)
+// when a dependency's most recent run this instant failed.
+type Entry struct {
+	Name      string
+	Spec      *Spec
+	DependsOn []string
+	// Action performs the work. The scheduler records the returned error as
+	// the entry's last result for dependency gating.
+	Action func(now time.Time) error
+
+	next     time.Time
+	lastErr  error
+	lastRun  time.Time
+	runCount int
+}
+
+// ErrDependency marks an execution skipped because a dependency failed at
+// the same fire instant.
+type ErrDependency struct {
+	Entry string
+	Dep   string
+}
+
+func (e ErrDependency) Error() string {
+	return fmt.Sprintf("schedule: %s skipped: dependency %s failed", e.Entry, e.Dep)
+}
+
+// Scheduler runs entries against a Clock. All methods are safe for
+// concurrent use.
+type Scheduler struct {
+	clock simtime.Clock
+
+	mu      sync.Mutex
+	entries map[string]*Entry
+	running bool
+	runs    int
+	skips   int
+}
+
+// NewScheduler returns a scheduler driven by clock.
+func NewScheduler(clock simtime.Clock) *Scheduler {
+	return &Scheduler{clock: clock, entries: make(map[string]*Entry)}
+}
+
+// Add registers an entry. Its first fire time is computed from the clock's
+// current instant. Adding a duplicate name or an entry with unknown
+// dependencies is an error.
+func (s *Scheduler) Add(e *Entry) error {
+	if e.Name == "" {
+		return fmt.Errorf("schedule: entry with empty name")
+	}
+	if e.Spec == nil {
+		return fmt.Errorf("schedule: entry %s has no cron spec", e.Name)
+	}
+	if e.Action == nil {
+		return fmt.Errorf("schedule: entry %s has no action", e.Name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.entries[e.Name]; dup {
+		return fmt.Errorf("schedule: duplicate entry %s", e.Name)
+	}
+	for _, d := range e.DependsOn {
+		if _, ok := s.entries[d]; !ok {
+			return fmt.Errorf("schedule: entry %s depends on unknown entry %s", e.Name, d)
+		}
+	}
+	e.next = e.Spec.Next(s.clock.Now())
+	s.entries[e.Name] = e
+	return nil
+}
+
+// Remove deletes an entry by name.
+func (s *Scheduler) Remove(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.entries, name)
+}
+
+// Len returns the number of registered entries.
+func (s *Scheduler) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats returns the total number of runs and dependency skips so far.
+func (s *Scheduler) Stats() (runs, skips int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs, s.skips
+}
+
+// NextFire returns the earliest pending fire time, or false when no entry
+// can ever fire again.
+func (s *Scheduler) NextFire() (time.Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextFireLocked()
+}
+
+func (s *Scheduler) nextFireLocked() (time.Time, bool) {
+	var earliest time.Time
+	found := false
+	for _, e := range s.entries {
+		if e.next.IsZero() {
+			continue
+		}
+		if !found || e.next.Before(earliest) {
+			earliest = e.next
+			found = true
+		}
+	}
+	return earliest, found
+}
+
+// due collects the entries firing at instant t, ordered so that every entry
+// follows its same-instant dependencies (and alphabetically within a rank,
+// for determinism).
+func (s *Scheduler) due(t time.Time) []*Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var batch []*Entry
+	inBatch := make(map[string]bool)
+	for _, e := range s.entries {
+		if !e.next.IsZero() && !e.next.After(t) {
+			batch = append(batch, e)
+			inBatch[e.Name] = true
+		}
+	}
+	sort.Slice(batch, func(i, j int) bool { return batch[i].Name < batch[j].Name })
+	// Kahn's algorithm restricted to same-batch dependencies.
+	var ordered []*Entry
+	done := make(map[string]bool)
+	for len(ordered) < len(batch) {
+		progressed := false
+		for _, e := range batch {
+			if done[e.Name] {
+				continue
+			}
+			ready := true
+			for _, d := range e.DependsOn {
+				if inBatch[d] && !done[d] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				ordered = append(ordered, e)
+				done[e.Name] = true
+				progressed = true
+			}
+		}
+		if !progressed {
+			// Dependency cycle within the batch: run remaining entries in
+			// name order rather than dropping them.
+			for _, e := range batch {
+				if !done[e.Name] {
+					ordered = append(ordered, e)
+					done[e.Name] = true
+				}
+			}
+		}
+	}
+	return ordered
+}
+
+// RunPending executes every entry due at or before the clock's current
+// instant, honoring dependency order and gating, then reschedules each.
+// It returns the number of entries that ran (skips excluded). Drivers of a
+// simulated clock call this after each advance; Run calls it internally.
+func (s *Scheduler) RunPending() int {
+	now := s.clock.Now()
+	batch := s.due(now)
+	ran := 0
+	for _, e := range batch {
+		skip := false
+		var failedDep string
+		s.mu.Lock()
+		for _, d := range e.DependsOn {
+			if dep, ok := s.entries[d]; ok && dep.lastErr != nil {
+				skip = true
+				failedDep = d
+				break
+			}
+		}
+		s.mu.Unlock()
+		fireAt := e.next
+		var err error
+		if skip {
+			err = ErrDependency{Entry: e.Name, Dep: failedDep}
+		} else {
+			err = e.Action(fireAt)
+			ran++
+		}
+		s.mu.Lock()
+		e.lastErr = err
+		e.lastRun = fireAt
+		e.runCount++
+		e.next = e.Spec.Next(now)
+		if skip {
+			s.skips++
+		} else {
+			s.runs++
+		}
+		s.mu.Unlock()
+	}
+	return ran
+}
+
+// LastResult returns the most recent run time and error for an entry.
+func (s *Scheduler) LastResult(name string) (time.Time, error, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[name]
+	if !ok {
+		return time.Time{}, nil, false
+	}
+	return e.lastRun, e.lastErr, true
+}
+
+// Run drives the scheduler until ctx is cancelled: sleep on the clock until
+// the next fire time, execute pending entries, repeat. Run is the live
+// (wall-clock) driver; simulation harnesses instead call NextFire /
+// RunPending directly from a single goroutine, which is fully deterministic
+// (see core.SimDeployment).
+func (s *Scheduler) Run(ctx context.Context) {
+	s.mu.Lock()
+	if s.running {
+		s.mu.Unlock()
+		return
+	}
+	s.running = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.running = false
+		s.mu.Unlock()
+	}()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		next, ok := s.NextFire()
+		if !ok {
+			// Nothing schedulable; poll for new entries at a coarse period.
+			select {
+			case <-ctx.Done():
+				return
+			case <-s.clock.After(time.Minute):
+			}
+			continue
+		}
+		d := next.Sub(s.clock.Now())
+		if d > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-s.clock.After(d):
+			}
+		}
+		s.RunPending()
+	}
+}

@@ -1,0 +1,275 @@
+package schedule
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"inca/internal/simtime"
+)
+
+func newTestScheduler() (*Scheduler, *simtime.Sim) {
+	sim := simtime.NewSim(base)
+	return NewScheduler(sim), sim
+}
+
+// drive advances the sim clock fire-by-fire until target, running pending
+// entries — the same loop the experiment harness uses.
+func drive(s *Scheduler, sim *simtime.Sim, target time.Time) {
+	for {
+		next, ok := s.NextFire()
+		if !ok || next.After(target) {
+			sim.AdvanceTo(target)
+			return
+		}
+		sim.AdvanceTo(next)
+		s.RunPending()
+	}
+}
+
+func TestAddValidation(t *testing.T) {
+	s, _ := newTestScheduler()
+	spec := MustParseCron("* * * * *")
+	noop := func(time.Time) error { return nil }
+	if err := s.Add(&Entry{Spec: spec, Action: noop}); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := s.Add(&Entry{Name: "a", Action: noop}); err == nil {
+		t.Fatal("nil spec accepted")
+	}
+	if err := s.Add(&Entry{Name: "a", Spec: spec}); err == nil {
+		t.Fatal("nil action accepted")
+	}
+	if err := s.Add(&Entry{Name: "a", Spec: spec, Action: noop}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(&Entry{Name: "a", Spec: spec, Action: noop}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := s.Add(&Entry{Name: "b", Spec: spec, Action: noop, DependsOn: []string{"ghost"}}); err == nil {
+		t.Fatal("unknown dependency accepted")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestHourlyEntryFiresOncePerHour(t *testing.T) {
+	s, sim := newTestScheduler()
+	var fires []time.Time
+	err := s.Add(&Entry{
+		Name: "hourly",
+		Spec: MustParseCron("20 * * * *"),
+		Action: func(now time.Time) error {
+			fires = append(fires, now)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive(s, sim, base.Add(5*time.Hour))
+	if len(fires) != 5 {
+		t.Fatalf("fired %d times, want 5", len(fires))
+	}
+	for i, f := range fires {
+		if f.Minute() != 20 {
+			t.Fatalf("fire %d at minute %d", i, f.Minute())
+		}
+	}
+}
+
+func TestMultipleEntriesInterleave(t *testing.T) {
+	s, sim := newTestScheduler()
+	counts := map[string]int{}
+	for name, expr := range map[string]string{
+		"tenmin": "0-59/10 * * * *",
+		"hourly": "30 * * * *",
+	} {
+		name := name
+		if err := s.Add(&Entry{Name: name, Spec: MustParseCron(expr),
+			Action: func(time.Time) error { counts[name]++; return nil }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drive(s, sim, base.Add(2*time.Hour))
+	if counts["tenmin"] != 12 {
+		t.Fatalf("tenmin ran %d times, want 12", counts["tenmin"])
+	}
+	if counts["hourly"] != 2 {
+		t.Fatalf("hourly ran %d times, want 2", counts["hourly"])
+	}
+	runs, skips := s.Stats()
+	if runs != 14 || skips != 0 {
+		t.Fatalf("Stats = %d,%d", runs, skips)
+	}
+}
+
+func TestDependencyOrderingSameInstant(t *testing.T) {
+	s, sim := newTestScheduler()
+	var order []string
+	mk := func(name string, deps ...string) *Entry {
+		return &Entry{
+			Name: name, Spec: MustParseCron("0 * * * *"), DependsOn: deps,
+			Action: func(time.Time) error { order = append(order, name); return nil },
+		}
+	}
+	// Alphabetical order alone would run a-check before z-setup; the
+	// dependency must override it.
+	if err := s.Add(mk("z-setup")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(mk("a-check", "z-setup")); err != nil {
+		t.Fatal(err)
+	}
+	drive(s, sim, base.Add(time.Hour+time.Minute))
+	if len(order) != 2 || order[0] != "z-setup" || order[1] != "a-check" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestDependencySkipOnFailure(t *testing.T) {
+	sim := simtime.NewSim(base)
+	s := NewScheduler(sim)
+	var ran []string
+	if err := s.Add(&Entry{Name: "setup", Spec: MustParseCron("0 * * * *"),
+		Action: func(time.Time) error { return errors.New("boom") }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(&Entry{Name: "test", Spec: MustParseCron("0 * * * *"), DependsOn: []string{"setup"},
+		Action: func(time.Time) error { ran = append(ran, "test"); return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	drive(s, sim, base.Add(time.Hour+time.Minute))
+	if len(ran) != 0 {
+		t.Fatalf("dependent ran despite failed dependency: %v", ran)
+	}
+	_, skips := s.Stats()
+	if skips != 1 {
+		t.Fatalf("skips = %d, want 1", skips)
+	}
+	_, lastErr, ok := s.LastResult("test")
+	if !ok {
+		t.Fatal("no result recorded")
+	}
+	var dep ErrDependency
+	if !errors.As(lastErr, &dep) || dep.Dep != "setup" {
+		t.Fatalf("lastErr = %v", lastErr)
+	}
+}
+
+func TestDependencyRecovers(t *testing.T) {
+	sim := simtime.NewSim(base)
+	s := NewScheduler(sim)
+	fail := true
+	var ran int
+	if err := s.Add(&Entry{Name: "setup", Spec: MustParseCron("0 * * * *"),
+		Action: func(time.Time) error {
+			if fail {
+				return errors.New("down")
+			}
+			return nil
+		}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(&Entry{Name: "probe", Spec: MustParseCron("0 * * * *"), DependsOn: []string{"setup"},
+		Action: func(time.Time) error { ran++; return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	drive(s, sim, base.Add(time.Hour+time.Minute)) // hour 1: setup fails, probe skipped
+	fail = false
+	drive(s, sim, base.Add(2*time.Hour+time.Minute)) // hour 2: both run
+	if ran != 1 {
+		t.Fatalf("probe ran %d times, want 1", ran)
+	}
+}
+
+func TestDependencyCycleStillRuns(t *testing.T) {
+	sim := simtime.NewSim(base)
+	s := NewScheduler(sim)
+	var ran []string
+	spec := MustParseCron("0 * * * *")
+	if err := s.Add(&Entry{Name: "a", Spec: spec,
+		Action: func(time.Time) error { ran = append(ran, "a"); return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(&Entry{Name: "b", Spec: spec, DependsOn: []string{"a"},
+		Action: func(time.Time) error { ran = append(ran, "b"); return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	// Close the cycle after registration (Add validates forward refs only).
+	s.mu.Lock()
+	s.entries["a"].DependsOn = []string{"b"}
+	s.mu.Unlock()
+	drive(s, sim, base.Add(time.Hour+time.Minute))
+	if len(ran) != 2 {
+		t.Fatalf("cycle dropped entries: %v", ran)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	sim := simtime.NewSim(base)
+	s := NewScheduler(sim)
+	n := 0
+	if err := s.Add(&Entry{Name: "x", Spec: MustParseCron("* * * * *"),
+		Action: func(time.Time) error { n++; return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	drive(s, sim, base.Add(2*time.Minute))
+	s.Remove("x")
+	drive(s, sim, base.Add(10*time.Minute))
+	if n != 2 {
+		t.Fatalf("ran %d times, want 2 (before removal)", n)
+	}
+	if _, ok := s.NextFire(); ok {
+		t.Fatal("NextFire reports work after removal")
+	}
+}
+
+func TestRunLiveClockCancellation(t *testing.T) {
+	// With a real clock and a 1-minute spec nothing fires quickly; Run must
+	// exit promptly on cancellation while blocked.
+	s := NewScheduler(simtime.Real{})
+	if err := s.Add(&Entry{Name: "x", Spec: MustParseCron("* * * * *"),
+		Action: func(time.Time) error { return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Run(ctx)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not exit on cancellation")
+	}
+}
+
+func TestManyEntriesDeterministicOrder(t *testing.T) {
+	sim := simtime.NewSim(base)
+	s := NewScheduler(sim)
+	var order []string
+	for i := 0; i < 10; i++ {
+		name := fmt.Sprintf("e%02d", i)
+		if err := s.Add(&Entry{Name: name, Spec: MustParseCron("0 * * * *"),
+			Action: func(time.Time) error { order = append(order, name); return nil }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	drive(s, sim, base.Add(time.Hour+time.Minute))
+	for i := 1; i < len(order); i++ {
+		if order[i-1] >= order[i] {
+			t.Fatalf("same-instant batch not name-ordered: %v", order)
+		}
+	}
+}

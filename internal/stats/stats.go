@@ -1,0 +1,218 @@
+// Package stats provides the summary statistics and histogram rendering used
+// by the Inca evaluation harness: the response-time statistics of Table 4 and
+// the horizontal histograms of Figures 7 and 8.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary holds the descriptive statistics reported in Table 4 of the paper
+// (mean, standard deviation, min, max, median) plus the sample count.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary over xs. An empty input yields a zero Summary.
+// Std is the sample (n-1) standard deviation, matching the convention of the
+// paper's reported "std" row; with a single sample it is zero.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Percentile(xs, 50)
+	return s
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between closest ranks. It copies xs, so the input is not
+// reordered. NaN is returned for an empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// FractionBelow reports the fraction of samples strictly less than bound,
+// e.g. the paper's "99.7% of the time CPU utilization was less than 2%".
+func FractionBelow(xs []float64, bound float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	n := 0
+	for _, x := range xs {
+		if x < bound {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// Bucket is one bin of a Histogram.
+type Bucket struct {
+	Lo, Hi float64 // [Lo, Hi); the final bucket is [Lo, Hi]
+	Count  int
+}
+
+// Histogram is a fixed-bucket histogram over float64 samples.
+type Histogram struct {
+	Buckets  []Bucket
+	Total    int
+	Overflow int // samples above the last bucket
+	Under    int // samples below the first bucket
+}
+
+// NewHistogram builds a histogram with the given bucket edges. Edges must be
+// strictly increasing and contain at least two values; len(edges)-1 buckets
+// are produced.
+func NewHistogram(edges []float64) (*Histogram, error) {
+	if len(edges) < 2 {
+		return nil, fmt.Errorf("stats: need at least 2 edges, got %d", len(edges))
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			return nil, fmt.Errorf("stats: edges not strictly increasing at %d (%g after %g)", i, edges[i], edges[i-1])
+		}
+	}
+	h := &Histogram{Buckets: make([]Bucket, len(edges)-1)}
+	for i := range h.Buckets {
+		h.Buckets[i] = Bucket{Lo: edges[i], Hi: edges[i+1]}
+	}
+	return h, nil
+}
+
+// UniformEdges returns n+1 edges dividing [lo, hi] into n equal buckets.
+func UniformEdges(lo, hi float64, n int) []float64 {
+	edges := make([]float64, n+1)
+	for i := 0; i <= n; i++ {
+		edges[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	return edges
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.Total++
+	if x < h.Buckets[0].Lo {
+		h.Under++
+		return
+	}
+	last := len(h.Buckets) - 1
+	if x > h.Buckets[last].Hi {
+		h.Overflow++
+		return
+	}
+	if x == h.Buckets[last].Hi {
+		h.Buckets[last].Count++
+		return
+	}
+	// Binary search for the bucket with Lo <= x < Hi.
+	i := sort.Search(len(h.Buckets), func(i int) bool { return h.Buckets[i].Hi > x })
+	h.Buckets[i].Count++
+}
+
+// AddAll records every sample in xs.
+func (h *Histogram) AddAll(xs []float64) {
+	for _, x := range xs {
+		h.Add(x)
+	}
+}
+
+// Render produces a horizontal ASCII histogram in the style of the paper's
+// Figures 7 and 8: one row per bucket, a proportional bar, the count, and the
+// percentage of all samples. label formats a bucket's range.
+func (h *Histogram) Render(label func(lo, hi float64) string, width int) string {
+	if width <= 0 {
+		width = 50
+	}
+	maxCount := 0
+	for _, b := range h.Buckets {
+		if b.Count > maxCount {
+			maxCount = b.Count
+		}
+	}
+	var sb strings.Builder
+	for _, b := range h.Buckets {
+		bar := 0
+		if maxCount > 0 {
+			bar = b.Count * width / maxCount
+		}
+		if b.Count > 0 && bar == 0 {
+			bar = 1
+		}
+		pct := 0.0
+		if h.Total > 0 {
+			pct = 100 * float64(b.Count) / float64(h.Total)
+		}
+		fmt.Fprintf(&sb, "%-18s |%-*s| %8d (%6.2f%%)\n",
+			label(b.Lo, b.Hi), width, strings.Repeat("#", bar), b.Count, pct)
+	}
+	if h.Under > 0 {
+		fmt.Fprintf(&sb, "%-18s %d samples below range\n", "", h.Under)
+	}
+	if h.Overflow > 0 {
+		fmt.Fprintf(&sb, "%-18s %d samples above range\n", "", h.Overflow)
+	}
+	return sb.String()
+}
+
+// CumulativeBelow returns the fraction of bucketed samples at or below the
+// bucket whose Hi equals edge (useful for statements like "97.64% of reports
+// were smaller than 10 KB"). It returns false if edge is not a bucket edge.
+func (h *Histogram) CumulativeBelow(edge float64) (float64, bool) {
+	if h.Total == 0 {
+		return 0, false
+	}
+	cum := h.Under
+	for _, b := range h.Buckets {
+		cum += b.Count
+		if b.Hi == edge {
+			return float64(cum) / float64(h.Total), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,253 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Std != 0 {
+		t.Fatalf("Summarize(nil) = %+v, want zero", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Std != 0 || s.Min != 3.5 || s.Max != 3.5 || s.Median != 3.5 {
+		t.Fatalf("Summarize([3.5]) = %+v", s)
+	}
+}
+
+func TestSummarizeKnownValues(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	s := Summarize(xs)
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if !almostEqual(s.Mean, 5) {
+		t.Fatalf("Mean = %g, want 5", s.Mean)
+	}
+	// Sample std of this classic dataset: variance = 32/7.
+	if !almostEqual(s.Std, math.Sqrt(32.0/7.0)) {
+		t.Fatalf("Std = %g, want %g", s.Std, math.Sqrt(32.0/7.0))
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min/Max = %g/%g", s.Min, s.Max)
+	}
+	if !almostEqual(s.Median, 4.5) {
+		t.Fatalf("Median = %g, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{9, 1, 5}
+	Summarize(xs)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Fatalf("P0 = %g", got)
+	}
+	if got := Percentile(xs, 100); got != 40 {
+		t.Fatalf("P100 = %g", got)
+	}
+	if got := Percentile(xs, 50); !almostEqual(got, 25) {
+		t.Fatalf("P50 = %g, want 25", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("Percentile(nil) not NaN")
+	}
+}
+
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p = math.Mod(math.Abs(p), 100)
+		v := Percentile(xs, p)
+		s := Summarize(xs)
+		return v >= s.Min && v <= s.Max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryMeanBetweenMinMaxProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFractionBelow(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if got := FractionBelow(xs, 3); got != 0.5 {
+		t.Fatalf("FractionBelow = %g, want 0.5", got)
+	}
+	if got := FractionBelow(nil, 3); got != 0 {
+		t.Fatalf("FractionBelow(nil) = %g", got)
+	}
+	if got := FractionBelow(xs, 0); got != 0 {
+		t.Fatalf("FractionBelow(below all) = %g", got)
+	}
+	if got := FractionBelow(xs, 100); got != 1 {
+		t.Fatalf("FractionBelow(above all) = %g", got)
+	}
+}
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram([]float64{1}); err == nil {
+		t.Fatal("accepted single edge")
+	}
+	if _, err := NewHistogram([]float64{1, 1}); err == nil {
+		t.Fatal("accepted non-increasing edges")
+	}
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Fatal("accepted decreasing edges")
+	}
+	if _, err := NewHistogram([]float64{0, 1, 2}); err != nil {
+		t.Fatalf("rejected valid edges: %v", err)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h, err := NewHistogram([]float64{0, 10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.AddAll([]float64{-1, 0, 5, 10, 15, 29.9, 30, 31})
+	if h.Under != 1 {
+		t.Fatalf("Under = %d, want 1", h.Under)
+	}
+	if h.Overflow != 1 {
+		t.Fatalf("Overflow = %d, want 1", h.Overflow)
+	}
+	want := []int{2, 2, 2} // [0,10):{0,5} [10,20):{10,15} [20,30]:{29.9,30}
+	for i, b := range h.Buckets {
+		if b.Count != want[i] {
+			t.Fatalf("bucket %d count = %d, want %d (hist %+v)", i, b.Count, want[i], h.Buckets)
+		}
+	}
+	if h.Total != 8 {
+		t.Fatalf("Total = %d, want 8", h.Total)
+	}
+}
+
+func TestHistogramConservesSamplesProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		h, _ := NewHistogram(UniformEdges(0, 100, 10))
+		n := 0
+		for _, x := range raw {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Add(x)
+			n++
+		}
+		sum := h.Under + h.Overflow
+		for _, b := range h.Buckets {
+			sum += b.Count
+		}
+		return sum == n && h.Total == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformEdges(t *testing.T) {
+	edges := UniformEdges(0, 100, 4)
+	want := []float64{0, 25, 50, 75, 100}
+	if len(edges) != len(want) {
+		t.Fatalf("len = %d", len(edges))
+	}
+	for i := range want {
+		if !almostEqual(edges[i], want[i]) {
+			t.Fatalf("edges = %v", edges)
+		}
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h, _ := NewHistogram([]float64{0, 1, 2})
+	h.AddAll([]float64{0.5, 0.6, 1.5})
+	out := h.Render(func(lo, hi float64) string { return "row" }, 20)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("no bars rendered:\n%s", out)
+	}
+	if !strings.Contains(out, "66.67%") {
+		t.Fatalf("missing percentage:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 rows, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestHistogramRenderEmptyAndTinyBars(t *testing.T) {
+	h, _ := NewHistogram([]float64{0, 1, 2})
+	out := h.Render(func(lo, hi float64) string { return "x" }, 10)
+	if strings.Contains(out, "#") {
+		t.Fatalf("bars rendered for empty histogram:\n%s", out)
+	}
+	// A bucket with a tiny share still renders at least one '#'.
+	for i := 0; i < 1000; i++ {
+		h.Add(0.5)
+	}
+	h.Add(1.5)
+	out = h.Render(func(lo, hi float64) string { return "x" }, 10)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if !strings.Contains(lines[1], "#") {
+		t.Fatalf("tiny bucket rendered no bar:\n%s", out)
+	}
+}
+
+func TestCumulativeBelow(t *testing.T) {
+	h, _ := NewHistogram([]float64{0, 4, 10, 20})
+	h.AddAll([]float64{1, 2, 3, 5, 15})
+	frac, ok := h.CumulativeBelow(10)
+	if !ok || !almostEqual(frac, 0.8) {
+		t.Fatalf("CumulativeBelow(10) = %g,%v; want 0.8,true", frac, ok)
+	}
+	if _, ok := h.CumulativeBelow(7); ok {
+		t.Fatal("CumulativeBelow accepted a non-edge")
+	}
+	empty, _ := NewHistogram([]float64{0, 1})
+	if _, ok := empty.CumulativeBelow(1); ok {
+		t.Fatal("CumulativeBelow on empty histogram reported ok")
+	}
+}

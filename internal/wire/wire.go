@@ -1,0 +1,286 @@
+// Package wire implements the TCP protocol between distributed controllers
+// and the centralized controller (paper Section 3.1.3: "The distributed
+// controller communicates a report to the Inca server along with its branch
+// identifier using a TCP connection").
+//
+// Frames are length-prefixed:
+//
+//	uint32 branchLen | branch bytes | uint32 reportLen | report bytes
+//
+// The server answers each frame with an ack frame:
+//
+//	uint8 status (0 ok, 1 error) | uint32 msgLen | message bytes
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MaxFrame bounds a single report message (16 MiB), protecting the server
+// from malformed length prefixes.
+const MaxFrame = 16 << 20
+
+// Message is one report submission.
+type Message struct {
+	// Branch is the textual branch identifier.
+	Branch string
+	// Hostname is the sending resource, checked against the server's
+	// allowlist (the paper verifies the connecting host before accepting).
+	Hostname string
+	// Report is the serialized report XML.
+	Report []byte
+	// Signature optionally authenticates the message under the host's
+	// shared secret (see auth.go); empty when authentication is not
+	// configured.
+	Signature []byte
+}
+
+// WriteMessage writes one framed message.
+func WriteMessage(w io.Writer, m *Message) error {
+	for _, part := range [][]byte{[]byte(m.Branch), []byte(m.Hostname), m.Report, m.Signature} {
+		if len(part) > MaxFrame {
+			return fmt.Errorf("wire: frame part of %d bytes exceeds limit", len(part))
+		}
+		var lenBuf [4]byte
+		binary.BigEndian.PutUint32(lenBuf[:], uint32(len(part)))
+		if _, err := w.Write(lenBuf[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(part); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (*Message, error) {
+	parts := make([][]byte, 4)
+	for i := range parts {
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return nil, err
+		}
+		n := binary.BigEndian.Uint32(lenBuf[:])
+		if n > MaxFrame {
+			return nil, fmt.Errorf("wire: frame part of %d bytes exceeds limit", n)
+		}
+		parts[i] = make([]byte, n)
+		if _, err := io.ReadFull(r, parts[i]); err != nil {
+			return nil, err
+		}
+	}
+	m := &Message{Branch: string(parts[0]), Hostname: string(parts[1]), Report: parts[2]}
+	if len(parts[3]) > 0 {
+		m.Signature = parts[3]
+	}
+	return m, nil
+}
+
+// Ack is the server's response to one message.
+type Ack struct {
+	OK      bool
+	Message string
+}
+
+// WriteAck writes an ack frame.
+func WriteAck(w io.Writer, a *Ack) error {
+	status := byte(1)
+	if a.OK {
+		status = 0
+	}
+	if _, err := w.Write([]byte{status}); err != nil {
+		return err
+	}
+	msg := []byte(a.Message)
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(msg)))
+	if _, err := w.Write(lenBuf[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(msg)
+	return err
+}
+
+// ReadAck reads an ack frame.
+func ReadAck(r io.Reader) (*Ack, error) {
+	var status [1]byte
+	if _, err := io.ReadFull(r, status[:]); err != nil {
+		return nil, err
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: ack message of %d bytes exceeds limit", n)
+	}
+	msg := make([]byte, n)
+	if _, err := io.ReadFull(r, msg); err != nil {
+		return nil, err
+	}
+	return &Ack{OK: status[0] == 0, Message: string(msg)}, nil
+}
+
+// Client is a connection from a distributed controller to the centralized
+// controller. It reconnects lazily after errors and is safe for concurrent
+// use (sends are serialized, as all traffic from one resource flows over
+// one connection in the deployed system).
+type Client struct {
+	addr string
+
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+}
+
+// NewClient returns a client that will dial addr on first use.
+func NewClient(addr string) *Client { return &Client{addr: addr} }
+
+// Send submits one message and waits for the server's ack. A transport
+// error closes the connection so the next Send redials.
+func (c *Client) Send(m *Message) (*Ack, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		conn, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
+		}
+		c.conn = conn
+		c.bw = bufio.NewWriter(conn)
+		c.br = bufio.NewReader(conn)
+	}
+	fail := func(err error) (*Ack, error) {
+		c.conn.Close()
+		c.conn = nil
+		return nil, err
+	}
+	if err := WriteMessage(c.bw, m); err != nil {
+		return fail(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return fail(err)
+	}
+	ack, err := ReadAck(c.br)
+	if err != nil {
+		return fail(err)
+	}
+	return ack, nil
+}
+
+// Close closes the underlying connection if open.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// Handler processes one received message and returns the ack to send.
+type Handler func(m *Message, remoteAddr string) *Ack
+
+// Server accepts distributed-controller connections.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// Serve starts a server on addr (e.g. "127.0.0.1:0"). It returns once the
+// listener is ready; handling proceeds in background goroutines.
+func Serve(addr string, h Handler) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	remote := conn.RemoteAddr().String()
+	for {
+		msg, err := ReadMessage(br)
+		if err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		ack := s.handler(msg, remote)
+		if ack == nil {
+			ack = &Ack{OK: true}
+		}
+		if err := WriteAck(bw, ack); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes every live connection, and returns once
+// the listener is down.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	return s.ln.Close()
+}

@@ -1,0 +1,246 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	m := &Message{Branch: "r=1,vo=tg", Hostname: "login1", Report: []byte("<r>x</r>")}
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Branch != m.Branch || got.Hostname != m.Hostname || !bytes.Equal(got.Report, m.Report) {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestEmptyFieldsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	m := &Message{}
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Branch != "" || len(got.Report) != 0 {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestReadMessageTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	m := &Message{Branch: "a=1", Report: []byte("payload")}
+	if err := WriteMessage(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, n := range []int{0, 3, 5, len(data) - 1} {
+		if _, err := ReadMessage(bytes.NewReader(data[:n])); err == nil {
+			t.Errorf("accepted %d-byte truncation", n)
+		}
+	}
+}
+
+func TestReadMessageOversizedFrameRejected(t *testing.T) {
+	// Length prefix larger than MaxFrame must be rejected without
+	// allocating.
+	data := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadMessage(bytes.NewReader(data)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	for _, a := range []*Ack{{OK: true}, {OK: false, Message: "host not allowed"}} {
+		var buf bytes.Buffer
+		if err := WriteAck(&buf, a); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadAck(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.OK != a.OK || got.Message != a.Message {
+			t.Fatalf("round trip: %+v", got)
+		}
+	}
+}
+
+func TestClientServerEndToEnd(t *testing.T) {
+	var mu sync.Mutex
+	var received []*Message
+	srv, err := Serve("127.0.0.1:0", func(m *Message, remote string) *Ack {
+		mu.Lock()
+		received = append(received, m)
+		mu.Unlock()
+		return &Ack{OK: true, Message: "stored"}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := NewClient(srv.Addr())
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		ack, err := c.Send(&Message{Branch: fmt.Sprintf("r=%d", i), Hostname: "h", Report: []byte("<r/>")})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ack.OK || ack.Message != "stored" {
+			t.Fatalf("ack = %+v", ack)
+		}
+	}
+	mu.Lock()
+	n := len(received)
+	mu.Unlock()
+	if n != 5 {
+		t.Fatalf("server received %d messages, want 5", n)
+	}
+}
+
+func TestServerRejectionAck(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", func(m *Message, remote string) *Ack {
+		return &Ack{OK: false, Message: "host " + m.Hostname + " not in allowlist"}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient(srv.Addr())
+	defer c.Close()
+	ack, err := c.Send(&Message{Hostname: "evil", Report: []byte("<r/>")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.OK || ack.Message == "" {
+		t.Fatalf("ack = %+v", ack)
+	}
+}
+
+func TestClientReconnectsAfterServerRestart(t *testing.T) {
+	handler := func(m *Message, remote string) *Ack { return &Ack{OK: true} }
+	srv, err := Serve("127.0.0.1:0", handler)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	c := NewClient(addr)
+	defer c.Close()
+	if _, err := c.Send(&Message{Report: []byte("<r/>")}); err != nil {
+		t.Fatal(err)
+	}
+	srv.Close()
+	// Sends fail while the server is down...
+	failed := false
+	for i := 0; i < 10; i++ {
+		if _, err := c.Send(&Message{Report: []byte("<r/>")}); err != nil {
+			failed = true
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !failed {
+		t.Fatal("sends kept succeeding against a closed server")
+	}
+	// ...and succeed again once it returns on the same port.
+	srv2, err := Serve(addr, handler)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	var lastErr error
+	for i := 0; i < 50; i++ {
+		if _, lastErr = c.Send(&Message{Report: []byte("<r/>")}); lastErr == nil {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("client never reconnected: %v", lastErr)
+}
+
+func TestConcurrentClients(t *testing.T) {
+	var mu sync.Mutex
+	count := 0
+	srv, err := Serve("127.0.0.1:0", func(m *Message, remote string) *Ack {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return &Ack{OK: true}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	const clients, per = 8, 20
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := NewClient(srv.Addr())
+			defer c.Close()
+			for j := 0; j < per; j++ {
+				if _, err := c.Send(&Message{Branch: fmt.Sprintf("c=%d,m=%d", i, j), Report: []byte("<r/>")}); err != nil {
+					t.Errorf("client %d: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if count != clients*per {
+		t.Fatalf("received %d, want %d", count, clients*per)
+	}
+}
+
+func TestWriteMessageOversized(t *testing.T) {
+	var buf bytes.Buffer
+	m := &Message{Report: make([]byte, MaxFrame+1)}
+	if err := WriteMessage(&buf, m); err == nil {
+		t.Fatal("oversized message accepted")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", func(m *Message, remote string) *Ack { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilAckFromHandlerDefaultsToOK(t *testing.T) {
+	srv, err := Serve("127.0.0.1:0", func(m *Message, remote string) *Ack { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient(srv.Addr())
+	defer c.Close()
+	ack, err := c.Send(&Message{Report: []byte("<r/>")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ack.OK {
+		t.Fatal("nil handler ack not treated as OK")
+	}
+}
