@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check fmt vet build test bench-smoke
+
+# The full gate: formatting, static checks, build, race-enabled tests, and
+# a one-iteration smoke of the parallel ingest benchmark tier.
+check: fmt vet build test bench-smoke
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+bench-smoke:
+	$(GO) test -run=NONE -bench=BenchmarkIngestParallel4 -benchtime=1x .

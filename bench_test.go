@@ -7,6 +7,7 @@ package inca_test
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -422,6 +423,60 @@ func benchmarkDepotTopology(b *testing.B, shards int) {
 
 func BenchmarkDepotSingle(b *testing.B)       { benchmarkDepotTopology(b, 1) }
 func BenchmarkDepotDistributed4(b *testing.B) { benchmarkDepotTopology(b, 4) }
+
+// --- Parallel ingest tier: concurrent submitters against a sharded cache ---
+//
+// The serial Fig 9 benches above measure one submitter against one
+// document; these measure the concurrent ingest path the sharded cache
+// exists for. The win has two sources: per-shard locks remove contention
+// between submitters, and each shard's document is ~1/N the size, so the
+// splice each insert pays (linear in document size, §5.2.1) shrinks by
+// the shard count even on a single core.
+
+func benchmarkIngestParallel(b *testing.B, shards int) {
+	var cache depot.Cache
+	if shards == 1 {
+		cache = depot.NewStreamCache()
+	} else {
+		cache = depot.NewShardedCacheDepth(shards, 2)
+	}
+	d := depot.New(cache)
+	// MaxResponses keeps the response log from growing with b.N.
+	ctl := controller.New(d, controller.Options{Mode: envelope.Attachment, MaxResponses: 1024})
+	data := loadgen.MustPremadeReport(9257)
+	// Same population as the depot topology benches: 40 sites × 26 probes.
+	ids := make([]branch.ID, 0, 40*26)
+	for site := 0; site < 40; site++ {
+		for probe := 0; probe < 26; probe++ {
+			ids = append(ids, branch.MustParse(fmt.Sprintf("probe=p%02d,site=s%02d,vo=tg", probe, site)))
+		}
+	}
+	for _, id := range ids {
+		if _, err := ctl.Submit(id, "h", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1))
+			if _, err := ctl.Submit(ids[i%len(ids)], "h", data); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "reports/sec")
+		b.ReportMetric(float64(b.N)*float64(len(data))/sec, "bytes/sec")
+	}
+}
+
+func BenchmarkIngestParallel1(b *testing.B)  { benchmarkIngestParallel(b, 1) }
+func BenchmarkIngestParallel4(b *testing.B)  { benchmarkIngestParallel(b, 4) }
+func BenchmarkIngestParallel16(b *testing.B) { benchmarkIngestParallel(b, 16) }
 
 func BenchmarkCacheUpdateFileWriteThrough(b *testing.B) {
 	dir := b.TempDir()

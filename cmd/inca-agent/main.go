@@ -20,6 +20,7 @@ import (
 	"inca/internal/core"
 	"inca/internal/query"
 	"inca/internal/simtime"
+	"inca/internal/wire"
 )
 
 func main() {
@@ -30,6 +31,9 @@ func main() {
 		host    = flag.String("host", "login.sitea.example.org", "demo resource to run on")
 		seed    = flag.Int64("seed", 1, "grid seed")
 		list    = flag.Bool("list", false, "print the specification file and exit")
+
+		flushSize     = flag.Int("flush-size", 0, "batch this many reports per wire flush (0 = one message per round trip, the deployed protocol)")
+		flushInterval = flag.Duration("flush-interval", 0, "send a partial batch after this long (default 50ms when -flush-size is set)")
 	)
 	flag.Parse()
 
@@ -78,7 +82,15 @@ func main() {
 		return
 	}
 
-	sink := agent.NewWireSink(*server)
+	var sink *agent.WireSink
+	if *flushSize > 0 {
+		sink = agent.NewWireSinkBatched(*server, wire.BatchOptions{
+			MaxBatch:      *flushSize,
+			FlushInterval: *flushInterval,
+		})
+	} else {
+		sink = agent.NewWireSink(*server)
+	}
 	defer sink.Close()
 	a, err := agent.New(spec, simtime.Real{}, sink, agent.Live)
 	if err != nil {

@@ -8,9 +8,16 @@ import (
 )
 
 // WireSink forwards reports to the centralized controller over the TCP
-// protocol — the deployed configuration.
+// protocol — the deployed configuration. The default sink sends one
+// message per round trip; a batched sink (NewWireSinkBatched) pipelines
+// reports through wire.BatchClient instead, trading immediate per-report
+// acknowledgement for ingest throughput.
 type WireSink struct {
 	Client *wire.Client
+	// Batch, when set, routes submissions through the pipelined batch
+	// protocol instead of Client. Rejections then surface on a later
+	// Submit or on Close, not on the Submit that carried the report.
+	Batch *wire.BatchClient
 	// Key, when set, signs every message with the resource's shared
 	// secret (the controller must have the same key registered).
 	Key []byte
@@ -19,6 +26,14 @@ type WireSink struct {
 // NewWireSink dials addr lazily on first submit.
 func NewWireSink(addr string) *WireSink {
 	return &WireSink{Client: wire.NewClient(addr)}
+}
+
+// NewWireSinkBatched returns a sink that accumulates reports into batch
+// frames and keeps several batches in flight. opt controls the flush
+// size, pipeline window, and flush interval (zero values take the
+// wire.BatchOptions defaults).
+func NewWireSinkBatched(addr string, opt wire.BatchOptions) *WireSink {
+	return &WireSink{Batch: wire.NewBatchClient(addr, opt)}
 }
 
 // Submit implements Sink.
@@ -31,6 +46,9 @@ func (w *WireSink) Submit(id branch.ID, hostname string, reportXML []byte) error
 	if len(w.Key) > 0 {
 		wire.SignMessage(m, w.Key)
 	}
+	if w.Batch != nil {
+		return w.Batch.Enqueue(m)
+	}
 	ack, err := w.Client.Send(m)
 	if err != nil {
 		return err
@@ -41,5 +59,10 @@ func (w *WireSink) Submit(id branch.ID, hostname string, reportXML []byte) error
 	return nil
 }
 
-// Close closes the underlying connection.
-func (w *WireSink) Close() error { return w.Client.Close() }
+// Close drains any pending batches and closes the underlying connection.
+func (w *WireSink) Close() error {
+	if w.Batch != nil {
+		return w.Batch.Close()
+	}
+	return w.Client.Close()
+}

@@ -120,3 +120,59 @@ func TestAgentRunLoopWithSimClock(t *testing.T) {
 		t.Fatal("accessors wrong")
 	}
 }
+
+func TestWireSinkBatchedDeliversAll(t *testing.T) {
+	key := []byte("secret")
+	var got atomic.Int64
+	srv, err := wire.Serve("127.0.0.1:0", func(m *wire.Message, remote string) *wire.Ack {
+		if !wire.Verify(m, key) {
+			return &wire.Ack{OK: false, Message: "bad signature"}
+		}
+		got.Add(1)
+		return &wire.Ack{OK: true}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	s := NewWireSinkBatched(srv.Addr(), wire.BatchOptions{MaxBatch: 8, Window: 2})
+	s.Key = key
+	const total = 30
+	for i := 0; i < total; i++ {
+		if err := s.Submit(branch.MustParse("a=1"), "h", []byte("<r/>")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close drains the partial batch and all in-flight acks.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got.Load() != total {
+		t.Fatalf("server got %d, want %d", got.Load(), total)
+	}
+}
+
+func TestWireSinkBatchedSurfacesRejectionLater(t *testing.T) {
+	srv, err := wire.Serve("127.0.0.1:0", func(m *wire.Message, remote string) *wire.Ack {
+		return &wire.Ack{OK: false, Message: "bad signature"}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	s := NewWireSinkBatched(srv.Addr(), wire.BatchOptions{MaxBatch: 1, Window: 1})
+	// The rejection rides the ack vector; it surfaces on a later Submit
+	// or at the latest on Close.
+	var sawErr error
+	for i := 0; i < 5 && sawErr == nil; i++ {
+		sawErr = s.Submit(branch.MustParse("a=1"), "h", []byte("<r/>"))
+	}
+	if closeErr := s.Close(); sawErr == nil {
+		sawErr = closeErr
+	}
+	if sawErr == nil || !strings.Contains(sawErr.Error(), "bad signature") {
+		t.Fatalf("rejection never surfaced: %v", sawErr)
+	}
+}

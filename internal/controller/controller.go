@@ -53,6 +53,12 @@ type Options struct {
 	// must sign its wire messages; hosts without keys fall back to the
 	// allowlist-only check.
 	Keys map[string][]byte
+	// MaxResponses bounds the in-memory response log. Once that many
+	// responses have been recorded the oldest entries are overwritten in
+	// ring-buffer fashion, so a long-running controller no longer grows
+	// without bound. 0 keeps the unbounded log the experiments use.
+	// Counters' accepted total keeps counting evicted entries.
+	MaxResponses int
 }
 
 // Controller is the centralized controller.
@@ -62,7 +68,9 @@ type Controller struct {
 	allow map[string]bool
 
 	mu        sync.Mutex
-	responses []Response
+	responses []Response // ring buffer when opt.MaxResponses > 0
+	head      int        // oldest entry once the ring has wrapped
+	accepted  int        // accepted since the last reset, evictions included
 	rejected  int
 	errs      int
 }
@@ -122,7 +130,13 @@ func (c *Controller) Submit(id branch.ID, hostname string, reportXML []byte) (Re
 		Insert:     rec.Insert,
 	}
 	c.mu.Lock()
-	c.responses = append(c.responses, resp)
+	c.accepted++
+	if max := c.opt.MaxResponses; max > 0 && len(c.responses) >= max {
+		c.responses[c.head] = resp
+		c.head = (c.head + 1) % max
+	} else {
+		c.responses = append(c.responses, resp)
+	}
 	c.mu.Unlock()
 	return resp, nil
 }
@@ -154,23 +168,33 @@ func (c *Controller) SubmitReport(id branch.ID, hostname string, reportXML []byt
 	return err
 }
 
-// Responses returns a copy of the response log.
+// Responses returns a copy of the response log in arrival order. With
+// MaxResponses set this is the most recent window; older entries have
+// been evicted.
 func (c *Controller) Responses() []Response {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]Response(nil), c.responses...)
+	out := make([]Response, 0, len(c.responses))
+	out = append(out, c.responses[c.head:]...)
+	out = append(out, c.responses[:c.head]...)
+	return out
 }
 
-// ResetResponses clears the response log (between experiment phases).
+// ResetResponses clears the response log and the accepted total (between
+// experiment phases).
 func (c *Controller) ResetResponses() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.responses = nil
+	c.head = 0
+	c.accepted = 0
 }
 
 // Counters returns totals: accepted, rejected (allowlist), depot errors.
+// Accepted counts every stored report since the last reset, including
+// responses a bounded log has since evicted.
 func (c *Controller) Counters() (accepted, rejected, errs int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.responses), c.rejected, c.errs
+	return c.accepted, c.rejected, c.errs
 }

@@ -212,3 +212,68 @@ func TestHandleAuthenticatedHosts(t *testing.T) {
 		t.Fatalf("rejected = %d, want 2", rejected)
 	}
 }
+
+func TestMaxResponsesRingBuffer(t *testing.T) {
+	c, _ := newTestController(Options{MaxResponses: 3})
+	reportXML := sampleReportXML(t)
+	for i := 0; i < 7; i++ {
+		id := branch.MustParse(fmt.Sprintf("probe=p%d", i))
+		if _, err := c.Submit(id, "h", reportXML); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.Responses()
+	if len(got) != 3 {
+		t.Fatalf("log holds %d responses, want 3", len(got))
+	}
+	// The window is the most recent three, in arrival order.
+	for i, want := range []string{"probe=p4", "probe=p5", "probe=p6"} {
+		if got[i].Branch.String() != want {
+			t.Fatalf("responses[%d] = %s, want %s", i, got[i].Branch, want)
+		}
+	}
+	// Evicted entries still count as accepted.
+	accepted, rejected, errs := c.Counters()
+	if accepted != 7 || rejected != 0 || errs != 0 {
+		t.Fatalf("counters = %d/%d/%d, want 7/0/0", accepted, rejected, errs)
+	}
+}
+
+func TestMaxResponsesZeroIsUnbounded(t *testing.T) {
+	c, _ := newTestController(Options{})
+	reportXML := sampleReportXML(t)
+	for i := 0; i < 5; i++ {
+		id := branch.MustParse(fmt.Sprintf("probe=p%d", i))
+		if _, err := c.Submit(id, "h", reportXML); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Responses(); len(got) != 5 {
+		t.Fatalf("log holds %d responses, want 5", len(got))
+	}
+	accepted, _, _ := c.Counters()
+	if accepted != 5 {
+		t.Fatalf("accepted = %d, want 5", accepted)
+	}
+}
+
+func TestMaxResponsesResetRestartsWindow(t *testing.T) {
+	c, _ := newTestController(Options{MaxResponses: 2})
+	reportXML := sampleReportXML(t)
+	for i := 0; i < 5; i++ {
+		c.Submit(branch.MustParse(fmt.Sprintf("probe=a%d", i)), "h", reportXML)
+	}
+	c.ResetResponses()
+	if accepted, _, _ := c.Counters(); accepted != 0 {
+		t.Fatalf("accepted = %d after reset, want 0", accepted)
+	}
+	if len(c.Responses()) != 0 {
+		t.Fatal("responses survived reset")
+	}
+	// The ring must restart cleanly, not resume from a stale head.
+	c.Submit(branch.MustParse("probe=b0"), "h", reportXML)
+	got := c.Responses()
+	if len(got) != 1 || got[0].Branch.String() != "probe=b0" {
+		t.Fatalf("responses after reset = %+v", got)
+	}
+}

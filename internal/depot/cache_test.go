@@ -26,9 +26,11 @@ func mustUpdate(t *testing.T, c Cache, id string, payload []byte) {
 
 func allCaches() map[string]func() Cache {
 	return map[string]func() Cache{
-		"stream": func() Cache { return NewStreamCache() },
-		"dom":    func() Cache { return NewDOMCache() },
-		"split":  func() Cache { return NewSplitCache() },
+		"stream":      func() Cache { return NewStreamCache() },
+		"dom":         func() Cache { return NewDOMCache() },
+		"split":       func() Cache { return NewSplitCache() },
+		"sharded4":    func() Cache { return NewShardedCache(4) },
+		"sharded3-d2": func() Cache { return NewShardedCacheDepth(3, 2) },
 	}
 }
 

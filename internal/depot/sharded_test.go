@@ -1,0 +1,130 @@
+package depot
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"inca/internal/branch"
+)
+
+var _ Cache = (*ShardedCache)(nil)
+
+func TestShardedCacheSpreadsAcrossShards(t *testing.T) {
+	c := NewShardedCacheDepth(8, 2)
+	for site := 0; site < 32; site++ {
+		id := fmt.Sprintf("probe=p,site=s%02d,vo=tg", site)
+		mustUpdate(t, c, id, reportXMLFor("rep", id))
+	}
+	populated := 0
+	for _, s := range c.shards {
+		if s.Count() > 0 {
+			populated++
+		}
+	}
+	if populated < 4 {
+		t.Fatalf("32 sites landed on only %d of 8 shards", populated)
+	}
+	if c.Count() != 32 {
+		t.Fatalf("Count = %d, want 32", c.Count())
+	}
+}
+
+func TestShardedCacheRoutingIsStable(t *testing.T) {
+	c := NewShardedCacheDepth(16, 2)
+	id := branch.MustParse("probe=p1,site=sdsc,vo=tg")
+	want := c.shardFor(id)
+	// Identifiers sharing the most-general depth components co-locate.
+	sibling := branch.MustParse("probe=p2,site=sdsc,vo=tg")
+	if got := c.shardFor(sibling); got != want {
+		t.Fatalf("sibling routed to shard %d, want %d", got, want)
+	}
+	deeper := branch.MustParse("run=r9,probe=p1,site=sdsc,vo=tg")
+	if got := c.shardFor(deeper); got != want {
+		t.Fatalf("descendant routed to shard %d, want %d", got, want)
+	}
+}
+
+func TestShardedCacheDeepQueryTouchesOneShard(t *testing.T) {
+	c := NewShardedCacheDepth(4, 2)
+	mustUpdate(t, c, "probe=p1,site=sdsc,vo=tg", reportXMLFor("rep", "one"))
+	sub, ok, err := c.Query(branch.MustParse("probe=p1,site=sdsc,vo=tg"))
+	if err != nil || !ok || !bytes.Contains(sub, []byte("one")) {
+		t.Fatalf("deep query: ok=%v err=%v %s", ok, err, sub)
+	}
+	// A shallow prefix merges subtrees from every shard holding children.
+	for site := 0; site < 8; site++ {
+		id := fmt.Sprintf("probe=p1,site=s%d,vo=tg", site)
+		mustUpdate(t, c, id, reportXMLFor("rep", fmt.Sprintf("s%d", site)))
+	}
+	sub, ok, err = c.Query(branch.MustParse("vo=tg"))
+	if err != nil || !ok {
+		t.Fatalf("prefix query: ok=%v err=%v", ok, err)
+	}
+	for site := 0; site < 8; site++ {
+		if !bytes.Contains(sub, []byte(fmt.Sprintf("s%d", site))) {
+			t.Fatalf("merged prefix missing site %d: %s", site, sub)
+		}
+	}
+}
+
+func TestShardedCacheDumpMergesToCanonical(t *testing.T) {
+	c := NewShardedCacheDepth(5, 1)
+	ids := []string{
+		"r=a,vo=one", "r=b,vo=one", "r=a,vo=two",
+		"r=a,vo=three", "r=a,vo=four", "r=a,vo=five",
+	}
+	for _, id := range ids {
+		mustUpdate(t, c, id, reportXMLFor("rep", id))
+	}
+	// The stitched dump reloads into a canonical single document holding
+	// every entry exactly once.
+	re, err := LoadDump(c.Dump())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Count() != len(ids) {
+		t.Fatalf("reloaded count = %d, want %d", re.Count(), len(ids))
+	}
+	for _, id := range ids {
+		stored, err := re.Reports(branch.MustParse(id))
+		if err != nil || len(stored) != 1 {
+			t.Fatalf("reloaded %s: %d entries, err %v", id, len(stored), err)
+		}
+	}
+}
+
+func TestShardedCacheMergeInterop(t *testing.T) {
+	// A sharded cache merges with other cache kinds through depot.Merge.
+	sharded := NewShardedCache(4)
+	stream := NewStreamCache()
+	mustUpdate(t, sharded, "r=a,vo=x", reportXMLFor("rep", "fromShards"))
+	mustUpdate(t, stream, "r=b,vo=y", reportXMLFor("rep", "fromStream"))
+	merged, err := Merge(sharded, stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Count() != 2 {
+		t.Fatalf("merged count = %d", merged.Count())
+	}
+	dump := merged.Dump()
+	for _, want := range []string{"fromShards", "fromStream"} {
+		if !bytes.Contains(dump, []byte(want)) {
+			t.Fatalf("merged dump missing %s: %s", want, dump)
+		}
+	}
+}
+
+func TestShardedCacheSingleShardDegeneratesToStream(t *testing.T) {
+	sharded := NewShardedCache(1)
+	stream := NewStreamCache()
+	ids := []string{"r=b,s=2", "r=a,s=1", "r=c,s=1"}
+	for _, id := range ids {
+		mustUpdate(t, sharded, id, reportXMLFor("rep", id))
+		mustUpdate(t, stream, id, reportXMLFor("rep", id))
+	}
+	if !bytes.Equal(sharded.Dump(), stream.Dump()) {
+		t.Fatalf("1-shard dump diverges from StreamCache:\n%s\nvs\n%s",
+			sharded.Dump(), stream.Dump())
+	}
+}

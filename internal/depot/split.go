@@ -99,15 +99,20 @@ func (c *SplitCache) Query(id branch.ID) ([]byte, bool, error) {
 	if id.IsRoot() {
 		return c.Dump(), true, nil
 	}
-	shards := c.shardsForPrefix(id)
+	return mergeShardQuery(c.shardsForPrefix(id), id)
+}
+
+// mergeShardQuery answers a non-root query spanning several shards: each
+// shard holds a disjoint set of children under the queried node, so the
+// merged answer emits the node's branch element once with every shard's
+// children inside.
+func mergeShardQuery(shards []*StreamCache, id branch.ID) ([]byte, bool, error) {
 	if len(shards) == 0 {
 		return nil, false, nil
 	}
 	if len(shards) == 1 {
 		return shards[0].Query(id)
 	}
-	// Merge: emit the prefix's branch element once, with each shard's
-	// children inside.
 	var buf bytes.Buffer
 	found := false
 	var open, close []byte

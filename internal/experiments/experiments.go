@@ -87,7 +87,9 @@ func ByID(id string) (Result, error) {
 		return Fig8(Fig8Options{}), nil
 	case "fig9":
 		return Fig9(Fig9Options{}), nil
+	case "shards":
+		return Shards(ShardsOptions{}), nil
 	default:
-		return Result{}, fmt.Errorf("experiments: unknown experiment %q (table1-4, fig4-9)", id)
+		return Result{}, fmt.Errorf("experiments: unknown experiment %q (table1-4, fig4-9, shards)", id)
 	}
 }

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inca/internal/branch"
+	"inca/internal/controller"
+	"inca/internal/depot"
+	"inca/internal/envelope"
+	"inca/internal/loadgen"
+)
+
+// ShardsOptions configures the sharded-cache ablation (DESIGN.md §5).
+type ShardsOptions struct {
+	// Updates is how many steady-state submissions each (shards, workers)
+	// point measures (default 2000).
+	Updates int
+	// Workers is the concurrent submitter count for the parallel rows
+	// (default 8; the serial rows always use 1).
+	Workers int
+}
+
+// shardsCell measures ingest throughput through the full controller →
+// envelope → depot path against an n-shard cache with the given number of
+// concurrent submitters, over the TeraGrid-shaped population (40 sites ×
+// 26 probes, 9257-byte reports).
+func shardsCell(shards, workers, updates int) (perSec float64, err error) {
+	var cache depot.Cache
+	if shards == 1 {
+		cache = depot.NewStreamCache()
+	} else {
+		cache = depot.NewShardedCacheDepth(shards, 2)
+	}
+	d := depot.New(cache)
+	ctl := controller.New(d, controller.Options{Mode: envelope.Attachment, MaxResponses: 256})
+	data := loadgen.MustPremadeReport(9257)
+	ids := make([]branch.ID, 0, 40*26)
+	for site := 0; site < 40; site++ {
+		for probe := 0; probe < 26; probe++ {
+			ids = append(ids, branch.MustParse(fmt.Sprintf("probe=p%02d,site=s%02d,vo=tg", probe, site)))
+		}
+	}
+	for _, id := range ids {
+		if _, err = ctl.Submit(id, "loadgen", data); err != nil {
+			return 0, err
+		}
+	}
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i > updates {
+					return
+				}
+				if _, serr := ctl.Submit(ids[i%len(ids)], "loadgen", data); serr != nil {
+					errOnce.Do(func() { err = serr })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err != nil {
+		return 0, err
+	}
+	return float64(updates) / elapsed.Seconds(), nil
+}
+
+// Shards runs the sharded-cache ablation: steady-state ingest throughput
+// for 1-, 4- and 16-shard caches, serially and under concurrent
+// submitters. The 1-shard serial row is the StreamCache baseline the
+// paper's depot corresponds to.
+func Shards(opt ShardsOptions) Result {
+	if opt.Updates <= 0 {
+		opt.Updates = 2000
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = 8
+	}
+	return timed("shards", "Sharded depot cache ablation: ingest throughput vs shard count", func(r *Result) {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%-8s %-9s %14s %10s\n", "shards", "workers", "reports/sec", "speedup")
+		var baseline float64
+		for _, shards := range []int{1, 4, 16} {
+			for _, workers := range []int{1, opt.Workers} {
+				perSec, err := shardsCell(shards, workers, opt.Updates)
+				if err != nil {
+					r.Text = "error: " + err.Error()
+					return
+				}
+				if baseline == 0 {
+					baseline = perSec
+				}
+				fmt.Fprintf(&sb, "%-8d %-9d %14.0f %9.2fx\n", shards, workers, perSec, perSec/baseline)
+			}
+		}
+		r.Text = sb.String()
+		r.Notes = append(r.Notes,
+			"baseline (1.00x) is the 1-shard serial StreamCache, the paper's single-document depot",
+			"the speedup has two sources: per-shard locks remove submitter contention, and each shard document is ~1/N the size, so the splice every insert pays (linear in document size, §5.2.1) shrinks even on one core",
+			"serial Fig 9 curves are unaffected: the sharded cache is opt-in and the StreamCache path is untouched",
+		)
+	})
+}

@@ -1,0 +1,383 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Batch frames amortize the per-report round trip that serializes the
+// single-message protocol: many messages travel under one flush, and the
+// server answers with one ack vector per batch. Layout:
+//
+//	uint32 0xFFFFFFFF | uint32 count | count × message frame
+//
+// and the matching ack vector:
+//
+//	uint8 2 | uint32 count | count × (uint8 status | uint32 msgLen | msg)
+//
+// where the leading 2 can never open a single-message ack (those start
+// with status 0 or 1).
+
+// batchMagic opens a batch frame. It cannot collide with a legal
+// single-message frame because the first word there is a part length,
+// capped at MaxFrame.
+const batchMagic = 0xFFFFFFFF
+
+// ackVectorMarker opens an ack vector (single-message acks start 0 or 1).
+const ackVectorMarker = 2
+
+// MaxBatch bounds the messages in one batch frame.
+const MaxBatch = 4096
+
+// WriteBatch writes msgs as one batch frame.
+func WriteBatch(w io.Writer, msgs []*Message) error {
+	if len(msgs) == 0 {
+		return fmt.Errorf("wire: empty batch")
+	}
+	if len(msgs) > MaxBatch {
+		return fmt.Errorf("wire: batch of %d messages exceeds limit %d", len(msgs), MaxBatch)
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint32(hdr[:4], batchMagic)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(len(msgs)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, m := range msgs {
+		if err := WriteMessage(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadBatch reads one batch frame, magic word included.
+func ReadBatch(r io.Reader) ([]*Message, error) {
+	msgs, _, err := readBatch(r, nil)
+	return msgs, err
+}
+
+func readBatch(r io.Reader, scratch []byte) ([]*Message, []byte, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, scratch, err
+	}
+	if binary.BigEndian.Uint32(hdr[:4]) != batchMagic {
+		return nil, scratch, fmt.Errorf("wire: not a batch frame")
+	}
+	count := binary.BigEndian.Uint32(hdr[4:])
+	if count == 0 || count > MaxBatch {
+		return nil, scratch, fmt.Errorf("wire: batch count %d out of range", count)
+	}
+	msgs := make([]*Message, count)
+	for i := range msgs {
+		var err error
+		if msgs[i], scratch, err = readMessage(r, scratch); err != nil {
+			return nil, scratch, err
+		}
+	}
+	return msgs, scratch, nil
+}
+
+// peekBatch reports whether the next frame on br is a batch frame, without
+// consuming it.
+func peekBatch(br *bufio.Reader) (bool, error) {
+	b, err := br.Peek(4)
+	if err != nil {
+		return false, err
+	}
+	return binary.BigEndian.Uint32(b) == batchMagic, nil
+}
+
+// WriteAckVector writes one ack per batched message.
+func WriteAckVector(w io.Writer, acks []*Ack) error {
+	var hdr [5]byte
+	hdr[0] = ackVectorMarker
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(acks)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	for _, a := range acks {
+		if err := WriteAck(w, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadAckVector reads one ack vector.
+func ReadAckVector(r io.Reader) ([]*Ack, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	if hdr[0] != ackVectorMarker {
+		return nil, fmt.Errorf("wire: not an ack vector (marker %d)", hdr[0])
+	}
+	count := binary.BigEndian.Uint32(hdr[1:])
+	if count > MaxBatch {
+		return nil, fmt.Errorf("wire: ack vector count %d out of range", count)
+	}
+	acks := make([]*Ack, count)
+	for i := range acks {
+		var err error
+		if acks[i], err = ReadAck(r); err != nil {
+			return nil, err
+		}
+	}
+	return acks, nil
+}
+
+// BatchOptions configures a BatchClient.
+type BatchOptions struct {
+	// MaxBatch is how many messages accumulate before a flush (default 32).
+	MaxBatch int
+	// Window is how many unacknowledged batches may be in flight before
+	// the next flush blocks (default 4) — the pipelining depth.
+	Window int
+	// FlushInterval bounds how long a buffered message waits before the
+	// partial batch is sent anyway (default 50ms; <0 disables the timer,
+	// leaving flushing to full batches and explicit Flush/Drain calls).
+	FlushInterval time.Duration
+}
+
+func (o *BatchOptions) fill() {
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 32
+	}
+	if o.MaxBatch > MaxBatch {
+		o.MaxBatch = MaxBatch
+	}
+	if o.Window <= 0 {
+		o.Window = 4
+	}
+	if o.FlushInterval == 0 {
+		o.FlushInterval = 50 * time.Millisecond
+	}
+}
+
+// BatchClient is the pipelined counterpart of Client: messages accumulate
+// into batch frames, and up to Window batches ride the connection before
+// the first ack vector is awaited, so the paper's one-report-per-round-trip
+// serialization disappears from the ingest path. Because acknowledgements
+// arrive after Enqueue returns, a rejection or transport failure surfaces
+// on a later Enqueue, Flush, or Drain call — the trade the protocol makes
+// for keeping the pipe full. It is safe for concurrent use.
+type BatchClient struct {
+	addr string
+	opt  BatchOptions
+
+	mu      sync.Mutex
+	conn    net.Conn
+	bw      *bufio.Writer
+	pending []*Message
+	timer   *time.Timer
+	sem     chan struct{} // holds one token per in-flight batch
+	gone    chan struct{} // closed when this connection's ack reader exits
+
+	errMu    sync.Mutex
+	err      error
+	closed   bool
+	acked    uint64
+	rejected uint64
+}
+
+// NewBatchClient returns a client that dials addr on first flush.
+func NewBatchClient(addr string, opt BatchOptions) *BatchClient {
+	opt.fill()
+	return &BatchClient{addr: addr, opt: opt}
+}
+
+// Enqueue buffers one message, flushing if the batch is full. The returned
+// error reports previously collected asynchronous failures (server
+// rejections or transport errors from earlier batches), not the fate of m.
+func (c *BatchClient) Enqueue(m *Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pending = append(c.pending, m)
+	if len(c.pending) >= c.opt.MaxBatch {
+		return c.flushLocked()
+	}
+	if c.opt.FlushInterval > 0 && c.timer == nil {
+		c.timer = time.AfterFunc(c.opt.FlushInterval, func() { c.Flush() })
+	}
+	return c.takeErr()
+}
+
+// Flush sends the pending partial batch without waiting for its ack.
+func (c *BatchClient) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.flushLocked()
+}
+
+func (c *BatchClient) flushLocked() error {
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	if len(c.pending) == 0 {
+		return c.takeErr()
+	}
+	if err := c.ensureConnLocked(); err != nil {
+		c.pending = c.pending[:0]
+		return err
+	}
+	// Claim an in-flight slot; blocks when Window batches await acks,
+	// which is the backpressure that keeps a slow server from unbounded
+	// buffering. The reader releases a slot per ack vector and never takes
+	// c.mu, so holding it here cannot deadlock.
+	select {
+	case c.sem <- struct{}{}:
+	case <-c.gone:
+		c.resetConnLocked()
+		c.pending = c.pending[:0]
+		if err := c.takeErr(); err != nil {
+			return err
+		}
+		return fmt.Errorf("wire: connection lost")
+	}
+	err := WriteBatch(c.bw, c.pending)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	c.pending = c.pending[:0]
+	if err != nil {
+		c.resetConnLocked()
+		c.recordErr(err)
+		return c.takeErr()
+	}
+	return c.takeErr()
+}
+
+func (c *BatchClient) ensureConnLocked() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.Dial("tcp", c.addr)
+	if err != nil {
+		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
+	}
+	c.conn = conn
+	c.bw = bufio.NewWriter(conn)
+	c.sem = make(chan struct{}, c.opt.Window)
+	c.gone = make(chan struct{})
+	c.errMu.Lock()
+	c.closed = false // a redial after Close resumes error collection
+	c.errMu.Unlock()
+	go c.readAcks(bufio.NewReader(conn), c.sem, c.gone)
+	return nil
+}
+
+// resetConnLocked abandons the current connection; its reader exits on the
+// closed socket and the next flush redials with fresh channels.
+func (c *BatchClient) resetConnLocked() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	c.bw = nil
+	c.sem = nil
+	c.gone = nil
+}
+
+// readAcks consumes ack vectors, releasing one in-flight slot per vector.
+// It deliberately never touches c.mu (see flushLocked).
+func (c *BatchClient) readAcks(br *bufio.Reader, sem chan struct{}, gone chan struct{}) {
+	defer close(gone)
+	for {
+		acks, err := ReadAckVector(br)
+		if err != nil {
+			c.recordErr(err)
+			return
+		}
+		c.errMu.Lock()
+		for _, a := range acks {
+			if a.OK {
+				c.acked++
+			} else {
+				c.rejected++
+				if c.err == nil && !c.closed {
+					c.err = fmt.Errorf("wire: server rejected report: %s", a.Message)
+				}
+			}
+		}
+		c.errMu.Unlock()
+		<-sem
+	}
+}
+
+func (c *BatchClient) recordErr(err error) {
+	c.errMu.Lock()
+	if c.err == nil && !c.closed {
+		c.err = err
+	}
+	c.errMu.Unlock()
+}
+
+// takeErr returns and clears the first collected asynchronous error.
+func (c *BatchClient) takeErr() error {
+	c.errMu.Lock()
+	err := c.err
+	c.err = nil
+	c.errMu.Unlock()
+	return err
+}
+
+// Drain flushes the pending batch and waits until every in-flight batch
+// has been acknowledged, returning the first collected failure.
+func (c *BatchClient) Drain() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.flushLocked(); err != nil {
+		return err
+	}
+	if c.conn == nil {
+		return c.takeErr()
+	}
+	// Filling the window proves no batch still awaits its ack vector.
+	for i := 0; i < c.opt.Window; i++ {
+		select {
+		case c.sem <- struct{}{}:
+		case <-c.gone:
+			c.resetConnLocked()
+			if err := c.takeErr(); err != nil {
+				return err
+			}
+			return fmt.Errorf("wire: connection lost")
+		}
+	}
+	for i := 0; i < c.opt.Window; i++ {
+		<-c.sem
+	}
+	return c.takeErr()
+}
+
+// Stats returns how many batched messages were acknowledged OK and how
+// many the server rejected.
+func (c *BatchClient) Stats() (acked, rejected uint64) {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.acked, c.rejected
+}
+
+// Close drains outstanding batches and closes the connection.
+func (c *BatchClient) Close() error {
+	err := c.Drain()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.errMu.Lock()
+	c.closed = true
+	c.errMu.Unlock()
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	c.resetConnLocked()
+	return err
+}

@@ -10,6 +10,11 @@
 // The server answers each frame with an ack frame:
 //
 //	uint8 status (0 ok, 1 error) | uint32 msgLen | message bytes
+//
+// A batch frame carries many messages under one flush (see batch.go); the
+// sentinel first word 0xFFFFFFFF — never a legal branch length, since
+// parts are capped at MaxFrame — distinguishes it from a single-message
+// frame, so both coexist on one connection and old clients keep working.
 package wire
 
 import (
@@ -60,26 +65,58 @@ func WriteMessage(w io.Writer, m *Message) error {
 
 // ReadMessage reads one framed message.
 func ReadMessage(r io.Reader) (*Message, error) {
-	parts := make([][]byte, 4)
-	for i := range parts {
-		var lenBuf [4]byte
+	m, _, err := readMessage(r, nil)
+	return m, err
+}
+
+// readMessage reads one framed message. The transient parts (branch and
+// hostname, which become strings anyway) pass through scratch — grown as
+// needed and returned for reuse across the messages of one connection — so
+// only the retained parts (report, signature) get fresh allocations.
+func readMessage(r io.Reader, scratch []byte) (*Message, []byte, error) {
+	var lenBuf [4]byte
+	readPart := func(retain bool) ([]byte, error) {
 		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
 			return nil, err
 		}
-		n := binary.BigEndian.Uint32(lenBuf[:])
+		n := int(binary.BigEndian.Uint32(lenBuf[:]))
 		if n > MaxFrame {
 			return nil, fmt.Errorf("wire: frame part of %d bytes exceeds limit", n)
 		}
-		parts[i] = make([]byte, n)
-		if _, err := io.ReadFull(r, parts[i]); err != nil {
+		buf := scratch
+		if retain {
+			buf = make([]byte, n)
+		} else if cap(buf) < n {
+			buf = make([]byte, n)
+			scratch = buf
+		} else {
+			buf = buf[:n]
+		}
+		if _, err := io.ReadFull(r, buf); err != nil {
 			return nil, err
 		}
+		return buf, nil
 	}
-	m := &Message{Branch: string(parts[0]), Hostname: string(parts[1]), Report: parts[2]}
-	if len(parts[3]) > 0 {
-		m.Signature = parts[3]
+	var m Message
+	part, err := readPart(false)
+	if err != nil {
+		return nil, scratch, err
 	}
-	return m, nil
+	m.Branch = string(part)
+	if part, err = readPart(false); err != nil {
+		return nil, scratch, err
+	}
+	m.Hostname = string(part)
+	if m.Report, err = readPart(true); err != nil {
+		return nil, scratch, err
+	}
+	if part, err = readPart(true); err != nil {
+		return nil, scratch, err
+	}
+	if len(part) > 0 {
+		m.Signature = part
+	}
+	return &m, scratch, nil
 }
 
 // Ack is the server's response to one message.
@@ -251,17 +288,42 @@ func (s *Server) serveConn(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	remote := conn.RemoteAddr().String()
+	var scratch []byte // reused across this connection's frames
 	for {
-		msg, err := ReadMessage(br)
+		batch, err := peekBatch(br)
 		if err != nil {
 			return // EOF or protocol error: drop the connection
 		}
-		ack := s.handler(msg, remote)
-		if ack == nil {
-			ack = &Ack{OK: true}
-		}
-		if err := WriteAck(bw, ack); err != nil {
-			return
+		if batch {
+			var msgs []*Message
+			msgs, scratch, err = readBatch(br, scratch)
+			if err != nil {
+				return
+			}
+			acks := make([]*Ack, len(msgs))
+			for i, msg := range msgs {
+				ack := s.handler(msg, remote)
+				if ack == nil {
+					ack = &Ack{OK: true}
+				}
+				acks[i] = ack
+			}
+			if err := WriteAckVector(bw, acks); err != nil {
+				return
+			}
+		} else {
+			var msg *Message
+			msg, scratch, err = readMessage(br, scratch)
+			if err != nil {
+				return
+			}
+			ack := s.handler(msg, remote)
+			if ack == nil {
+				ack = &Ack{OK: true}
+			}
+			if err := WriteAck(bw, ack); err != nil {
+				return
+			}
 		}
 		if err := bw.Flush(); err != nil {
 			return
