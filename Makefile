@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench-smoke
+.PHONY: check fmt vet build test bench-smoke bench-query
 
 # The full gate: formatting, static checks, build, race-enabled tests, and
 # a one-iteration smoke of the parallel ingest benchmark tier.
@@ -23,3 +23,7 @@ test:
 
 bench-smoke:
 	$(GO) test -run=NONE -bench=BenchmarkIngestParallel4 -benchtime=1x .
+
+# Read-path tier: parallel Query throughput, stream vs indexed cache.
+bench-query:
+	$(GO) test -run=NONE -bench=BenchmarkQueryParallel -benchtime=1s .

@@ -221,12 +221,12 @@ func benchmarkCacheUpdate(b *testing.B, mk func() depot.Cache) {
 	}
 	data := loadgen.MustPremadeReport(9257)
 	id := branch.MustParse("slot=bench,size=s9257,vo=synthetic")
-	if err := cache.Update(id, data); err != nil {
+	if _, err := cache.Update(id, data); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := cache.Update(id, data); err != nil {
+		if _, err := cache.Update(id, data); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -511,4 +511,78 @@ func BenchmarkAgreementEvaluateMemoized(b *testing.B) {
 			b.Fatalf("pieces = %d", status.PiecesVerified())
 		}
 	}
+}
+
+// --- Read-path tier: concurrent consumers against the indexed cache ---
+//
+// The ingest benches above measure writers; these measure the read side
+// the IndexedCache exists for. StreamCache answers an exact-branch Query
+// by SAX-scanning the whole document (O(document) per query, readers
+// serialized behind the document lock for the scan's duration);
+// IndexedCache resolves the branch through its index and serializes only
+// the requested subtree (O(report)), so readers scale with cores and
+// stay flat as the cache grows.
+
+func queryBenchIDs() []branch.ID {
+	ids := make([]branch.ID, 0, 40*26)
+	for site := 0; site < 40; site++ {
+		for probe := 0; probe < 26; probe++ {
+			ids = append(ids, branch.MustParse(fmt.Sprintf("probe=p%02d,site=s%02d,vo=tg", probe, site)))
+		}
+	}
+	return ids
+}
+
+func benchmarkQueryParallel(b *testing.B, mk func() depot.Cache, parallelism int) {
+	cache := mk()
+	data := loadgen.MustPremadeReport(9257)
+	ids := queryBenchIDs() // ~1k reports, the paper's deployed-cache scale
+	for _, id := range ids {
+		if _, err := cache.Update(id, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetParallelism(parallelism)
+	b.ResetTimer()
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1))
+			sub, ok, err := cache.Query(ids[i%len(ids)])
+			if err != nil || !ok || len(sub) == 0 {
+				b.Errorf("query: ok=%v err=%v", ok, err)
+				return
+			}
+		}
+	})
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "queries/sec")
+	}
+}
+
+func BenchmarkQueryParallel1(b *testing.B) {
+	b.Run("stream", func(b *testing.B) {
+		benchmarkQueryParallel(b, func() depot.Cache { return depot.NewStreamCache() }, 1)
+	})
+	b.Run("indexed", func(b *testing.B) {
+		benchmarkQueryParallel(b, func() depot.Cache { return depot.NewIndexedCache() }, 1)
+	})
+}
+
+func BenchmarkQueryParallel4(b *testing.B) {
+	b.Run("stream", func(b *testing.B) {
+		benchmarkQueryParallel(b, func() depot.Cache { return depot.NewStreamCache() }, 4)
+	})
+	b.Run("indexed", func(b *testing.B) {
+		benchmarkQueryParallel(b, func() depot.Cache { return depot.NewIndexedCache() }, 4)
+	})
+}
+
+func BenchmarkQueryParallel16(b *testing.B) {
+	b.Run("stream", func(b *testing.B) {
+		benchmarkQueryParallel(b, func() depot.Cache { return depot.NewStreamCache() }, 16)
+	})
+	b.Run("indexed", func(b *testing.B) {
+		benchmarkQueryParallel(b, func() depot.Cache { return depot.NewIndexedCache() }, 16)
+	})
 }

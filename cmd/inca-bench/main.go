@@ -21,11 +21,11 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: all, table1-table4, fig4-fig9")
+		experiment = flag.String("experiment", "all", "experiment to run: all, table1-table4, fig4-fig9, shards, query")
 		hours      = flag.Int("hours", 0, "virtual hours for table4/fig8 (0 = default)")
 		days       = flag.Int("days", 0, "virtual days for fig5/fig6/fig7 (0 = default)")
 		updates    = flag.Int("updates", 0, "steady-state updates per fig9/shards cell (0 = default)")
-		workers    = flag.Int("workers", 0, "concurrent submitters for the shards ablation (0 = default)")
+		workers    = flag.Int("workers", 0, "concurrent submitters/readers for the shards and query ablations (0 = default)")
 		ablations  = flag.Bool("ablations", false, "run fig9 design-choice ablations")
 		seed       = flag.Int64("seed", 2004, "simulation seed")
 		htmlOut    = flag.String("html", "", "also write the fig4 status page HTML here")
@@ -75,8 +75,10 @@ func main() {
 		run(experiments.Fig9(experiments.Fig9Options{UpdatesPerCell: *updates, Ablations: *ablations}))
 	case "shards":
 		run(experiments.Shards(experiments.ShardsOptions{Updates: *updates, Workers: *workers}))
+	case "query":
+		run(experiments.Query(experiments.QueryOptions{Readers: *workers}))
 	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (all, table1-table4, fig4-fig9, shards)\n", *experiment)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (all, table1-table4, fig4-fig9, shards, query)\n", *experiment)
 		os.Exit(2)
 	}
 

@@ -5,8 +5,14 @@
 //
 //	inca-consumer -server http://127.0.0.1:8080 -action stats
 //	inca-consumer -server http://127.0.0.1:8080 -action cache -branch site=siteA,vo=samplegrid
+//	inca-consumer -server http://127.0.0.1:8080 -action cache -branch site=siteA,vo=samplegrid -watch 5s
 //	inca-consumer -server http://127.0.0.1:8080 -action graph -branch ... -policy summary-percent
 //	inca-consumer -server http://127.0.0.1:8080 -action summary -agreement agreement.xml
+//
+// With -watch the cache and reports actions poll with conditional
+// requests: unchanged data costs a 304 Not Modified (no body transfer,
+// no cache scan on the server), and a fresh body is printed only when
+// the depot's generation has moved.
 package main
 
 import (
@@ -30,6 +36,7 @@ func main() {
 		policy    = flag.String("policy", "", "archival policy name (archive/graph)")
 		hours     = flag.Int("hours", 24, "history window for archive/graph")
 		agreeFile = flag.String("agreement", "", "service agreement XML for -action summary (default: built-in TeraGrid agreement)")
+		watch     = flag.Duration("watch", 0, "poll interval for cache/reports using ETag revalidation (0 = fetch once)")
 	)
 	flag.Parse()
 	c := query.NewClient(*server)
@@ -49,12 +56,22 @@ func main() {
 		fmt.Printf("reports received: %d (%d bytes)\ncache: %d entries, %d bytes\narchives: %d\n",
 			st.Received, st.Bytes, st.CacheCount, st.CacheSize, st.Archives)
 	case "cache":
+		if *watch > 0 {
+			watchConditional(*watch, func(etag string) ([]byte, string, bool, error) {
+				return c.CacheConditional(*branchID, etag)
+			}, fail)
+		}
 		data, err := c.Cache(*branchID)
 		if err != nil {
 			fail(err)
 		}
 		fmt.Println(string(data))
 	case "reports":
+		if *watch > 0 {
+			watchConditional(*watch, func(etag string) ([]byte, string, bool, error) {
+				return c.ReportsConditional(*branchID, etag)
+			}, fail)
+		}
 		data, err := c.Reports(*branchID)
 		if err != nil {
 			fail(err)
@@ -101,5 +118,25 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// watchConditional polls with ETag revalidation, printing a fresh body
+// each time the depot changes; it never returns.
+func watchConditional(interval time.Duration, fetch func(etag string) ([]byte, string, bool, error), fail func(error)) {
+	etag := ""
+	for {
+		body, newTag, notModified, err := fetch(etag)
+		if err != nil {
+			fail(err)
+		}
+		if notModified {
+			fmt.Fprintf(os.Stderr, "%s unchanged (ETag %s)\n", time.Now().UTC().Format(time.RFC3339), etag)
+		} else {
+			fmt.Fprintf(os.Stderr, "%s changed (ETag %s -> %s)\n", time.Now().UTC().Format(time.RFC3339), etag, newTag)
+			fmt.Println(string(body))
+			etag = newTag
+		}
+		time.Sleep(interval)
 	}
 }

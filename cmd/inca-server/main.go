@@ -31,7 +31,7 @@ func main() {
 		httpAddr  = flag.String("http", "127.0.0.1:8080", "address for the querying interface")
 		allow     = flag.String("allow", "", "comma-separated hostname allowlist (empty = allow all)")
 		mode      = flag.String("mode", "body", "envelope mode: body or attachment")
-		cacheImp  = flag.String("cache", "stream", "cache implementation: stream, file, dom, or split")
+		cacheImp  = flag.String("cache", "stream", "cache implementation: stream, file, dom, split, or indexed")
 		cacheFile = flag.String("cache-file", "inca-cache.xml", "backing file for -cache file")
 		snapshot  = flag.String("snapshot", "", "depot snapshot file: loaded at startup if present, written at shutdown")
 	)
@@ -69,6 +69,8 @@ func main() {
 			cache = depot.NewDOMCache()
 		case "split":
 			cache = depot.NewSplitCacheDepth(2)
+		case "indexed":
+			cache = depot.NewIndexedCache()
 		default:
 			fmt.Fprintf(os.Stderr, "unknown cache %q\n", *cacheImp)
 			os.Exit(2)

@@ -130,7 +130,7 @@ func TestFullTopologyOverSockets(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, s := range stored {
-			if err := merged.Update(s.ID, s.XML); err != nil {
+			if _, err := merged.Update(s.ID, s.XML); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -24,7 +24,7 @@ func fabricate(t *testing.T, c depot.Cache, resource, site, reporterName string,
 		t.Fatal(err)
 	}
 	id := branch.MustParse(fmt.Sprintf("reporter=%s,resource=%s,site=%s,vo=tg", reporterName, resource, site))
-	if err := c.Update(id, data); err != nil {
+	if _, err := c.Update(id, data); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -282,11 +282,11 @@ func TestEvaluateIgnoresForeignCacheData(t *testing.T) {
 	c := depot.NewStreamCache()
 	populateCompliant(t, c, "r1", "sdsc")
 	// Foreign XML under a resource branch must not break evaluation.
-	if err := c.Update(branch.MustParse("x=1,resource=r1,vo=tg"), []byte("<foreign/>")); err != nil {
+	if _, err := c.Update(branch.MustParse("x=1,resource=r1,vo=tg"), []byte("<foreign/>")); err != nil {
 		t.Fatal(err)
 	}
 	// Data without a resource component is skipped.
-	if err := c.Update(branch.MustParse("misc=1,vo=tg"), []byte("<foreign2/>")); err != nil {
+	if _, err := c.Update(branch.MustParse("misc=1,vo=tg"), []byte("<foreign2/>")); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := Evaluate(smallAgreement(), c, t0); err != nil {
@@ -301,7 +301,7 @@ func TestVOFiltering(t *testing.T) {
 	r := report.New("grid.version.globus", "1.0", "alien", t0)
 	r.Body = report.Branch("package", "globus", report.Leaf("version", "2.4.3"))
 	data, _ := report.Marshal(r)
-	if err := c.Update(branch.MustParse("reporter=grid.version.globus,resource=alien,site=x,vo=other"), data); err != nil {
+	if _, err := c.Update(branch.MustParse("reporter=grid.version.globus,resource=alien,site=x,vo=other"), data); err != nil {
 		t.Fatal(err)
 	}
 	status, _ := Evaluate(smallAgreement(), c, t0)

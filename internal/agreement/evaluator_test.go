@@ -74,7 +74,7 @@ func TestEvaluatorMemoEviction(t *testing.T) {
 func TestEvaluatorSkipsForeignData(t *testing.T) {
 	c := depot.NewStreamCache()
 	populateCompliant(t, c, "r1", "sdsc")
-	if err := c.Update(branch.MustParse("x=1,resource=r1,vo=tg"), []byte("<foreign/>")); err != nil {
+	if _, err := c.Update(branch.MustParse("x=1,resource=r1,vo=tg"), []byte("<foreign/>")); err != nil {
 		t.Fatal(err)
 	}
 	ev := NewEvaluator(smallAgreement())

@@ -23,6 +23,12 @@
 //   - SplitCache — the planned improvement ("the cache will be split into
 //     multiple smaller files to minimize XML parsing time"): one
 //     StreamCache per most-general branch component group.
+//   - ShardedCache — hash-sharded StreamCaches for concurrent ingest
+//     (see sharded.go).
+//   - IndexedCache — the read-path counterpart (see indexed.go): a sorted
+//     component trie indexed by branch identifier, O(report) updates and
+//     exact queries, O(results) prefix collection, and a lazily
+//     materialized canonical document gated by a generation counter.
 package depot
 
 import (
@@ -38,7 +44,10 @@ import (
 // Cache stores the latest report per branch identifier.
 type Cache interface {
 	// Update stores reportXML at id, replacing any previous report there.
-	Update(id branch.ID, reportXML []byte) error
+	// It reports whether a new entry was added (false when an existing
+	// entry was replaced), so callers never have to infer added-vs-replaced
+	// from Count() deltas — which misreports under concurrent stores.
+	Update(id branch.ID, reportXML []byte) (added bool, err error)
 	// Query returns the serialized subtree rooted at the node id names
 	// (the whole cache for the root identifier) and whether it exists.
 	Query(id branch.ID) ([]byte, bool, error)
@@ -52,6 +61,17 @@ type Cache interface {
 	Count() int
 }
 
+// Versioned is implemented by caches that expose a generation counter
+// incremented on every successful update. Read layers derive cheap
+// freshness checks from it: the HTTP querying interface turns it into
+// ETags (so an unchanged cache answers conditional requests in O(1)) and
+// IndexedCache uses it to invalidate its lazily materialized document.
+type Versioned interface {
+	// Generation returns a counter that strictly increases with every
+	// successful Update.
+	Generation() uint64
+}
+
 // Stored is one cached report and its full branch identifier.
 type Stored struct {
 	ID  branch.ID
@@ -63,6 +83,7 @@ type StreamCache struct {
 	mu      sync.RWMutex
 	data    []byte
 	count   int
+	gen     uint64
 	generic bool // use the generic token-based splice (benchmarks only)
 }
 
@@ -84,7 +105,7 @@ func NewStreamCacheGeneric() *StreamCache {
 // names. The document is canonical (this package wrote every byte of it),
 // so the byte-level fast path applies; see cache_fast.go and the generic
 // token-based reference in spliceUpdate.
-func (c *StreamCache) Update(id branch.ID, reportXML []byte) error {
+func (c *StreamCache) Update(id branch.ID, reportXML []byte) (bool, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	splice := fastSplice
@@ -93,13 +114,14 @@ func (c *StreamCache) Update(id branch.ID, reportXML []byte) error {
 	}
 	out, added, err := splice(c.data, id.Path(), reportXML)
 	if err != nil {
-		return err
+		return false, err
 	}
 	c.data = out
+	c.gen++
 	if added {
 		c.count++
 	}
-	return nil
+	return added, nil
 }
 
 // Query implements Cache.
@@ -146,6 +168,13 @@ func (c *StreamCache) Count() int {
 	return c.count
 }
 
+// Generation implements Versioned.
+func (c *StreamCache) Generation() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gen
+}
+
 // LoadDump reconstructs a StreamCache from a previously dumped cache
 // document (e.g. one fetched over the querying interface — the paper notes
 // that retrieving the whole cache "tasks the data consumer with a large
@@ -157,7 +186,7 @@ func LoadDump(data []byte) (*StreamCache, error) {
 	}
 	c := NewStreamCache()
 	for _, s := range stored {
-		if err := c.Update(s.ID, s.XML); err != nil {
+		if _, err := c.Update(s.ID, s.XML); err != nil {
 			return nil, err
 		}
 	}
@@ -544,7 +573,7 @@ func Merge(caches ...Cache) (*StreamCache, error) {
 			return nil, err
 		}
 		for _, s := range stored {
-			if err := out.Update(s.ID, s.XML); err != nil {
+			if _, err := out.Update(s.ID, s.XML); err != nil {
 				return nil, err
 			}
 		}

@@ -67,10 +67,10 @@ func TestFastSpliceEscapedValuesInIDs(t *testing.T) {
 	// escaping and still match on replace.
 	c := NewStreamCache()
 	id := branch.MustParse("path=/usr/bin&lib,site=a<b")
-	if err := c.Update(id, []byte("<rep><v>one</v></rep>")); err != nil {
+	if _, err := c.Update(id, []byte("<rep><v>one</v></rep>")); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Update(id, []byte("<rep><v>two</v></rep>")); err != nil {
+	if _, err := c.Update(id, []byte("<rep><v>two</v></rep>")); err != nil {
 		t.Fatal(err)
 	}
 	if c.Count() != 1 {
@@ -90,10 +90,10 @@ func TestFastSplicePayloadContainingBranchTags(t *testing.T) {
 	// confuse the scanner.
 	c := NewStreamCache()
 	tricky := []byte(`<rep><branch name="fake" value="x"><entry>inner</entry></branch></rep>`)
-	if err := c.Update(branch.MustParse("r=1"), tricky); err != nil {
+	if _, err := c.Update(branch.MustParse("r=1"), tricky); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Update(branch.MustParse("r=1"), []byte("<rep><v>clean</v></rep>")); err != nil {
+	if _, err := c.Update(branch.MustParse("r=1"), []byte("<rep><v>clean</v></rep>")); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := c.Reports(branch.ID{})
@@ -101,7 +101,7 @@ func TestFastSplicePayloadContainingBranchTags(t *testing.T) {
 		t.Fatalf("tricky payload mishandled: %+v", got)
 	}
 	// And storing it again under a sibling works.
-	if err := c.Update(branch.MustParse("r=2"), tricky); err != nil {
+	if _, err := c.Update(branch.MustParse("r=2"), tricky); err != nil {
 		t.Fatal(err)
 	}
 	got, _ = c.Reports(branch.MustParse("r=2"))
@@ -200,7 +200,7 @@ func TestFastSplicePerformanceScalesRoughlyLinearly(t *testing.T) {
 	payload := bytes.Repeat([]byte("<d>datadata</d>"), 60) // ~900 B
 	for i := 0; c.Size() < 1500*1024; i++ {
 		id := branch.MustParse(fmt.Sprintf("r=p%04d,s=s%d,vo=tg", i, i%10))
-		if err := c.Update(id, append([]byte("<rep>"), append(payload, []byte("</rep>")...)...)); err != nil {
+		if _, err := c.Update(id, append([]byte("<rep>"), append(payload, []byte("</rep>")...)...)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -208,7 +208,7 @@ func TestFastSplicePerformanceScalesRoughlyLinearly(t *testing.T) {
 	const n = 50
 	for i := 0; i < n; i++ {
 		id := branch.MustParse(fmt.Sprintf("r=p%04d,s=s%d,vo=tg", i, i%10))
-		if err := c.Update(id, []byte("<rep><v>updated</v></rep>")); err != nil {
+		if _, err := c.Update(id, []byte("<rep><v>updated</v></rep>")); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -224,10 +224,10 @@ func TestFastSpliceQuotesInBranchValues(t *testing.T) {
 	// &#34;; the byte scanner must still match them on replacement.
 	c := NewStreamCache()
 	id := branch.MustParse(`path=/opt/"quoted"/dir,site=x`)
-	if err := c.Update(id, []byte("<rep><v>one</v></rep>")); err != nil {
+	if _, err := c.Update(id, []byte("<rep><v>one</v></rep>")); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Update(id, []byte("<rep><v>two</v></rep>")); err != nil {
+	if _, err := c.Update(id, []byte("<rep><v>two</v></rep>")); err != nil {
 		t.Fatal(err)
 	}
 	if c.Count() != 1 {

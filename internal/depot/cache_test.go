@@ -19,7 +19,7 @@ func reportXMLFor(tag, text string) []byte {
 
 func mustUpdate(t *testing.T, c Cache, id string, payload []byte) {
 	t.Helper()
-	if err := c.Update(branch.MustParse(id), payload); err != nil {
+	if _, err := c.Update(branch.MustParse(id), payload); err != nil {
 		t.Fatalf("Update(%s): %v", id, err)
 	}
 }
@@ -31,6 +31,7 @@ func allCaches() map[string]func() Cache {
 		"split":       func() Cache { return NewSplitCache() },
 		"sharded4":    func() Cache { return NewShardedCache(4) },
 		"sharded3-d2": func() Cache { return NewShardedCacheDepth(3, 2) },
+		"indexed":     func() Cache { return NewIndexedCache() },
 	}
 }
 
@@ -110,7 +111,7 @@ func TestCacheRejectsMalformedPayload(t *testing.T) {
 			mustUpdate(t, c, "a=1", reportXMLFor("rep", "keep"))
 			before := c.Dump()
 			for _, bad := range [][]byte{nil, []byte(""), []byte("not xml"), []byte("<open>")} {
-				if err := c.Update(branch.MustParse("b=2"), bad); err == nil {
+				if _, err := c.Update(branch.MustParse("b=2"), bad); err == nil {
 					t.Fatalf("accepted %q", bad)
 				}
 			}
@@ -169,7 +170,7 @@ func TestCacheRootEntry(t *testing.T) {
 		}
 		t.Run(name, func(t *testing.T) {
 			c := mk()
-			if err := c.Update(branch.ID{}, reportXMLFor("rep", "root")); err != nil {
+			if _, err := c.Update(branch.ID{}, reportXMLFor("rep", "root")); err != nil {
 				t.Fatal(err)
 			}
 			got, err := c.Reports(branch.ID{})
@@ -239,7 +240,7 @@ func TestCacheImplementationsAgreeProperty(t *testing.T) {
 			id := branch.MustParse(strings.Join(parts, ","))
 			payload := reportXMLFor("rep", fmt.Sprintf("v%d", r.Intn(10)))
 			for _, c := range []Cache{stream, dom, split} {
-				if err := c.Update(id, payload); err != nil {
+				if _, err := c.Update(id, payload); err != nil {
 					return false
 				}
 			}
@@ -276,11 +277,11 @@ func TestStreamCacheIdempotentReplaceProperty(t *testing.T) {
 		c := NewStreamCache()
 		id := branch.MustParse(fmt.Sprintf("r=%d,s=%d", r.Intn(3), r.Intn(3)))
 		payload := reportXMLFor("rep", fmt.Sprintf("%d", r.Int()))
-		if err := c.Update(id, payload); err != nil {
+		if _, err := c.Update(id, payload); err != nil {
 			return false
 		}
 		once := c.Dump()
-		if err := c.Update(id, payload); err != nil {
+		if _, err := c.Update(id, payload); err != nil {
 			return false
 		}
 		return bytes.Equal(once, c.Dump())

@@ -32,7 +32,7 @@ func hammerCache(t *testing.T, c Cache) {
 			for r := 0; r < rounds; r++ {
 				for i := 0; i < perWriter; i++ {
 					payload := reportXMLFor("rep", fmt.Sprintf("w%d-r%d-i%d", w, r, i))
-					if err := c.Update(idFor(w, i), payload); err != nil {
+					if _, err := c.Update(idFor(w, i), payload); err != nil {
 						errs <- err
 						return
 					}
@@ -109,4 +109,86 @@ func TestShardedCacheConcurrentSingleShard(t *testing.T) {
 	// The degenerate 1-shard case funnels every writer through one lock —
 	// the contention shape the tentpole removes — and must still be safe.
 	hammerCache(t, NewShardedCache(1))
+}
+
+func TestIndexedCacheConcurrent(t *testing.T) {
+	hammerCache(t, NewIndexedCache())
+}
+
+// TestIndexedCacheConcurrentEquivalence pins the lazy-materialization path
+// under contention: a single writer applies the same insert sequence to an
+// IndexedCache and a shadow StreamCache, asserting byte-identical dumps
+// after every generation, while reader goroutines concurrently hammer
+// Query, Reports, Dump and Size. Run under -race this catches both data
+// races in the double-checked Dump memoization and any reader observing a
+// half-applied update.
+func TestIndexedCacheConcurrentEquivalence(t *testing.T) {
+	idx := NewIndexedCache()
+	shadow := NewStreamCache()
+
+	const readers = 4
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			exact := branch.MustParse(fmt.Sprintf("probe=p%02d,site=s0,vo=eq", r))
+			prefix := branch.MustParse("vo=eq")
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, _, err := idx.Query(exact); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := idx.Reports(prefix); err != nil {
+					t.Error(err)
+					return
+				}
+				d := idx.Dump()
+				// Whatever snapshot a reader gets must be a well-formed
+				// cache document, never a torn one.
+				if !bytes.HasPrefix(d, []byte("<cache>")) || !bytes.HasSuffix(d, []byte("</cache>")) {
+					t.Errorf("torn dump: %.40s...%s", d, d[max(0, len(d)-20):])
+					return
+				}
+				_ = idx.Size()
+				_ = idx.Generation()
+			}
+		}(r)
+	}
+
+	const updates = 300
+	for i := 0; i < updates; i++ {
+		id := branch.MustParse(fmt.Sprintf("probe=p%02d,site=s%d,vo=eq", i%10, i%3))
+		payload := reportXMLFor("rep", fmt.Sprintf("u%d", i))
+		addedIdx, err := idx.Update(id, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addedShadow, err := shadow.Update(id, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if addedIdx != addedShadow {
+			t.Fatalf("update %d: indexed added=%v, stream added=%v", i, addedIdx, addedShadow)
+		}
+		if got, want := idx.Dump(), shadow.Dump(); !bytes.Equal(got, want) {
+			t.Fatalf("update %d: dumps diverged:\nindexed: %s\nstream:  %s", i, got, want)
+		}
+		if idx.Generation() != uint64(i+1) {
+			t.Fatalf("update %d: generation = %d", i, idx.Generation())
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if idx.Size() != shadow.Size() || idx.Count() != shadow.Count() {
+		t.Fatalf("final state: indexed (size=%d count=%d), stream (size=%d count=%d)",
+			idx.Size(), idx.Count(), shadow.Size(), shadow.Count())
+	}
 }

@@ -123,9 +123,12 @@ func (d *Depot) Store(id branch.ID, reportXML []byte) (Receipt, error) {
 }
 
 func (d *Depot) store(id branch.ID, reportXML []byte) (Receipt, error) {
-	before := d.cache.Count()
 	t1 := time.Now()
-	if err := d.cache.Update(id, reportXML); err != nil {
+	// Added comes straight from the cache update: deriving it from
+	// Count() before/after misreports under concurrent stores (two adds
+	// racing would both see the count rise by two).
+	added, err := d.cache.Update(id, reportXML)
+	if err != nil {
 		return Receipt{}, err
 	}
 	t2 := time.Now()
@@ -143,7 +146,7 @@ func (d *Depot) store(id branch.ID, reportXML []byte) (Receipt, error) {
 		CacheSize:  d.cache.Size(),
 		Insert:     t2.Sub(t1),
 		Archive:    t3.Sub(t2),
-		Added:      d.cache.Count() > before,
+		Added:      added,
 	}, nil
 }
 

@@ -18,6 +18,7 @@ type DOMCache struct {
 	mu    sync.RWMutex
 	root  *domNode
 	count int
+	gen   uint64
 	bytes int // running estimate of serialized size
 }
 
@@ -52,9 +53,9 @@ func (n *domNode) child(p branch.Pair, create bool) *domNode {
 func NewDOMCache() *DOMCache { return &DOMCache{root: &domNode{}} }
 
 // Update implements Cache.
-func (c *DOMCache) Update(id branch.ID, reportXML []byte) error {
+func (c *DOMCache) Update(id branch.ID, reportXML []byte) (bool, error) {
 	if err := wellFormed(reportXML); err != nil {
-		return err
+		return false, err
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -66,13 +67,15 @@ func (c *DOMCache) Update(id branch.ID, reportXML []byte) error {
 		}
 		n = n.child(p, true)
 	}
-	if n.entry == nil {
+	added := n.entry == nil
+	if added {
 		c.count++
 		c.bytes += len("<entry></entry>")
 	}
 	c.bytes += len(reportXML) - len(n.entry)
 	n.entry = append([]byte(nil), reportXML...)
-	return nil
+	c.gen++
+	return added, nil
 }
 
 func (c *DOMCache) find(id branch.ID) *domNode {
@@ -176,6 +179,13 @@ func (c *DOMCache) Count() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return c.count
+}
+
+// Generation implements Versioned.
+func (c *DOMCache) Generation() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.gen
 }
 
 // MemoryFootprint estimates the resident bytes of the tree: the entry

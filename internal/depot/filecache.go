@@ -65,12 +65,13 @@ func (fc *FileCache) flushLocked() error {
 }
 
 // Update implements Cache with write-through persistence.
-func (fc *FileCache) Update(id branch.ID, reportXML []byte) error {
+func (fc *FileCache) Update(id branch.ID, reportXML []byte) (bool, error) {
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
 	before := fc.inner.Dump()
-	if err := fc.inner.Update(id, reportXML); err != nil {
-		return err
+	added, err := fc.inner.Update(id, reportXML)
+	if err != nil {
+		return false, err
 	}
 	if err := fc.flushLocked(); err != nil {
 		// Roll back the in-memory copy so memory and disk stay consistent.
@@ -78,9 +79,9 @@ func (fc *FileCache) Update(id branch.ID, reportXML []byte) error {
 		if lerr == nil {
 			fc.inner = restored
 		}
-		return fmt.Errorf("depot: cache write-through: %w", err)
+		return false, fmt.Errorf("depot: cache write-through: %w", err)
 	}
-	return nil
+	return added, nil
 }
 
 // Query implements Cache.
@@ -116,6 +117,13 @@ func (fc *FileCache) Count() int {
 	fc.mu.Lock()
 	defer fc.mu.Unlock()
 	return fc.inner.Count()
+}
+
+// Generation implements Versioned.
+func (fc *FileCache) Generation() uint64 {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.inner.Generation()
 }
 
 // Path returns the backing file.

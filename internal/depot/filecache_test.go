@@ -18,10 +18,10 @@ func TestFileCacheCreateAndPersist(t *testing.T) {
 	if fc.Count() != 0 {
 		t.Fatal("fresh cache not empty")
 	}
-	if err := fc.Update(branch.MustParse("r=1,vo=tg"), []byte("<rep><v>one</v></rep>")); err != nil {
+	if _, err := fc.Update(branch.MustParse("r=1,vo=tg"), []byte("<rep><v>one</v></rep>")); err != nil {
 		t.Fatal(err)
 	}
-	if err := fc.Update(branch.MustParse("r=2,vo=tg"), []byte("<rep><v>two</v></rep>")); err != nil {
+	if _, err := fc.Update(branch.MustParse("r=2,vo=tg"), []byte("<rep><v>two</v></rep>")); err != nil {
 		t.Fatal(err)
 	}
 	// The on-disk file is the live document.
@@ -69,10 +69,10 @@ func TestFileCacheBehavesLikeStreamCache(t *testing.T) {
 	ids := []string{"r=1,s=a", "r=2,s=a", "r=1,s=b", "r=1,s=a"} // includes replace
 	for i, id := range ids {
 		payload := []byte("<rep><v>" + string(rune('0'+i)) + "</v></rep>")
-		if err := fc.Update(branch.MustParse(id), payload); err != nil {
+		if _, err := fc.Update(branch.MustParse(id), payload); err != nil {
 			t.Fatal(err)
 		}
-		if err := sc.Update(branch.MustParse(id), payload); err != nil {
+		if _, err := sc.Update(branch.MustParse(id), payload); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -96,11 +96,11 @@ func TestFileCacheMalformedUpdateLeavesFileIntact(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := fc.Update(branch.MustParse("r=1"), []byte("<rep><v>keep</v></rep>")); err != nil {
+	if _, err := fc.Update(branch.MustParse("r=1"), []byte("<rep><v>keep</v></rep>")); err != nil {
 		t.Fatal(err)
 	}
 	before, _ := os.ReadFile(path)
-	if err := fc.Update(branch.MustParse("r=2"), []byte("<broken")); err == nil {
+	if _, err := fc.Update(branch.MustParse("r=2"), []byte("<broken")); err == nil {
 		t.Fatal("malformed payload accepted")
 	}
 	after, _ := os.ReadFile(path)

@@ -81,7 +81,7 @@ func (c *ShardedCache) shardFor(id branch.ID) int {
 
 // Update implements Cache. Writers for identifiers on different shards
 // proceed in parallel; only same-shard writers serialize.
-func (c *ShardedCache) Update(id branch.ID, reportXML []byte) error {
+func (c *ShardedCache) Update(id branch.ID, reportXML []byte) (bool, error) {
 	return c.shards[c.shardFor(id)].Update(id, reportXML)
 }
 
@@ -145,6 +145,16 @@ func (c *ShardedCache) Count() int {
 	total := 0
 	for _, s := range c.shards {
 		total += s.Count()
+	}
+	return total
+}
+
+// Generation implements Versioned: the sum of the shard generations, which
+// strictly increases with every successful update.
+func (c *ShardedCache) Generation() uint64 {
+	var total uint64
+	for _, s := range c.shards {
+		total += s.Generation()
 	}
 	return total
 }

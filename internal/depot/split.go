@@ -58,7 +58,7 @@ func (c *SplitCache) shard(id branch.ID, create bool) *StreamCache {
 }
 
 // Update implements Cache.
-func (c *SplitCache) Update(id branch.ID, reportXML []byte) error {
+func (c *SplitCache) Update(id branch.ID, reportXML []byte) (bool, error) {
 	return c.shard(id, true).Update(id, reportXML)
 }
 
@@ -212,4 +212,14 @@ func (c *SplitCache) Shards() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	return len(c.shards)
+}
+
+// Generation implements Versioned: the sum of the shard generations, which
+// strictly increases with every successful update.
+func (c *SplitCache) Generation() uint64 {
+	var total uint64
+	for _, s := range c.orderedShards() {
+		total += s.Generation()
+	}
+	return total
 }

@@ -89,7 +89,9 @@ func ByID(id string) (Result, error) {
 		return Fig9(Fig9Options{}), nil
 	case "shards":
 		return Shards(ShardsOptions{}), nil
+	case "query":
+		return Query(QueryOptions{}), nil
 	default:
-		return Result{}, fmt.Errorf("experiments: unknown experiment %q (table1-4, fig4-9, shards)", id)
+		return Result{}, fmt.Errorf("experiments: unknown experiment %q (table1-4, fig4-9, shards, query)", id)
 	}
 }

@@ -12,7 +12,8 @@ type CacheStore struct {
 
 // Store implements Store.
 func (c CacheStore) Store(id branch.ID, reportXML []byte) error {
-	return c.Cache.Update(id, reportXML)
+	_, err := c.Cache.Update(id, reportXML)
+	return err
 }
 
 // Size implements Store.

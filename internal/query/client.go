@@ -3,6 +3,7 @@ package query
 import (
 	"bytes"
 	"encoding/csv"
+	"encoding/json"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -138,6 +139,65 @@ func (c *Client) Cache(branchID string) ([]byte, error) {
 // Reports fetches the raw report list under a branch prefix.
 func (c *Client) Reports(branchID string) ([]byte, error) {
 	return c.get("/reports", url.Values{"branch": {branchID}})
+}
+
+// getConditional is get with ETag revalidation: pass the entity tag from
+// a previous response and a 304 comes back as (nil, sameTag, true, nil)
+// without transferring the body.
+func (c *Client) getConditional(path string, params url.Values, etag string) (body []byte, newETag string, notModified bool, err error) {
+	u := c.Base + path
+	if len(params) > 0 {
+		u += "?" + params.Encode()
+	}
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return nil, "", false, err
+	}
+	if etag != "" {
+		req.Header.Set("If-None-Match", etag)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, "", false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotModified {
+		io.Copy(io.Discard, resp.Body)
+		return nil, etag, true, nil
+	}
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, "", false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", false, fmt.Errorf("query: %s: %s: %s", path, resp.Status, bytes.TrimSpace(body))
+	}
+	return body, resp.Header.Get("ETag"), false, nil
+}
+
+// CacheConditional is Cache with ETag revalidation: the idiomatic poll
+// loop keeps passing back the returned tag and only pays for a body when
+// the depot has actually changed.
+func (c *Client) CacheConditional(branchID, etag string) (body []byte, newETag string, notModified bool, err error) {
+	return c.getConditional("/cache", url.Values{"branch": {branchID}}, etag)
+}
+
+// ReportsConditional is Reports with ETag revalidation.
+func (c *Client) ReportsConditional(branchID, etag string) (body []byte, newETag string, notModified bool, err error) {
+	return c.getConditional("/reports", url.Values{"branch": {branchID}}, etag)
+}
+
+// DebugVars fetches the server's read-path counters.
+func (c *Client) DebugVars() (DebugVars, error) {
+	body, err := c.get("/debug/vars", nil)
+	if err != nil {
+		return DebugVars{}, err
+	}
+	var v DebugVars
+	if err := json.Unmarshal(body, &v); err != nil {
+		return DebugVars{}, fmt.Errorf("query: bad debug vars: %w", err)
+	}
+	return v, nil
 }
 
 // ArchivePoint is one sample of a fetched archive series.

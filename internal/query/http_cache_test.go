@@ -1,0 +1,287 @@
+package query
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"inca/internal/branch"
+	"inca/internal/consumer"
+	"inca/internal/depot"
+)
+
+// newIndexedServer builds a server over an IndexedCache-backed depot —
+// the configuration where the generation-derived ETags are live.
+func newIndexedServer(t *testing.T) (*httptest.Server, *depot.Depot) {
+	t.Helper()
+	d := depot.New(depot.NewIndexedCache())
+	ts := httptest.NewServer(NewServer(d).Handler())
+	t.Cleanup(ts.Close)
+	return ts, d
+}
+
+func TestCacheETagRoundTrip(t *testing.T) {
+	ts, _ := newIndexedServer(t)
+	c := NewClient(ts.URL)
+	if _, err := c.StoreEnvelope(sampleEnvelope(t, "tool=pathload,site=sdsc", t0, 990)); err != nil {
+		t.Fatal(err)
+	}
+
+	body, tag, notMod, err := c.CacheConditional("site=sdsc", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notMod || len(body) == 0 || tag == "" {
+		t.Fatalf("first fetch: notMod=%v len=%d tag=%q", notMod, len(body), tag)
+	}
+
+	// Revalidation with the current tag transfers no body.
+	body2, tag2, notMod, err := c.CacheConditional("site=sdsc", tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !notMod || body2 != nil || tag2 != tag {
+		t.Fatalf("revalidation: notMod=%v body=%q tag=%q", notMod, body2, tag2)
+	}
+
+	// A store invalidates the tag; the next conditional fetch pays the body.
+	if _, err := c.StoreEnvelope(sampleEnvelope(t, "tool=spruce,site=sdsc", t0, 985)); err != nil {
+		t.Fatal(err)
+	}
+	body3, tag3, notMod, err := c.CacheConditional("site=sdsc", tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notMod || tag3 == tag || !bytes.Contains(body3, []byte("spruce")) {
+		t.Fatalf("after store: notMod=%v tag=%q body=%s", notMod, tag3, body3)
+	}
+}
+
+func TestReportsETagAndContentLength(t *testing.T) {
+	ts, _ := newIndexedServer(t)
+	c := NewClient(ts.URL)
+	for _, id := range []string{"tool=pathload,site=sdsc", "tool=spruce,site=sdsc"} {
+		if _, err := c.StoreEnvelope(sampleEnvelope(t, id, t0, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/reports?branch=site%3Dsdsc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != strconv.Itoa(len(body)) {
+		t.Fatalf("Content-Length = %s, body is %d bytes", cl, len(body))
+	}
+	tag := resp.Header.Get("ETag")
+	if tag == "" {
+		t.Fatal("no ETag on /reports")
+	}
+	if !bytes.HasPrefix(body, []byte("<reports>")) || !bytes.Contains(body, []byte(`<stored branch="tool=pathload,site=sdsc">`)) {
+		t.Fatalf("body:\n%s", body)
+	}
+
+	_, _, notMod, err := c.ReportsConditional("site=sdsc", tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !notMod {
+		t.Fatal("reports revalidation missed")
+	}
+}
+
+func TestUnversionedCacheServesWithoutETags(t *testing.T) {
+	// A depot over a cache without Generation still answers, just without
+	// conditional semantics.
+	d := depot.New(unversionedCache{depot.NewStreamCache()})
+	srv := httptest.NewServer(NewServer(d).Handler())
+	defer srv.Close()
+	c := NewClient(srv.URL)
+	if _, err := c.StoreEnvelope(sampleEnvelope(t, "a=1", t0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	body, tag, notMod, err := c.CacheConditional("", `"0"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notMod || tag != "" || len(body) == 0 {
+		t.Fatalf("unversioned fetch: notMod=%v tag=%q len=%d", notMod, tag, len(body))
+	}
+}
+
+// unversionedCache hides the inner cache's Generation method.
+type unversionedCache struct{ inner *depot.StreamCache }
+
+func (u unversionedCache) Update(id branch.ID, reportXML []byte) (bool, error) {
+	return u.inner.Update(id, reportXML)
+}
+func (u unversionedCache) Query(id branch.ID) ([]byte, bool, error) { return u.inner.Query(id) }
+func (u unversionedCache) Reports(prefix branch.ID) ([]depot.Stored, error) {
+	return u.inner.Reports(prefix)
+}
+func (u unversionedCache) Dump() []byte { return u.inner.Dump() }
+func (u unversionedCache) Size() int    { return u.inner.Size() }
+func (u unversionedCache) Count() int   { return u.inner.Count() }
+
+func TestReadEndpointsRejectWrites(t *testing.T) {
+	ts, _ := newIndexedServer(t)
+	for _, path := range []string{"/cache", "/reports", "/archive", "/graph", "/stats", "/availability", "/debug/vars"} {
+		resp, err := http.Post(ts.URL+path, "text/xml", strings.NewReader("<x/>"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Fatalf("POST %s: status %d, want 405", path, resp.StatusCode)
+		}
+		if allow := resp.Header.Get("Allow"); !strings.Contains(allow, "GET") {
+			t.Fatalf("POST %s: Allow = %q", path, allow)
+		}
+	}
+}
+
+func TestHeadCacheHasLengthNoBody(t *testing.T) {
+	ts, _ := newIndexedServer(t)
+	c := NewClient(ts.URL)
+	if _, err := c.StoreEnvelope(sampleEnvelope(t, "a=1", t0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Head(ts.URL + "/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(body) != 0 {
+		t.Fatalf("HEAD /cache: status %d, %d body bytes", resp.StatusCode, len(body))
+	}
+	if cl, _ := strconv.Atoi(resp.Header.Get("Content-Length")); cl == 0 {
+		t.Fatal("HEAD /cache: no Content-Length")
+	}
+}
+
+func TestDebugVarsCounters(t *testing.T) {
+	ts, _ := newIndexedServer(t)
+	c := NewClient(ts.URL)
+	if _, err := c.StoreEnvelope(sampleEnvelope(t, "tool=pathload,site=sdsc", t0, 990)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cache("site=sdsc"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Cache("site=nowhere"); err == nil {
+		t.Fatal("query for absent branch succeeded")
+	}
+	_, tag, _, err := c.CacheConditional("site=sdsc", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, notMod, err := c.CacheConditional("site=sdsc", tag); err != nil || !notMod {
+		t.Fatalf("revalidation: notMod=%v err=%v", notMod, err)
+	}
+
+	v, err := c.DebugVars()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Versioned || v.Generation != 1 {
+		t.Fatalf("vars: versioned=%v generation=%d", v.Versioned, v.Generation)
+	}
+	if v.Received != 1 || v.CacheCount != 1 {
+		t.Fatalf("vars: received=%d count=%d", v.Received, v.CacheCount)
+	}
+	if v.QueryHits != 2 || v.QueryMisses != 1 {
+		t.Fatalf("vars: hits=%d misses=%d", v.QueryHits, v.QueryMisses)
+	}
+	if v.ConditionalRequests != 1 || v.NotModified != 1 {
+		t.Fatalf("vars: conditional=%d notModified=%d", v.ConditionalRequests, v.NotModified)
+	}
+}
+
+func TestAvailabilityMemoization(t *testing.T) {
+	d := depot.New(depot.NewIndexedCache())
+	if err := d.AddPolicy(consumer.AvailabilityPolicy()); err != nil {
+		t.Fatal(err)
+	}
+	id := branch.MustParse("category=Grid,resource=r1")
+	for i := 1; i <= 6; i++ {
+		if err := d.ArchiveUpdate(id, consumer.AvailabilityPolicyName,
+			t0.Add(time.Duration(i)*10*time.Minute), 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(NewServer(d).Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	u := ts.URL + "/availability?resource=r1&category=Grid&start=" +
+		t0.Format(time.RFC3339) + "&end=" + t0.Add(2*time.Hour).Format(time.RFC3339)
+	fetch := func() (string, string) {
+		t.Helper()
+		resp, err := http.Get(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, body)
+		}
+		return string(body), resp.Header.Get("ETag")
+	}
+
+	first, tag := fetch()
+	second, tag2 := fetch()
+	if first != second || tag == "" || tag != tag2 {
+		t.Fatalf("renders differ or tags odd: %q vs %q", tag, tag2)
+	}
+	v, err := c.DebugVars()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AvailabilityMisses != 1 || v.AvailabilityHits != 1 {
+		t.Fatalf("memo: misses=%d hits=%d", v.AvailabilityMisses, v.AvailabilityHits)
+	}
+
+	// A depot write invalidates the memo (generation moved).
+	if _, err := d.Store(branch.MustParse("tool=x,site=s"), []byte("<rep><v>1</v></rep>")); err != nil {
+		t.Fatal(err)
+	}
+	third, tag3 := fetch()
+	if tag3 == tag {
+		t.Fatal("ETag unchanged after depot write")
+	}
+	if third != first {
+		// Same underlying data, freshly rendered — content matches even
+		// though the validator moved.
+		t.Fatalf("re-render differs:\n%s\nvs\n%s", third, first)
+	}
+	v, err = c.DebugVars()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.AvailabilityMisses != 2 {
+		t.Fatalf("memo after write: misses=%d", v.AvailabilityMisses)
+	}
+
+	// Conditional availability fetch revalidates too.
+	req, _ := http.NewRequest(http.MethodGet, u, nil)
+	req.Header.Set("If-None-Match", tag3)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("conditional availability: status %d", resp.StatusCode)
+	}
+}

@@ -3,9 +3,20 @@
 // the querying interface for data consumers (Section 3.2.3), which serves
 // both current data from the cache (by branch identifier, or the whole
 // cache when none is supplied) and archived time series.
+//
+// The read side is cache-aware: when the depot's cache implements
+// depot.Versioned, /cache and /reports responses carry an ETag derived
+// from the cache generation, and conditional requests (If-None-Match)
+// short-circuit to 304 Not Modified before any cache work happens — the
+// cheapest possible answer to the most common consumer poll ("anything
+// new since last time?"). The availability overview is memoized on
+// (query parameters, generation) for the same reason: between depot
+// writes, repeat renders are free.
 package query
 
 import (
+	"bytes"
+	"encoding/json"
 	"encoding/xml"
 	"fmt"
 	"io"
@@ -13,6 +24,8 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"inca/internal/agreement"
@@ -26,38 +39,125 @@ import (
 type Server struct {
 	d     *depot.Depot
 	specs *SpecStore
+
+	// Read-path counters, exposed on /debug/vars.
+	queryHits   atomic.Uint64 // /cache and /reports queries that found data
+	queryMisses atomic.Uint64 // queries for absent branches (404)
+	conditional atomic.Uint64 // requests carrying If-None-Match
+	notModified atomic.Uint64 // conditional requests answered 304
+	availHits   atomic.Uint64 // availability pages served from the memo
+	availMisses atomic.Uint64 // availability pages rendered fresh
+
+	availMu sync.Mutex
+	avail   map[string]*availEntry // canonical query params → rendered page
 }
 
+// availEntry is one memoized availability rendering; valid while the
+// cache generation is unchanged.
+type availEntry struct {
+	gen  uint64
+	body []byte
+}
+
+// availMemoCap bounds the memo; the map resets once it is exceeded (the
+// parameter space is small in practice — consumers poll a handful of
+// dashboards — so eviction sophistication buys nothing).
+const availMemoCap = 128
+
 // NewServer wraps d.
-func NewServer(d *depot.Depot) *Server { return &Server{d: d} }
+func NewServer(d *depot.Depot) *Server {
+	return &Server{d: d, avail: make(map[string]*availEntry)}
+}
 
 // Handler returns the HTTP mux:
 //
-//	POST /store    — envelope in the body; returns an XML receipt
-//	POST /policy   — archival policy XML
-//	GET  /cache    — ?branch= subtree (whole cache when omitted)
-//	GET  /reports  — ?branch= all reports under the prefix
-//	GET  /archive  — ?branch=&policy=&cf=&start=&end= CSV series
-//	GET  /graph    — same params plus &title=&ylabel=; ASCII plot
-//	GET  /stats    — depot counters as XML
+//	POST /store       — envelope in the body; returns an XML receipt
+//	POST /policy      — archival policy XML
+//	GET  /cache       — ?branch= subtree (whole cache when omitted); ETag/304
+//	GET  /reports     — ?branch= all reports under the prefix; ETag/304
+//	GET  /archive     — ?branch=&policy=&cf=&start=&end= CSV series
+//	GET  /graph       — same params plus &title=&ylabel=; ASCII plot
+//	GET  /stats       — depot counters as XML
+//	GET  /availability — VO-wide availability overview (memoized)
+//	GET  /debug/vars  — read-path counters as JSON
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/store", s.handleStore)
 	mux.HandleFunc("/policy", s.handlePolicy)
-	mux.HandleFunc("/cache", s.handleCache)
-	mux.HandleFunc("/reports", s.handleReports)
-	mux.HandleFunc("/archive", s.handleArchive)
-	mux.HandleFunc("/graph", s.handleGraph)
-	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/cache", readOnly(s.handleCache))
+	mux.HandleFunc("/reports", readOnly(s.handleReports))
+	mux.HandleFunc("/archive", readOnly(s.handleArchive))
+	mux.HandleFunc("/graph", readOnly(s.handleGraph))
+	mux.HandleFunc("/stats", readOnly(s.handleStats))
 	mux.HandleFunc("/spec", s.handleSpec)
-	mux.HandleFunc("/availability", s.handleAvailability)
+	mux.HandleFunc("/availability", readOnly(s.handleAvailability))
+	mux.HandleFunc("/debug/vars", readOnly(s.handleDebugVars))
 	return mux
+}
+
+// readOnly rejects anything but GET and HEAD on a read endpoint.
+func readOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "GET required", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, r)
+	}
+}
+
+// generation returns the cache generation when the underlying cache is
+// versioned.
+func (s *Server) generation() (uint64, bool) {
+	v, ok := s.d.Cache().(depot.Versioned)
+	if !ok {
+		return 0, false
+	}
+	return v.Generation(), true
+}
+
+// etagFor renders a generation as a strong entity tag. Each endpoint has
+// per-URL semantics, so the bare generation is a sufficient validator:
+// equal generation implies a byte-identical cache, hence byte-identical
+// responses.
+func etagFor(gen uint64) string {
+	return `"` + strconv.FormatUint(gen, 10) + `"`
+}
+
+// checkNotModified answers a conditional request with 304 when the
+// client's validator still matches. It runs before any cache query — the
+// point of the generation-derived ETag is that an up-to-date consumer
+// costs one integer comparison, not one document scan.
+func (s *Server) checkNotModified(w http.ResponseWriter, r *http.Request, tag string) bool {
+	inm := r.Header.Get("If-None-Match")
+	if inm == "" {
+		return false
+	}
+	s.conditional.Add(1)
+	for _, cand := range strings.Split(inm, ",") {
+		if c := strings.TrimSpace(cand); c == tag || c == "*" {
+			w.Header().Set("ETag", tag)
+			w.WriteHeader(http.StatusNotModified)
+			s.notModified.Add(1)
+			return true
+		}
+	}
+	return false
 }
 
 // handleAvailability renders the VO-wide availability overview page:
 // GET /availability?resource=a&resource=b&category=Grid&start=&end=[&format=text]
+//
+// Renders are memoized per (canonical query string, cache generation):
+// building the page walks every requested resource's archives, so
+// between depot writes the repeat cost collapses to a map lookup.
 func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
+	contentType := "text/html; charset=utf-8"
+	if q.Get("format") == "text" {
+		contentType = "text/plain; charset=utf-8"
+	}
 	resources := q["resource"]
 	if len(resources) == 0 {
 		http.Error(w, "at least one resource parameter required", http.StatusBadRequest)
@@ -81,23 +181,59 @@ func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad end: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	gen, versioned := s.generation()
+	var tag, key string
+	if versioned {
+		tag = etagFor(gen)
+		if s.checkNotModified(w, r, tag) {
+			return
+		}
+		key = q.Encode()
+		s.availMu.Lock()
+		e, ok := s.avail[key]
+		s.availMu.Unlock()
+		if ok && e.gen == gen {
+			s.availHits.Add(1)
+			s.writeAvailability(w, r, contentType, tag, e.body)
+			return
+		}
+	}
 	page, err := consumer.BuildAvailabilityPage(s.d, "Availability overview", resources, cats, start, end)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	var body []byte
 	if q.Get("format") == "text" {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, page.Text())
+		body = []byte(page.Text())
+	} else {
+		if body, err = page.HTML(); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	s.availMisses.Add(1)
+	if versioned {
+		s.availMu.Lock()
+		if len(s.avail) >= availMemoCap {
+			s.avail = make(map[string]*availEntry)
+		}
+		s.avail[key] = &availEntry{gen: gen, body: body}
+		s.availMu.Unlock()
+	}
+	s.writeAvailability(w, r, contentType, tag, body)
+}
+
+func (s *Server) writeAvailability(w http.ResponseWriter, r *http.Request, contentType, tag string, body []byte) {
+	w.Header().Set("Content-Type", contentType)
+	if tag != "" {
+		w.Header().Set("ETag", tag)
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	if r.Method == http.MethodHead {
 		return
 	}
-	html, err := page.HTML()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "text/html; charset=utf-8")
-	w.Write(html)
+	w.Write(body)
 }
 
 // xmlReceipt is the wire form of a depot.Receipt.
@@ -230,44 +366,94 @@ func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	var tag string
+	if gen, ok := s.generation(); ok {
+		tag = etagFor(gen)
+		if s.checkNotModified(w, r, tag) {
+			return
+		}
+	}
 	sub, ok, err := s.d.Cache().Query(id)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	if !ok {
+		s.queryMisses.Add(1)
 		http.Error(w, "no data at branch "+id.String(), http.StatusNotFound)
 		return
 	}
+	s.queryHits.Add(1)
 	w.Header().Set("Content-Type", "text/xml")
+	if tag != "" {
+		w.Header().Set("ETag", tag)
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(len(sub)))
+	if r.Method == http.MethodHead {
+		return
+	}
 	w.Write(sub)
 }
 
+// handleReports streams the report list: branch identifiers are escaped
+// into one reused buffer (no per-identifier string allocation) and the
+// pieces are written straight to the response — the exact Content-Length
+// is known up front from the piece lengths, so no second full-response
+// buffer is built.
 func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 	id, err := branch.Parse(r.URL.Query().Get("branch"))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	var tag string
+	if gen, ok := s.generation(); ok {
+		tag = etagFor(gen)
+		if s.checkNotModified(w, r, tag) {
+			return
+		}
+	}
 	stored, err := s.d.Cache().Reports(id)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	w.Header().Set("Content-Type", "text/xml")
-	fmt.Fprintf(w, "<reports>")
-	for _, st := range stored {
-		fmt.Fprintf(w, `<stored branch="%s">`, xmlEscape(st.ID.String()))
-		w.Write(st.XML)
-		fmt.Fprintf(w, "</stored>")
+	if len(stored) == 0 {
+		s.queryMisses.Add(1)
+	} else {
+		s.queryHits.Add(1)
 	}
-	fmt.Fprintf(w, "</reports>")
-}
-
-func xmlEscape(s string) string {
-	var sb strings.Builder
-	xml.EscapeText(&sb, []byte(s))
-	return sb.String()
+	const (
+		openTag   = `<stored branch="`
+		closeAttr = `">`
+		closeTag  = `</stored>`
+	)
+	var esc bytes.Buffer
+	offs := make([]int, len(stored)+1)
+	total := len("<reports></reports>")
+	for i, st := range stored {
+		xml.EscapeText(&esc, []byte(st.ID.String()))
+		offs[i+1] = esc.Len()
+		total += len(openTag) + (offs[i+1] - offs[i]) + len(closeAttr) + len(st.XML) + len(closeTag)
+	}
+	w.Header().Set("Content-Type", "text/xml")
+	if tag != "" {
+		w.Header().Set("ETag", tag)
+	}
+	w.Header().Set("Content-Length", strconv.Itoa(total))
+	if r.Method == http.MethodHead {
+		return
+	}
+	escaped := esc.Bytes()
+	io.WriteString(w, "<reports>")
+	for i, st := range stored {
+		io.WriteString(w, openTag)
+		w.Write(escaped[offs[i]:offs[i+1]])
+		io.WriteString(w, closeAttr)
+		w.Write(st.XML)
+		io.WriteString(w, closeTag)
+	}
+	io.WriteString(w, "</reports>")
 }
 
 func parseCF(s string) (rrd.CF, error) {
@@ -373,4 +559,48 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Received: st.Received, Bytes: st.Bytes,
 		CacheSize: st.CacheSize, CacheCount: st.CacheCount, Archives: st.Archives,
 	})
+}
+
+// DebugVars is the JSON shape of /debug/vars: depot ingest counters plus
+// the read-path counters this server maintains.
+type DebugVars struct {
+	Received            uint64 `json:"received"`
+	Bytes               uint64 `json:"bytes"`
+	CacheSize           int    `json:"cache_size"`
+	CacheCount          int    `json:"cache_count"`
+	Archives            int    `json:"archives"`
+	Versioned           bool   `json:"versioned"`
+	Generation          uint64 `json:"generation"`
+	QueryHits           uint64 `json:"query_hits"`
+	QueryMisses         uint64 `json:"query_misses"`
+	ConditionalRequests uint64 `json:"conditional_requests"`
+	NotModified         uint64 `json:"not_modified"`
+	AvailabilityHits    uint64 `json:"availability_hits"`
+	AvailabilityMisses  uint64 `json:"availability_misses"`
+}
+
+// handleDebugVars serves the counters expvar-style, but self-rendered:
+// the stdlib expvar package registers into a process-global map, which
+// would collide when tests (or an embedding process) construct several
+// servers.
+func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
+	st := s.d.Stats()
+	v := DebugVars{
+		Received:            st.Received,
+		Bytes:               st.Bytes,
+		CacheSize:           st.CacheSize,
+		CacheCount:          st.CacheCount,
+		Archives:            st.Archives,
+		QueryHits:           s.queryHits.Load(),
+		QueryMisses:         s.queryMisses.Load(),
+		ConditionalRequests: s.conditional.Load(),
+		NotModified:         s.notModified.Load(),
+		AvailabilityHits:    s.availHits.Load(),
+		AvailabilityMisses:  s.availMisses.Load(),
+	}
+	v.Generation, v.Versioned = s.generation()
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
 }
