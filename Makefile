@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench-smoke bench-query
+.PHONY: check fmt vet build test bench-smoke bench-query bench-archive
 
 # The full gate: formatting, static checks, build, race-enabled tests, and
 # a one-iteration smoke of the parallel ingest benchmark tier.
@@ -22,8 +22,13 @@ test:
 	$(GO) test -race ./...
 
 bench-smoke:
-	$(GO) test -run=NONE -bench=BenchmarkIngestParallel4 -benchtime=1x .
+	$(GO) test -run=NONE -bench='BenchmarkIngestParallel4|BenchmarkArchiveParallel4' -benchtime=1x .
 
 # Read-path tier: parallel Query throughput, stream vs indexed cache.
 bench-query:
 	$(GO) test -run=NONE -bench=BenchmarkQueryParallel -benchtime=1s .
+
+# Archive tier: parallel Store throughput over the archival pipeline —
+# global-mutex DOM baseline vs sharded streaming extraction vs async workers.
+bench-archive:
+	$(GO) test -run=NONE -bench=BenchmarkArchiveParallel -benchtime=1s .

@@ -586,3 +586,62 @@ func BenchmarkQueryParallel16(b *testing.B) {
 		benchmarkQueryParallel(b, func() depot.Cache { return depot.NewIndexedCache() }, 16)
 	})
 }
+
+// --- Archive tier: concurrent stores against the archive pipeline ---
+//
+// The ingest benches above bypass archival (no policies uploaded); these
+// measure the store path with five matching policies — the paper's
+// Section 3.2.2 archive phase. Three configurations: the pre-pipeline
+// depot (one archive mutex, full DOM parse per matching store), the
+// sharded depot with streaming extraction, and the async worker pool.
+// Async cells drain before the timer stops, so deferred consolidation is
+// charged to the measurement. The depot runs on NullCache so these
+// benchmarks isolate the archival phase of Store — the cache phase has
+// its own tier (BenchmarkIngestParallel*, BenchmarkCacheUpdate).
+
+func benchmarkArchiveParallel(b *testing.B, opts depot.Options, parallelism int) {
+	d := depot.NewWithOptions(depot.NullCache{}, opts)
+	defer d.Close()
+	for _, p := range experiments.ArchiveBenchPolicies() {
+		if err := d.AddPolicy(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ids := experiments.ArchiveBenchIDs(64)
+	template, gmtOff := experiments.ArchiveBenchReport()
+	b.SetBytes(int64(len(template)))
+	b.SetParallelism(parallelism)
+	b.ResetTimer()
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1))
+			at := benchStart.Add(time.Duration(i/len(ids)+1) * time.Minute)
+			data := experiments.ArchiveBenchStamp(template, gmtOff, at)
+			if _, err := d.Store(ids[i%len(ids)], data); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	d.Drain()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "reports/sec")
+	}
+}
+
+func benchmarkArchiveConfigs(b *testing.B, parallelism int) {
+	b.Run("global-sync-dom", func(b *testing.B) {
+		benchmarkArchiveParallel(b, depot.Options{ArchiveShards: 1, ParseArchive: true}, parallelism)
+	})
+	b.Run("sharded-sync", func(b *testing.B) {
+		benchmarkArchiveParallel(b, depot.Options{}, parallelism)
+	})
+	b.Run("sharded-async", func(b *testing.B) {
+		benchmarkArchiveParallel(b, depot.Options{AsyncArchive: true}, parallelism)
+	})
+}
+
+func BenchmarkArchiveParallel1(b *testing.B)  { benchmarkArchiveConfigs(b, 1) }
+func BenchmarkArchiveParallel4(b *testing.B)  { benchmarkArchiveConfigs(b, 4) }
+func BenchmarkArchiveParallel16(b *testing.B) { benchmarkArchiveConfigs(b, 16) }

@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: all, table1-table4, fig4-fig9, shards, query")
+		experiment = flag.String("experiment", "all", "experiment to run: all, table1-table4, fig4-fig9, shards, query, archive")
 		hours      = flag.Int("hours", 0, "virtual hours for table4/fig8 (0 = default)")
 		days       = flag.Int("days", 0, "virtual days for fig5/fig6/fig7 (0 = default)")
 		updates    = flag.Int("updates", 0, "steady-state updates per fig9/shards cell (0 = default)")
@@ -77,8 +77,10 @@ func main() {
 		run(experiments.Shards(experiments.ShardsOptions{Updates: *updates, Workers: *workers}))
 	case "query":
 		run(experiments.Query(experiments.QueryOptions{Readers: *workers}))
+	case "archive":
+		run(experiments.Archive(experiments.ArchiveOptions{Updates: *updates, Workers: *workers}))
 	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (all, table1-table4, fig4-fig9, shards, query)\n", *experiment)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (all, table1-table4, fig4-fig9, shards, query, archive)\n", *experiment)
 		os.Exit(2)
 	}
 

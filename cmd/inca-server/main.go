@@ -34,13 +34,31 @@ func main() {
 		cacheImp  = flag.String("cache", "stream", "cache implementation: stream, file, dom, split, or indexed")
 		cacheFile = flag.String("cache-file", "inca-cache.xml", "backing file for -cache file")
 		snapshot  = flag.String("snapshot", "", "depot snapshot file: loaded at startup if present, written at shutdown")
+
+		archiveMode    = flag.String("archive", "sync", "archive pipeline mode: sync or async")
+		archiveWorkers = flag.Int("archive-workers", 4, "async archive worker count")
+		archiveQueue   = flag.Int("archive-queue", 256, "async archive queue capacity per worker")
+		archiveDrop    = flag.Bool("archive-drop", false, "shed archive jobs when the async queue is full instead of blocking ingest")
 	)
 	flag.Parse()
+
+	var opts depot.Options
+	switch *archiveMode {
+	case "sync":
+	case "async":
+		opts.AsyncArchive = true
+		opts.ArchiveWorkers = *archiveWorkers
+		opts.ArchiveQueue = *archiveQueue
+		opts.DropOnFull = *archiveDrop
+	default:
+		fmt.Fprintf(os.Stderr, "unknown archive mode %q\n", *archiveMode)
+		os.Exit(2)
+	}
 
 	var d *depot.Depot
 	if *snapshot != "" {
 		if f, err := os.Open(*snapshot); err == nil {
-			restored, rerr := depot.ReadSnapshot(f)
+			restored, rerr := depot.ReadSnapshotOptions(f, opts)
 			f.Close()
 			if rerr != nil {
 				fmt.Fprintf(os.Stderr, "snapshot %s: %v\n", *snapshot, rerr)
@@ -75,7 +93,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown cache %q\n", *cacheImp)
 			os.Exit(2)
 		}
-		d = depot.New(cache)
+		d = depot.NewWithOptions(cache, opts)
 		if err := d.AddPolicy(consumer.AvailabilityPolicy()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -146,6 +164,9 @@ func main() {
 		case <-sig:
 			fmt.Println("shutting down")
 			httpSrv.Close()
+			// Drains any queued archive work (WriteSnapshot would also
+			// drain, but shutdown without -snapshot must not lose samples).
+			d.Close()
 			if *snapshot != "" {
 				f, err := os.Create(*snapshot)
 				if err == nil {

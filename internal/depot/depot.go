@@ -5,11 +5,11 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"inca/internal/branch"
 	"inca/internal/envelope"
-	"inca/internal/report"
 	"inca/internal/rrd"
 )
 
@@ -38,7 +38,8 @@ type Policy struct {
 
 // Receipt describes the processing of one stored envelope: the paper's
 // response-time decomposition into envelope unpacking and cache processing
-// (Figure 9's two curves).
+// (Figure 9's two curves). In async mode Archive covers only the enqueue;
+// in sync mode it is the full extraction-and-consolidation time, as before.
 type Receipt struct {
 	Branch     branch.ID
 	ReportSize int
@@ -52,21 +53,94 @@ type Receipt struct {
 // Total returns the whole processing time.
 func (r Receipt) Total() time.Duration { return r.Unpack + r.Insert + r.Archive }
 
+// Options tune the depot's archive pipeline. The zero value reproduces the
+// classic configuration: synchronous archiving with the default shard
+// count and the streaming extractor.
+type Options struct {
+	// ArchiveShards stripes the branch|policy → archive map. Default 16;
+	// 1 restores a single global archive lock (ablation baseline).
+	ArchiveShards int
+	// AsyncArchive takes consolidation off the store path: store returns
+	// after the cache insert and an enqueue.
+	AsyncArchive bool
+	// ArchiveWorkers is the async worker count (default 4).
+	ArchiveWorkers int
+	// ArchiveQueue is each worker's queue capacity (default 256).
+	ArchiveQueue int
+	// ArchiveBatch caps how many queued jobs one worker wakeup drains into
+	// a single consolidation batch (default 32).
+	ArchiveBatch int
+	// DropOnFull sheds archive jobs when a queue is full instead of
+	// blocking the store (drops are counted; the cache is still updated).
+	DropOnFull bool
+	// ParseArchive uses the legacy full-DOM report parse for value
+	// extraction instead of the streaming extractor (ablation baseline).
+	ParseArchive bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.ArchiveShards <= 0 {
+		o.ArchiveShards = 16
+	}
+	if o.ArchiveWorkers <= 0 {
+		o.ArchiveWorkers = 4
+	}
+	if o.ArchiveQueue <= 0 {
+		o.ArchiveQueue = 256
+	}
+	if o.ArchiveBatch <= 0 {
+		o.ArchiveBatch = 32
+	}
+	return o
+}
+
 // Depot is Inca's storage facility: cache plus archive.
 type Depot struct {
 	cache Cache
+	opts  Options
 
-	mu       sync.Mutex
-	policies []Policy
-	archives map[string]*rrd.DB // key: branch id + "|" + policy name
-	received uint64
-	bytes    uint64
+	// policies is an immutable snapshot swapped on AddPolicy; the store
+	// path matches against it without locking. polMu serializes writers.
+	polMu    sync.Mutex
+	policies atomic.Pointer[policySet]
+
+	shards   []archiveShard
+	pipeline *archivePipeline // nil in sync mode
+
+	received   atomic.Uint64
+	bytes      atomic.Uint64
+	archiveGen atomic.Uint64
+
+	enqueued atomic.Uint64
+	dropped  atomic.Uint64
+	blocked  atomic.Uint64
+	applied  atomic.Uint64
+	matched  atomic.Uint64
 }
 
 // New creates a depot over the given cache implementation (use
-// NewStreamCache for the deployed design).
+// NewStreamCache for the deployed design) with default options.
 func New(cache Cache) *Depot {
-	return &Depot{cache: cache, archives: make(map[string]*rrd.DB)}
+	return NewWithOptions(cache, Options{})
+}
+
+// NewWithOptions creates a depot with explicit archive-pipeline options.
+func NewWithOptions(cache Cache, opts Options) *Depot {
+	opts = opts.withDefaults()
+	d := &Depot{
+		cache:  cache,
+		opts:   opts,
+		shards: make([]archiveShard, opts.ArchiveShards),
+	}
+	for i := range d.shards {
+		d.shards[i].dbs = make(map[string]*rrd.DB)
+	}
+	d.policies.Store(compilePolicySet(nil))
+	if opts.AsyncArchive {
+		d.pipeline = newArchivePipeline(opts.ArchiveWorkers, opts.ArchiveQueue, opts.ArchiveBatch, opts.DropOnFull)
+		d.pipeline.start(d)
+	}
+	return d
 }
 
 // Cache exposes the underlying cache for queries.
@@ -81,22 +155,24 @@ func (d *Depot) AddPolicy(p Policy) error {
 	if p.Archive.Step <= 0 || p.Archive.History <= 0 {
 		return fmt.Errorf("depot: policy %s has invalid archive configuration", p.Name)
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	for _, existing := range d.policies {
+	d.polMu.Lock()
+	defer d.polMu.Unlock()
+	cur := d.policies.Load()
+	for _, existing := range cur.all {
 		if existing.Name == p.Name {
 			return fmt.Errorf("depot: duplicate policy %s", p.Name)
 		}
 	}
-	d.policies = append(d.policies, p)
+	next := make([]Policy, len(cur.all), len(cur.all)+1)
+	copy(next, cur.all)
+	next = append(next, p)
+	d.policies.Store(compilePolicySet(next))
 	return nil
 }
 
 // Policies returns the uploaded policies.
 func (d *Depot) Policies() []Policy {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return append([]Policy(nil), d.policies...)
+	return append([]Policy(nil), d.policies.Load().all...)
 }
 
 // StoreEnvelope ingests one serialized envelope: unpack, cache insert,
@@ -136,10 +212,8 @@ func (d *Depot) store(id branch.ID, reportXML []byte) (Receipt, error) {
 		return Receipt{}, err
 	}
 	t3 := time.Now()
-	d.mu.Lock()
-	d.received++
-	d.bytes += uint64(len(reportXML))
-	d.mu.Unlock()
+	d.received.Add(1)
+	d.bytes.Add(uint64(len(reportXML)))
 	return Receipt{
 		Branch:     id,
 		ReportSize: len(reportXML),
@@ -150,102 +224,93 @@ func (d *Depot) store(id branch.ID, reportXML []byte) (Receipt, error) {
 	}, nil
 }
 
-// archive applies matching policies to the stored report.
+// archive routes the stored report through the matching policies: inline in
+// sync mode, via the worker pool in async mode.
 func (d *Depot) archive(id branch.ID, reportXML []byte) error {
-	d.mu.Lock()
-	policies := d.policies
-	d.mu.Unlock()
-	var matching []Policy
-	for _, p := range policies {
-		if !p.ManualOnly && id.HasSuffix(p.Prefix) {
-			matching = append(matching, p)
-		}
-	}
+	matching := d.policies.Load().match(id)
 	if len(matching) == 0 {
 		return nil
 	}
-	rep, err := report.Parse(reportXML)
-	if err != nil {
-		// Non-report XML can be cached (unknown schemas are welcome) but
-		// cannot be archived; skip silently.
+	d.matched.Add(1)
+	job := archiveJob{id: id, key: id.String(), policies: matching, report: reportXML}
+	if d.pipeline == nil {
+		d.applyJobSync(job)
 		return nil
 	}
-	for _, p := range matching {
-		var value float64
-		if p.Path == "" {
-			if rep.Succeeded() {
-				value = 1
-			}
-		} else {
-			if rep.Body == nil {
-				continue
-			}
-			v, ok := rep.Body.Float(p.Path)
-			if !ok {
-				continue
-			}
-			value = v
-		}
-		key := id.String() + "|" + p.Name
-		d.mu.Lock()
-		db, ok := d.archives[key]
-		if !ok {
-			start := rep.Header.GMT.Add(-p.Archive.Step)
-			db, err = rrd.NewFromPolicy(start, p.Name, p.Archive)
-			if err != nil {
-				d.mu.Unlock()
-				return fmt.Errorf("depot: policy %s: %w", p.Name, err)
-			}
-			d.archives[key] = db
-		}
-		d.mu.Unlock()
-		if err := db.Update(rep.Header.GMT, value); err != nil {
-			// Out-of-order or duplicate timestamps are dropped, as RRDTool
-			// drops them.
+	// The wire layer reuses envelope buffers after StoreEnvelope returns,
+	// so an async job owns a copy of the report bytes.
+	job.report = append([]byte(nil), reportXML...)
+	d.pipeline.enqueue(d, job)
+	return nil
+}
+
+// applyJobSync consolidates one report inline (sync mode).
+func (d *Depot) applyJobSync(job archiveJob) {
+	values, gmt, ok := d.extract(job.policies, job.report)
+	if !ok {
+		// Non-report XML can be cached (unknown schemas are welcome) but
+		// cannot be archived; skip silently.
+		return
+	}
+	for i, cp := range job.policies {
+		if !values[i].ok {
 			continue
 		}
+		db, err := d.ensureDB(job.key+"|"+cp.Name, cp, gmt)
+		if err != nil {
+			continue
+		}
+		if err := db.Update(gmt, values[i].value); err == nil {
+			// Out-of-order or duplicate timestamps are dropped, as RRDTool
+			// drops them; only applied samples advance the generation.
+			d.applied.Add(1)
+			d.archiveGen.Add(1)
+		}
 	}
-	return nil
+}
+
+// Drain blocks until every enqueued archive job has been consolidated.
+// Snapshots and read-your-writes tests call it; in sync mode it is a no-op.
+func (d *Depot) Drain() {
+	if d.pipeline != nil {
+		d.pipeline.drain()
+	}
+}
+
+// Close drains the async pipeline and stops its workers. The depot remains
+// readable; further stores archive synchronously.
+func (d *Depot) Close() {
+	if d.pipeline != nil {
+		d.pipeline.drain()
+		d.pipeline.close()
+		d.pipeline = nil
+	}
 }
 
 // ArchiveUpdate records a value directly into a policy archive, bypassing
 // report parsing. Consumers use it to archive derived metrics such as the
 // summary percentages behind Figure 5.
 func (d *Depot) ArchiveUpdate(id branch.ID, policyName string, at time.Time, value float64) error {
-	d.mu.Lock()
-	var pol *Policy
-	for i := range d.policies {
-		if d.policies[i].Name == policyName {
-			pol = &d.policies[i]
-			break
-		}
-	}
-	if pol == nil {
-		d.mu.Unlock()
+	cp, ok := d.policies.Load().byName[policyName]
+	if !ok {
 		return fmt.Errorf("depot: no policy %s", policyName)
 	}
-	key := id.String() + "|" + policyName
-	db, ok := d.archives[key]
-	if !ok {
-		var err error
-		db, err = rrd.NewFromPolicy(at.Add(-pol.Archive.Step), policyName, pol.Archive)
-		if err != nil {
-			d.mu.Unlock()
-			return err
-		}
-		d.archives[key] = db
+	db, err := d.ensureDB(id.String()+"|"+policyName, cp, at)
+	if err != nil {
+		return err
 	}
-	d.mu.Unlock()
-	return db.Update(at, value)
+	if err := db.Update(at, value); err != nil {
+		return err
+	}
+	d.archiveGen.Add(1)
+	return nil
 }
 
 // FetchArchive retrieves an archived series for the exact branch identifier
 // and policy.
 func (d *Depot) FetchArchive(id branch.ID, policyName string, cf rrd.CF, start, end time.Time) (*rrd.Series, error) {
-	d.mu.Lock()
-	db, ok := d.archives[id.String()+"|"+policyName]
-	d.mu.Unlock()
-	if !ok {
+	db := d.lookupDB(id.String() + "|" + policyName)
+	if db == nil {
 		return nil, fmt.Errorf("depot: no archive for %s under policy %s", id, policyName)
 	}
 	return db.Fetch(cf, start, end)
@@ -253,15 +318,22 @@ func (d *Depot) FetchArchive(id branch.ID, policyName string, cf rrd.CF, start, 
 
 // ArchivedSeries lists the (branch, policy) pairs with archives.
 func (d *Depot) ArchivedSeries() []string {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	keys := make([]string, 0, len(d.archives))
-	for k := range d.archives {
-		keys = append(keys, k)
+	var keys []string
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		for k := range sh.dbs {
+			keys = append(keys, k)
+		}
+		sh.mu.Unlock()
 	}
 	sort.Strings(keys)
 	return keys
 }
+
+// ArchiveGeneration returns a counter that advances on every applied
+// archive sample; /archive conditional reads derive their ETag from it.
+func (d *Depot) ArchiveGeneration() uint64 { return d.archiveGen.Load() }
 
 // Stats summarizes depot activity.
 type Stats struct {
@@ -270,41 +342,41 @@ type Stats struct {
 	CacheSize  int
 	CacheCount int
 	Archives   int
+	Archive    ArchiveStats
 }
 
 // Stats returns current counters.
 func (d *Depot) Stats() Stats {
-	d.mu.Lock()
-	archives := len(d.archives)
-	received := d.received
-	bytes := d.bytes
-	d.mu.Unlock()
+	archives := 0
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		archives += len(sh.dbs)
+		sh.mu.Unlock()
+	}
 	return Stats{
-		Received:   received,
-		Bytes:      bytes,
+		Received:   d.received.Load(),
+		Bytes:      d.bytes.Load(),
 		CacheSize:  d.cache.Size(),
 		CacheCount: d.cache.Count(),
 		Archives:   archives,
+		Archive: ArchiveStats{
+			Enqueued: d.enqueued.Load(),
+			Dropped:  d.dropped.Load(),
+			Blocked:  d.blocked.Load(),
+			Applied:  d.applied.Load(),
+			Matched:  d.matched.Load(),
+		},
 	}
 }
 
-// LatestValue fetches the most recent known value from an archive, or NaN.
+// LatestValue returns the most recent known value from an archive, or NaN.
+// The archive tracks it as samples consolidate (rrd.DB.LastValue), so the
+// availability page's per-resource calls are O(1), not a 24-hour fetch.
 func (d *Depot) LatestValue(id branch.ID, policyName string, cf rrd.CF) float64 {
-	d.mu.Lock()
-	db, ok := d.archives[id.String()+"|"+policyName]
-	d.mu.Unlock()
-	if !ok {
+	db := d.lookupDB(id.String() + "|" + policyName)
+	if db == nil {
 		return math.NaN()
 	}
-	last := db.Last()
-	s, err := db.Fetch(cf, last.Add(-24*time.Hour), last)
-	if err != nil || len(s.Points) == 0 {
-		return math.NaN()
-	}
-	for i := len(s.Points) - 1; i >= 0; i-- {
-		if !math.IsNaN(s.Points[i].Values[0]) {
-			return s.Points[i].Values[0]
-		}
-	}
-	return math.NaN()
+	return db.LastValue(cf)
 }

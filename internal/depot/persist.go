@@ -7,6 +7,7 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 
 	"inca/internal/branch"
@@ -78,8 +79,11 @@ func readSection(r *bufio.Reader) (string, []byte, error) {
 	return string(tag), data, nil
 }
 
-// WriteSnapshot serializes the depot state.
+// WriteSnapshot serializes the depot state. In async mode the archive
+// queue is drained first, so the image reflects every store acknowledged
+// before the call.
 func (d *Depot) WriteSnapshot(w io.Writer) error {
+	d.Drain()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return err
@@ -87,9 +91,8 @@ func (d *Depot) WriteSnapshot(w io.Writer) error {
 	if err := writeSection(bw, "CACH", d.cache.Dump()); err != nil {
 		return err
 	}
-	d.mu.Lock()
 	pols := xmlPolicies{}
-	for _, p := range d.policies {
+	for _, p := range d.policies.Load().all {
 		pols.Policies = append(pols.Policies, xmlPolicyEntry{
 			Name: p.Name, Prefix: p.Prefix.String(), Path: p.Path,
 			Step: p.Archive.Step.String(), Granularity: p.Archive.Granularity,
@@ -101,11 +104,16 @@ func (d *Depot) WriteSnapshot(w io.Writer) error {
 		key string
 		db  *rrd.DB
 	}
-	archives := make([]archiveEntry, 0, len(d.archives))
-	for k, db := range d.archives {
-		archives = append(archives, archiveEntry{k, db})
+	var archives []archiveEntry
+	for i := range d.shards {
+		sh := &d.shards[i]
+		sh.mu.Lock()
+		for k, db := range sh.dbs {
+			archives = append(archives, archiveEntry{k, db})
+		}
+		sh.mu.Unlock()
 	}
-	d.mu.Unlock()
+	sort.Slice(archives, func(i, j int) bool { return archives[i].key < archives[j].key })
 
 	polsXML, err := xml.Marshal(pols)
 	if err != nil {
@@ -135,9 +143,15 @@ func heartbeatString(d time.Duration) string {
 	return d.String()
 }
 
-// ReadSnapshot reconstructs a depot (over a StreamCache) from an image
-// written by WriteSnapshot.
+// ReadSnapshot reconstructs a depot (over a StreamCache, default options)
+// from an image written by WriteSnapshot.
 func ReadSnapshot(r io.Reader) (*Depot, error) {
+	return ReadSnapshotOptions(r, Options{})
+}
+
+// ReadSnapshotOptions is ReadSnapshot with explicit archive-pipeline
+// options for the reconstructed depot.
+func ReadSnapshotOptions(r io.Reader, opts Options) (*Depot, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(snapshotMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -146,7 +160,7 @@ func ReadSnapshot(r io.Reader) (*Depot, error) {
 	if string(magic) != snapshotMagic {
 		return nil, fmt.Errorf("depot: bad snapshot magic %q", magic)
 	}
-	d := New(NewStreamCache())
+	d := NewWithOptions(NewStreamCache(), opts)
 	for {
 		tag, data, err := readSection(br)
 		if err == io.EOF {
@@ -186,9 +200,10 @@ func ReadSnapshot(r io.Reader) (*Depot, error) {
 			if err != nil {
 				return nil, fmt.Errorf("depot: snapshot archive %s: %w", key, err)
 			}
-			d.mu.Lock()
-			d.archives[key] = db
-			d.mu.Unlock()
+			sh := d.shardFor(key)
+			sh.mu.Lock()
+			sh.dbs[key] = db
+			sh.mu.Unlock()
 		default:
 			// Unknown sections are skipped for forward compatibility.
 		}

@@ -1,0 +1,198 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"inca/internal/branch"
+	"inca/internal/depot"
+	"inca/internal/report"
+	"inca/internal/rrd"
+)
+
+// The archive-pipeline ablation (ISSUE 3): how much of the ingest hot path
+// does archival cost, and what do the pipeline's three levers buy —
+// streaming extraction vs full DOM parse, striped shards vs one global
+// archive lock, and async workers vs inline consolidation.
+
+// ArchiveOptions configures the archive ablation.
+type ArchiveOptions struct {
+	// Updates is how many stores each configuration measures (default 4000).
+	Updates int
+	// Workers is the concurrent submitter count for the parallel rows
+	// (default 8; serial rows always use 1).
+	Workers int
+}
+
+var archiveBenchStart = time.Date(2004, 6, 29, 0, 0, 0, 0, time.UTC)
+
+// ArchiveBenchPolicies returns the ablation's policy mix: two value paths
+// at two granularities each plus an availability policy — five archives
+// per branch, the "several pieces of data ... the same policy" shape the
+// paper describes for Section 3.2.2.
+func ArchiveBenchPolicies() []depot.Policy {
+	pol := func(name, path string, step time.Duration) depot.Policy {
+		return depot.Policy{
+			Name:   name,
+			Prefix: branch.MustParse("vo=tg"),
+			Path:   path,
+			Archive: rrd.ArchivalPolicy{
+				Step: step, Granularity: 2, History: 14 * 24 * time.Hour,
+			},
+		}
+	}
+	const lower = "value,statistic=lowerBound,metric=bandwidth"
+	const upper = "value,statistic=upperBound,metric=bandwidth"
+	return []depot.Policy{
+		pol("bw-lower", lower, 10*time.Minute),
+		pol("bw-lower-hourly", lower, time.Hour),
+		pol("bw-upper", upper, 10*time.Minute),
+		pol("bw-upper-hourly", upper, time.Hour),
+		pol("availability", "", 10*time.Minute),
+	}
+}
+
+// ArchiveBenchReport builds the ablation's report: a bandwidth body whose
+// two statistics are the archived leaves, padded to roughly the paper's
+// 9257-byte Fig 9 size with measurement detail no policy references. The
+// returned offset locates the header timestamp (RFC3339, fixed width) for
+// ArchiveBenchStamp.
+func ArchiveBenchReport() (template []byte, gmtOff int) {
+	r := report.New("grid.network.pathload", "1.8", "loadgen", archiveBenchStart)
+	pad := strings.Repeat("streamPeriod=0.000213 fleet=9 trend=PCT ", 220)
+	r.Body = report.Branch("metric", "bandwidth",
+		report.Branch("statistic", "lowerBound",
+			report.Leaf("value", "984.99"), report.Leaf("units", "Mbps")),
+		report.Branch("statistic", "upperBound",
+			report.Leaf("value", "998.67"), report.Leaf("units", "Mbps")),
+		report.Branch("detail", "trace", report.Leaf("log", pad)),
+	)
+	data, err := report.Marshal(r)
+	if err != nil {
+		panic(err)
+	}
+	stamp := []byte(archiveBenchStart.UTC().Format(time.RFC3339))
+	off := bytes.Index(data, stamp)
+	if off < 0 {
+		panic("experiments: report template has no timestamp")
+	}
+	return data, off
+}
+
+// ArchiveBenchIDs returns the branch population: n probes spread over the
+// vo=tg subtree every policy prefix selects.
+func ArchiveBenchIDs(n int) []branch.ID {
+	ids := make([]branch.ID, n)
+	for i := range ids {
+		ids[i] = branch.MustParse(fmt.Sprintf("probe=p%02d,site=s%02d,vo=tg", i%26, i%40))
+	}
+	return ids
+}
+
+// ArchiveBenchStamp copies the template with the i-th store's timestamp
+// patched in, so every branch sees a strictly increasing series (RFC3339
+// UTC timestamps are fixed-width, so the patch is an in-place overwrite).
+func ArchiveBenchStamp(template []byte, gmtOff int, at time.Time) []byte {
+	buf := make([]byte, len(template))
+	copy(buf, template)
+	copy(buf[gmtOff:], at.UTC().Format(time.RFC3339))
+	return buf
+}
+
+// archiveCell measures store throughput for one pipeline configuration.
+// The depot runs on NullCache so the cell measures the archival phase of
+// Store in isolation: cache splicing is common to every configuration and
+// has its own tier (BenchmarkIngestParallel*, the shards experiment).
+func archiveCell(dopts depot.Options, workers, updates int) (perSec float64, err error) {
+	d := depot.NewWithOptions(depot.NullCache{}, dopts)
+	defer d.Close()
+	for _, p := range ArchiveBenchPolicies() {
+		if err := d.AddPolicy(p); err != nil {
+			return 0, err
+		}
+	}
+	ids := ArchiveBenchIDs(64)
+	template, gmtOff := ArchiveBenchReport()
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		errOnce sync.Once
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i > updates {
+					return
+				}
+				at := archiveBenchStart.Add(time.Duration(i/len(ids)+1) * time.Minute)
+				data := ArchiveBenchStamp(template, gmtOff, at)
+				if _, serr := d.Store(ids[i%len(ids)], data); serr != nil {
+					errOnce.Do(func() { err = serr })
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	d.Drain()
+	elapsed := time.Since(start)
+	if err != nil {
+		return 0, err
+	}
+	return float64(updates) / elapsed.Seconds(), nil
+}
+
+// Archive runs the archive-pipeline ablation: global-lock + DOM parse (the
+// pre-pipeline depot), sharded + streaming extraction, and the async
+// worker pool, serially and under concurrent submitters.
+func Archive(opt ArchiveOptions) Result {
+	if opt.Updates <= 0 {
+		opt.Updates = 4000
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = 8
+	}
+	configs := []struct {
+		name string
+		opts depot.Options
+	}{
+		{"global-sync-dom", depot.Options{ArchiveShards: 1, ParseArchive: true}},
+		{"sharded-sync", depot.Options{}},
+		{"sharded-async", depot.Options{AsyncArchive: true}},
+	}
+	return timed("archive", "Archive pipeline ablation: store throughput vs archival design", func(r *Result) {
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%-18s %-9s %14s %10s\n", "pipeline", "workers", "reports/sec", "speedup")
+		var baseline float64
+		for _, cfg := range configs {
+			for _, workers := range []int{1, opt.Workers} {
+				perSec, err := archiveCell(cfg.opts, workers, opt.Updates)
+				if err != nil {
+					r.Text = "error: " + err.Error()
+					return
+				}
+				if baseline == 0 {
+					baseline = perSec
+				}
+				fmt.Fprintf(&sb, "%-18s %-9d %14.0f %9.2fx\n", cfg.name, workers, perSec, perSec/baseline)
+			}
+		}
+		r.Text = sb.String()
+		r.Notes = append(r.Notes,
+			"baseline (1.00x) is the pre-pipeline depot: one archive mutex, full report.Parse per matching store",
+			"five policies match every store (two leaves at two granularities each, plus availability), the Section 3.2.2 \"several pieces of data ... the same policy\" shape",
+			"cells run on a null cache, so the measured work is the archival phase of Store alone; cache splicing is identical across configurations and has its own tier (shards experiment, ingest benchmarks)",
+			"sharded-sync pays extraction inline but only O(extracted paths): the value leaves settle at the top of the body, then the scan jumps to the footer by byte search — the DOM baseline parses the whole report, detail subtree included",
+			"sharded-async returns after the cache insert and an enqueue; the drain barrier at the end of each cell charges the deferred consolidation to the measurement, so its speedup is real throughput, not deferred work",
+			"timestamps advance per store, so consolidation work (not the RRD duplicate-drop fast path) dominates each cell",
+		)
+	})
+}

@@ -91,7 +91,9 @@ func ByID(id string) (Result, error) {
 		return Shards(ShardsOptions{}), nil
 	case "query":
 		return Query(QueryOptions{}), nil
+	case "archive":
+		return Archive(ArchiveOptions{}), nil
 	default:
-		return Result{}, fmt.Errorf("experiments: unknown experiment %q (table1-4, fig4-9, shards, query)", id)
+		return Result{}, fmt.Errorf("experiments: unknown experiment %q (table1-4, fig4-9, shards, query, archive)", id)
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"inca/internal/branch"
 	"inca/internal/consumer"
 	"inca/internal/depot"
+	"inca/internal/rrd"
 )
 
 // newIndexedServer builds a server over an IndexedCache-backed depot —
@@ -283,5 +284,109 @@ func TestAvailabilityMemoization(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotModified {
 		t.Fatalf("conditional availability: status %d", resp.StatusCode)
+	}
+}
+
+func TestArchiveConditionalReads(t *testing.T) {
+	ts, d := newIndexedServer(t)
+	if err := d.AddPolicy(depot.Policy{
+		Name:   "bw",
+		Prefix: branch.MustParse("site=sdsc"),
+		Path:   "value,statistic=lowerBound,metric=bandwidth",
+		Archive: rrd.ArchivalPolicy{
+			Step: 10 * time.Minute, History: 24 * time.Hour,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(ts.URL)
+	for i := 1; i <= 6; i++ {
+		at := t0.Add(time.Duration(i) * 10 * time.Minute)
+		if _, err := c.StoreEnvelope(sampleEnvelope(t, "tool=pathload,site=sdsc", at, float64(900+i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	url := ts.URL + "/archive?branch=tool%3Dpathload%2Csite%3Dsdsc&policy=bw&cf=average" +
+		"&start=" + t0.Format(time.RFC3339) + "&end=" + t0.Add(2*time.Hour).Format(time.RFC3339)
+
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /archive: %d %s", resp.StatusCode, body)
+	}
+	tag := resp.Header.Get("ETag")
+	if tag == "" {
+		t.Fatal("no ETag on /archive")
+	}
+	if cl := resp.Header.Get("Content-Length"); cl != strconv.Itoa(len(body)) {
+		t.Fatalf("Content-Length %q, body %d bytes", cl, len(body))
+	}
+	if !strings.HasPrefix(string(body), "time,value\n") {
+		t.Fatalf("CSV body: %.60s", body)
+	}
+
+	// Revalidation with the current archive generation: 304, no body.
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("If-None-Match", tag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("revalidation: %d, want 304", resp.StatusCode)
+	}
+
+	// HEAD carries the headers without the body.
+	resp, err = http.Head(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(head) != 0 || resp.Header.Get("ETag") != tag {
+		t.Fatalf("HEAD: %d body bytes, tag %q", len(head), resp.Header.Get("ETag"))
+	}
+
+	// A new archived sample invalidates the tag.
+	if _, err := c.StoreEnvelope(sampleEnvelope(t, "tool=pathload,site=sdsc", t0.Add(70*time.Minute), 800)); err != nil {
+		t.Fatal(err)
+	}
+	req, _ = http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("If-None-Match", tag)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("ETag") == tag {
+		t.Fatalf("after store: %d tag %q", resp.StatusCode, resp.Header.Get("ETag"))
+	}
+	if !strings.Contains(string(body2), "800") {
+		t.Fatalf("stale body after invalidation: %s", body2)
+	}
+
+	// A cache-only store (no policy match) leaves the archive tag valid:
+	// the archive generation is independent of the cache generation.
+	if _, err := c.StoreEnvelope(sampleEnvelope(t, "tool=pathload,site=ncsa", t0.Add(2*time.Hour), 1)); err != nil {
+		t.Fatal(err)
+	}
+	tag2 := resp.Header.Get("ETag")
+	req, _ = http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("If-None-Match", tag2)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotModified {
+		t.Fatalf("unrelated store invalidated the archive tag: %d", resp.StatusCode)
 	}
 }

@@ -502,20 +502,35 @@ func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// The archive generation advances on every applied sample, so it
+	// validates /archive responses the way the cache generation validates
+	// /cache: an up-to-date poller costs one integer comparison, no fetch
+	// and no CSV rendering.
+	tag := etagFor(s.d.ArchiveGeneration())
+	if s.checkNotModified(w, r, tag) {
+		return
+	}
 	series, err := s.d.FetchArchive(id, policy, cf, start, end)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
-	w.Header().Set("Content-Type", "text/csv")
-	fmt.Fprintf(w, "time,value\n")
+	var body bytes.Buffer
+	body.WriteString("time,value\n")
 	for _, p := range series.Points {
 		v := "nan"
 		if !math.IsNaN(p.Values[0]) {
 			v = strconv.FormatFloat(p.Values[0], 'g', -1, 64)
 		}
-		fmt.Fprintf(w, "%s,%s\n", p.Time.Format(time.RFC3339), v)
+		fmt.Fprintf(&body, "%s,%s\n", p.Time.Format(time.RFC3339), v)
 	}
+	w.Header().Set("Content-Type", "text/csv")
+	w.Header().Set("ETag", tag)
+	w.Header().Set("Content-Length", strconv.Itoa(body.Len()))
+	if r.Method == http.MethodHead {
+		return
+	}
+	w.Write(body.Bytes())
 }
 
 func (s *Server) handleGraph(w http.ResponseWriter, r *http.Request) {
@@ -571,6 +586,12 @@ type DebugVars struct {
 	Archives            int    `json:"archives"`
 	Versioned           bool   `json:"versioned"`
 	Generation          uint64 `json:"generation"`
+	ArchiveGeneration   uint64 `json:"archive_generation"`
+	ArchiveMatched      uint64 `json:"archive_matched"`
+	ArchiveEnqueued     uint64 `json:"archive_enqueued"`
+	ArchiveDropped      uint64 `json:"archive_dropped"`
+	ArchiveBlocked      uint64 `json:"archive_blocked"`
+	ArchiveApplied      uint64 `json:"archive_applied"`
 	QueryHits           uint64 `json:"query_hits"`
 	QueryMisses         uint64 `json:"query_misses"`
 	ConditionalRequests uint64 `json:"conditional_requests"`
@@ -591,6 +612,12 @@ func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 		CacheSize:           st.CacheSize,
 		CacheCount:          st.CacheCount,
 		Archives:            st.Archives,
+		ArchiveGeneration:   s.d.ArchiveGeneration(),
+		ArchiveMatched:      st.Archive.Matched,
+		ArchiveEnqueued:     st.Archive.Enqueued,
+		ArchiveDropped:      st.Archive.Dropped,
+		ArchiveBlocked:      st.Archive.Blocked,
+		ArchiveApplied:      st.Archive.Applied,
 		QueryHits:           s.queryHits.Load(),
 		QueryMisses:         s.queryMisses.Load(),
 		ConditionalRequests: s.conditional.Load(),

@@ -1,0 +1,494 @@
+package report
+
+import (
+	"bytes"
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Streaming value extraction: the depot's archive path needs a handful of
+// numeric leaves (and the pass/fail footer flag) out of each matching
+// report, not the whole document. Parse materializes every element of the
+// open-schema body as a Node; for archival that work is thrown away
+// immediately after a few Float lookups. ExtractValues walks the token
+// stream once, descends only into elements that can still lie on a
+// requested path (everything else is skipped without allocation), and
+// stops as soon as every requested value is resolved — so archive-side
+// cost is proportional to the extracted paths, not to the report size.
+
+// Path is a compiled Inca path expression (see Node.Find for the
+// semantics). The zero-value path — compiled from the empty string — is
+// the "success" path: it extracts 1/0 from the footer's completed flag,
+// which is how availability series are built.
+type Path struct {
+	raw string
+	// comps is the expression in root-first order (Find takes leaf-first).
+	comps   []pathComp
+	success bool
+}
+
+// CompilePath parses an Inca path expression once, for repeated use with
+// ExtractValues. The empty expression compiles to the success path.
+func CompilePath(path string) (Path, error) {
+	comps, err := splitPath(path)
+	if err != nil {
+		return Path{}, err
+	}
+	if len(comps) == 0 {
+		return Path{raw: path, success: true}, nil
+	}
+	rev := make([]pathComp, len(comps))
+	for i, c := range comps {
+		rev[len(comps)-1-i] = c
+	}
+	return Path{raw: path, comps: rev}, nil
+}
+
+// MustCompilePath is CompilePath that panics on error, for literals.
+func MustCompilePath(path string) Path {
+	p, err := CompilePath(path)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// String returns the original expression.
+func (p Path) String() string { return p.raw }
+
+// Success reports whether p is the success (empty) path.
+func (p Path) Success() bool { return p.success }
+
+// Extraction is the result of one ExtractValues scan.
+type Extraction struct {
+	// GMT is the report header timestamp (zero when the header carries
+	// none, exactly as Parse would return).
+	GMT time.Time
+	// Completed is the footer flag; it is only populated when at least one
+	// requested path was the success path (otherwise the scan stops before
+	// the footer).
+	Completed bool
+	// Values and Found are indexed like the paths argument: Found[i]
+	// reports whether path i resolved to a parseable numeric leaf (success
+	// paths always resolve once the footer is seen).
+	Values []float64
+	Found  []bool
+}
+
+// pathState tracks one path's progress through the body scan. Matching
+// reproduces Node.Find exactly, including its refusal to backtrack: each
+// component commits to the first matching element in document order, and
+// if that element closes without completing the path, the path fails.
+type pathState struct {
+	comps []pathComp
+	// anchor is 0 when comps[0] matched the body root itself, 1 when the
+	// root acts as a container and comps[0] matches among its children.
+	anchor int
+	// next is the index of the next component to match; component k of an
+	// alive state is committed to the open element at depth anchor+k.
+	next  int
+	dead  bool
+	found bool
+	value float64
+	ok    bool
+}
+
+func (s *pathState) resolved() bool { return s.dead || s.found }
+
+// errScanDone aborts the document scan early once every requested value
+// is settled.
+var errScanDone = errors.New("report: extraction complete")
+
+var (
+	bodyCloseTag = []byte("</body>")
+	cdataOpen    = []byte("<![CDATA[")
+	commentOpen  = []byte("<!--")
+)
+
+// ExtractValues scans a serialized report for the given compiled paths.
+// Header and footer handling mirrors Parse: a document without a header
+// is rejected; the footer is required (and read) only when a success path
+// is requested — otherwise the scan ends as soon as the body is resolved.
+// When the footer is needed, a scan whose values all settled early jumps
+// to the body's end tag by byte search instead of tokenizing the rest of
+// the body, so the success flag costs O(footer), not O(report).
+func ExtractValues(data []byte, paths []Path) (Extraction, error) {
+	ex := Extraction{
+		Values: make([]float64, len(paths)),
+		Found:  make([]bool, len(paths)),
+	}
+	needFooter := false
+	states := make([]*pathState, 0, len(paths))
+	for _, p := range paths {
+		if p.success {
+			needFooter = true
+			continue
+		}
+		states = append(states, &pathState{comps: p.comps})
+	}
+
+	// In a document free of CDATA sections and comments — every report this
+	// package writes, and anything a conforming producer emits — a "<" in
+	// character data must be escaped, so the last literal "</body>" can only
+	// be the body's end tag. That lets the scan, once every value is
+	// settled, jump straight to the footer instead of tokenizing the rest
+	// of the body. footerJump < 0 disables the jump (and with it the
+	// mid-tree abort when the footer is still needed).
+	footerJump := -1
+	if needFooter && !bytes.Contains(data, cdataOpen) && !bytes.Contains(data, commentOpen) {
+		footerJump = bytes.LastIndex(data, bodyCloseTag)
+	}
+	abortEarly := !needFooter || footerJump >= 0
+
+	dec := xml.NewDecoder(bytes.NewReader(data))
+	start, err := nextStart(dec)
+	if err != nil {
+		return ex, fmt.Errorf("report: no root element: %w", err)
+	}
+	if start.Name.Local != "incaReport" {
+		return ex, fmt.Errorf("report: root element %q, want incaReport", start.Name.Local)
+	}
+	sawHeader, sawFooter := false, false
+	finish := func() (Extraction, error) {
+		if !sawHeader {
+			return ex, fmt.Errorf("report: missing header")
+		}
+		for i, p := range paths {
+			if p.success {
+				ex.Values[i] = 0
+				if ex.Completed {
+					ex.Values[i] = 1
+				}
+				ex.Found[i] = true
+				continue
+			}
+		}
+		j := 0
+		for i, p := range paths {
+			if p.success {
+				continue
+			}
+			st := states[j]
+			j++
+			if st.found && st.ok {
+				ex.Values[i] = st.value
+				ex.Found[i] = true
+			}
+		}
+		return ex, nil
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return ex, fmt.Errorf("report: truncated document: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "header":
+				if err := extractHeaderGMT(dec, &ex.GMT); err != nil {
+					return ex, err
+				}
+				sawHeader = true
+			case "body":
+				err := scanExtractBody(dec, states, abortEarly)
+				if err == errScanDone && !needFooter {
+					return finish()
+				}
+				if err != nil && err != errScanDone {
+					return ex, err
+				}
+				if err == errScanDone {
+					// Settled mid-body but the footer is still needed.
+					if footerJump >= 0 {
+						// Jump past the body's end tag and resume
+						// tokenizing at the footer.
+						dec = xml.NewDecoder(bytes.NewReader(data[footerJump+len(bodyCloseTag):]))
+					} else if err := dec.Skip(); err != nil {
+						// errScanDone without a jump target only arises at
+						// the body's top level, so Skip unwinds to </body>.
+						return ex, fmt.Errorf("report: truncated document: %w", err)
+					}
+				}
+				if !needFooter {
+					return finish()
+				}
+			case "footer":
+				var f Footer
+				if err := parseFooter(dec, &f); err != nil {
+					return ex, err
+				}
+				ex.Completed = f.Completed
+				sawFooter = true
+				if sawHeader {
+					return finish()
+				}
+			default:
+				if err := dec.Skip(); err != nil {
+					return ex, err
+				}
+			}
+		case xml.EndElement:
+			if t.Name.Local == "incaReport" {
+				if needFooter && !sawFooter {
+					return ex, fmt.Errorf("report: missing footer")
+				}
+				return finish()
+			}
+		}
+	}
+}
+
+// extractHeaderGMT reads only the <gmt> child of the header, skipping
+// everything else.
+func extractHeaderGMT(dec *xml.Decoder, gmt *time.Time) error {
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Local == "gmt" {
+				s, err := collectText(dec)
+				if err != nil {
+					return err
+				}
+				ts, err := time.Parse(gmtLayout, strings.TrimSpace(s))
+				if err != nil {
+					return fmt.Errorf("report: bad gmt %q: %w", s, err)
+				}
+				*gmt = ts
+				continue
+			}
+			if err := dec.Skip(); err != nil {
+				return err
+			}
+		case xml.EndElement:
+			return nil
+		}
+	}
+}
+
+// scanExtractBody walks the body's root element (the body may be empty).
+// Returns errScanDone when every state resolved before the body ended.
+// With abort set, the walk additionally bails out mid-tree the moment
+// every state is settled — which means a multi-rooted body (that Parse
+// would reject) can still yield values when everything settles inside the
+// first root; the caller opts in only when it can recover the stream.
+func scanExtractBody(dec *xml.Decoder, states []*pathState, abort bool) error {
+	if allResolved(states) {
+		return errScanDone
+	}
+	sawRoot := false
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("report: truncated document: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if sawRoot {
+				// Parse rejects multi-rooted bodies; so do we, so the
+				// archive path skips exactly the documents Parse skips.
+				return fmt.Errorf("report: body has multiple roots")
+			}
+			sawRoot = true
+			if err := scanExtractElement(dec, t, 0, states, abort); err != nil {
+				return err
+			}
+			if allResolved(states) {
+				return errScanDone
+			}
+		case xml.EndElement:
+			return nil // </body>
+		}
+	}
+}
+
+func allResolved(states []*pathState) bool {
+	for _, s := range states {
+		if !s.resolved() {
+			return false
+		}
+	}
+	return true
+}
+
+// settled reports whether every state is finished with the token stream:
+// dead, or found with its value already parsed. Unlike allResolved —
+// which is only safe once the body root has closed — settled can be
+// consulted mid-tree: a found state whose target element is still open
+// has not parsed its value yet and keeps the scan alive.
+func settled(states []*pathState) bool {
+	for _, s := range states {
+		if !s.dead && !(s.found && s.ok) {
+			return false
+		}
+	}
+	return true
+}
+
+// scanExtractElement processes one body element whose StartElement has
+// already been consumed, advancing every path state and recursing only
+// where a state can still match.
+func scanExtractElement(dec *xml.Decoder, start xml.StartElement, depth int, states []*pathState, abort bool) error {
+	tag := start.Name.Local
+	id := ""
+	var text strings.Builder
+	// Phase A: the element's identifier arrives as a leading <ID> child
+	// (Figure 2), so matching is deferred until the first element child
+	// (or the end tag) reveals whether the element carries one.
+	var pending *xml.StartElement
+	for pending == nil {
+		tok, err := dec.Token()
+		if err != nil {
+			return fmt.Errorf("report: truncated document: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			text.Write(t)
+		case xml.StartElement:
+			if t.Name.Local == "ID" {
+				s, err := collectText(dec)
+				if err != nil {
+					return err
+				}
+				id = strings.TrimSpace(s)
+				continue
+			}
+			el := t
+			pending = &el
+		case xml.EndElement:
+			decideMatches(tag, id, depth, states)
+			finalizeElement(depth, states, text.String(), false)
+			return nil
+		}
+	}
+
+	decideMatches(tag, id, depth, states)
+	isBranch := true // pending != nil: at least one real element child
+
+	// Phase B: process children. Recurse only while some state can match
+	// at depth+1 (its committed chain runs through this element); anything
+	// else is skipped token-by-token with no materialization.
+	first := true
+	for {
+		var tok xml.Token
+		var err error
+		if first {
+			tok, first = *pending, false
+		} else {
+			tok, err = dec.Token()
+			if err != nil {
+				return fmt.Errorf("report: truncated document: %w", err)
+			}
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			text.Write(t)
+		case xml.StartElement:
+			if descendantInterest(depth, states) {
+				if err := scanExtractElement(dec, t, depth+1, states, abort); err != nil {
+					return err
+				}
+				// Once every value is settled, nothing later in the
+				// document can change it (Find commits to first matches):
+				// abandon the walk with open elements on the stack and let
+				// the caller jump to the footer.
+				if abort && settled(states) {
+					return errScanDone
+				}
+			} else if err := dec.Skip(); err != nil {
+				return fmt.Errorf("report: truncated document: %w", err)
+			}
+		case xml.EndElement:
+			finalizeElement(depth, states, text.String(), isBranch)
+			return nil
+		}
+	}
+}
+
+// decideMatches advances every alive state whose next component is
+// eligible at this element.
+func decideMatches(tag, id string, depth int, states []*pathState) {
+	for _, s := range states {
+		if s.resolved() {
+			continue
+		}
+		if depth == 0 {
+			// Find tries the body root itself first, then treats it as a
+			// container whose children may match the root component.
+			if compMatches(s.comps[0], tag, id) {
+				s.anchor, s.next = 0, 1
+			} else {
+				s.anchor, s.next = 1, 0
+				continue
+			}
+		} else {
+			if s.anchor+s.next != depth || !compMatches(s.comps[s.next], tag, id) {
+				continue
+			}
+			s.next++
+		}
+		if s.next == len(s.comps) {
+			s.found = true // target element: value parsed at finalize
+		}
+	}
+}
+
+// descendantInterest reports whether any state can still match a child at
+// depth+1 of the current element.
+func descendantInterest(depth int, states []*pathState) bool {
+	for _, s := range states {
+		if s.resolved() {
+			// A found state whose target element is this one still needs
+			// the element's own character data, which phase B collects —
+			// children carry nothing for it.
+			continue
+		}
+		if s.anchor+s.next == depth+1 {
+			return true
+		}
+	}
+	return false
+}
+
+// finalizeElement closes the element at depth: targets committed here
+// parse their value; states whose chain tip is this element die (Find
+// never backtracks to a later sibling).
+func finalizeElement(depth int, states []*pathState, text string, isBranch bool) {
+	for _, s := range states {
+		if s.dead {
+			continue
+		}
+		if s.found {
+			if s.anchor+s.next-1 == depth && !s.ok {
+				// This element is the target. Branch targets have no
+				// character data, exactly as Node.Text is empty for
+				// branches, so Float fails on them the same way.
+				if !isBranch {
+					if v, err := strconv.ParseFloat(strings.TrimSpace(text), 64); err == nil {
+						s.value, s.ok = v, true
+						continue
+					}
+				}
+				s.dead = true // unparseable target: resolved, not found
+			}
+			continue
+		}
+		if s.next > 0 && s.anchor+s.next-1 == depth {
+			s.dead = true
+		} else if s.next == 0 && s.anchor == 1 && depth == 0 {
+			s.dead = true
+		}
+	}
+}
+
+func compMatches(c pathComp, tag, id string) bool {
+	return tag == c.tag && (c.id == "" || id == c.id)
+}

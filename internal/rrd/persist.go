@@ -207,6 +207,24 @@ func ReadDB(r io.Reader) (*DB, error) {
 			}
 			st.ring[j] = row
 		}
+		// The last-known tracking behind LastValue is derived state, not
+		// part of the image: reconstruct it with one newest-first ring
+		// scan so the on-disk format stays at version 1.
+		st.initLastKnown(int(nds))
+		if b.err == nil {
+			res := db.step * time.Duration(st.def.Steps)
+			missing := int(nds)
+			for j := 0; j < st.filled && missing > 0; j++ {
+				idx := ((st.newest-j)%st.def.Rows + st.def.Rows) % st.def.Rows
+				at := st.lastEnd.Add(-time.Duration(j) * res)
+				for k, v := range st.ring[idx] {
+					if math.IsNaN(st.lastKnown[k]) && !math.IsNaN(v) {
+						st.lastKnown[k], st.lastKnownAt[k] = v, at
+						missing--
+					}
+				}
+			}
+		}
 		db.rras = append(db.rras, st)
 	}
 	if b.err != nil {

@@ -217,3 +217,27 @@ func TestReloadedDBAcceptsUpdates(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestReloadedDBReconstructsLastValue(t *testing.T) {
+	db, err := NewFromPolicy(t0, "v", ArchivalPolicy{Step: time.Hour, History: 48 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 12; i++ {
+		if err := db.Update(t0.Add(time.Duration(i)*time.Hour), float64(50+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := db.LastValue(Average)
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := ReadDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.LastValue(Average); got != want {
+		t.Fatalf("reloaded LastValue = %g, want %g", got, want)
+	}
+}

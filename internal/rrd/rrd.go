@@ -114,6 +114,11 @@ type rraState struct {
 	// in-progress CDP accumulation
 	acc      []cdpAcc
 	pdpCount int
+	// lastKnown/lastKnownAt track, per data source, the most recent known
+	// (non-NaN) consolidated value and the end of its window, so LastValue
+	// is O(archives) instead of a Fetch plus backward scan.
+	lastKnown   []float64
+	lastKnownAt []time.Time
 }
 
 type cdpAcc struct {
@@ -194,6 +199,7 @@ func New(start time.Time, step time.Duration, ds []DS, rras []RRA) (*DB, error) 
 				st.ring[i][j] = math.NaN()
 			}
 		}
+		st.initLastKnown(len(ds))
 		resetAcc(st.acc)
 		db.rras = append(db.rras, st)
 	}
@@ -238,6 +244,40 @@ func (db *DB) DSNames() []string {
 func (db *DB) Update(t time.Time, values ...float64) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	return db.updateLocked(t, values)
+}
+
+// Sample is one timestamped update for a single-source database, the unit
+// UpdateBatch consumes.
+type Sample struct {
+	Time  time.Time
+	Value float64
+}
+
+// UpdateBatch applies a run of samples to a single-source database under
+// one lock acquisition, amortizing locking and consolidation across the
+// batch — the depot's asynchronous archive workers drain their queues
+// through it. Samples that are not strictly newer than the previous
+// update are dropped (as RRDTool drops them) without failing the batch;
+// the applied count is returned.
+func (db *DB) UpdateBatch(samples []Sample) (int, error) {
+	if len(db.ds) != 1 {
+		return 0, fmt.Errorf("rrd: UpdateBatch needs a single-source database, have %d sources", len(db.ds))
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	applied := 0
+	var vals [1]float64
+	for _, s := range samples {
+		vals[0] = s.Value
+		if db.updateLocked(s.Time, vals[:]) == nil {
+			applied++
+		}
+	}
+	return applied, nil
+}
+
+func (db *DB) updateLocked(t time.Time, values []float64) error {
 	if len(values) != len(db.ds) {
 		return fmt.Errorf("rrd: update has %d values, want %d", len(values), len(db.ds))
 	}
@@ -383,7 +423,51 @@ func (r *rraState) pushPDP(end time.Time, pdp []float64, step time.Duration) {
 	}
 	r.lastEnd = end
 	r.pdpCount = 0
+	for i, v := range row {
+		if !math.IsNaN(v) {
+			r.lastKnown[i] = v
+			r.lastKnownAt[i] = end
+		}
+	}
 	resetAcc(r.acc)
+}
+
+// initLastKnown allocates the last-known tracking for n data sources.
+func (r *rraState) initLastKnown(n int) {
+	r.lastKnown = make([]float64, n)
+	r.lastKnownAt = make([]time.Time, n)
+	for i := range r.lastKnown {
+		r.lastKnown[i] = math.NaN()
+	}
+}
+
+// LastValue returns the most recent known consolidated value for the
+// first data source under the given consolidation function, or NaN when
+// no known point has been consolidated yet. It is O(archives): each
+// archive tracks its own most recent known row as rows are written, so
+// no ring scan or series fetch happens here.
+func (db *DB) LastValue(cf CF) float64 {
+	return db.LastValueDS(cf, 0)
+}
+
+// LastValueDS is LastValue for the data source at index ds.
+func (db *DB) LastValueDS(cf CF, ds int) float64 {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if ds < 0 || ds >= len(db.ds) {
+		return math.NaN()
+	}
+	best := math.NaN()
+	var bestAt time.Time
+	for _, r := range db.rras {
+		if r.def.CF != cf || math.IsNaN(r.lastKnown[ds]) {
+			continue
+		}
+		if bestAt.IsZero() || r.lastKnownAt[ds].After(bestAt) {
+			best, bestAt = r.lastKnown[ds], r.lastKnownAt[ds]
+		}
+	}
+	return best
 }
 
 // Point is one fetched sample: the end of its consolidation window and one
