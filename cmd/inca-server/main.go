@@ -164,6 +164,10 @@ func main() {
 		case <-sig:
 			fmt.Println("shutting down")
 			httpSrv.Close()
+			// Stop ingest before depot teardown: srv.Close returns only
+			// after every in-flight connection handler has finished, so no
+			// store can race the archive pipeline shutdown.
+			srv.Close()
 			// Drains any queued archive work (WriteSnapshot would also
 			// drain, but shutdown without -snapshot must not lose samples).
 			d.Close()

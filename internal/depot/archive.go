@@ -156,6 +156,9 @@ type archivePipeline struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	pending int
+	// closed refuses new enqueues so shutdown cannot race a concurrent
+	// store into a closed queue; refused callers archive synchronously.
+	closed bool
 }
 
 // ArchiveStats are the archive pipeline counters surfaced in /debug/vars.
@@ -187,11 +190,21 @@ func (p *archivePipeline) start(d *Depot) {
 	}
 }
 
-// enqueue hands a job to the worker owning its branch. Returns false when
-// the job was dropped (drop mode, full queue).
+// enqueue hands a job to the worker owning its branch. It returns false
+// only when the pipeline is shutting down and refused the job — the caller
+// must archive synchronously. A job shed in drop mode (full queue) was
+// still taken: it is counted as dropped and enqueue returns true.
 func (p *archivePipeline) enqueue(d *Depot, job archiveJob) bool {
 	q := p.queues[shardIndex(job.key, len(p.queues))]
 	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return false
+	}
+	// Registering pending before the send pins the shutdown order: close()
+	// flips closed, then drains, and pending cannot reach zero until the
+	// worker has both received and applied this job — so the queues stay
+	// open for every send that got past the closed check.
 	p.pending++
 	p.mu.Unlock()
 	select {
@@ -201,9 +214,9 @@ func (p *archivePipeline) enqueue(d *Depot, job archiveJob) bool {
 	default:
 	}
 	if p.drop {
-		p.jobDone()
+		p.jobsDone(1)
 		d.dropped.Add(1)
-		return false
+		return true
 	}
 	// Backpressure: block until the worker catches up.
 	d.blocked.Add(1)
@@ -212,9 +225,9 @@ func (p *archivePipeline) enqueue(d *Depot, job archiveJob) bool {
 	return true
 }
 
-func (p *archivePipeline) jobDone() {
+func (p *archivePipeline) jobsDone(n int) {
 	p.mu.Lock()
-	p.pending--
+	p.pending -= n
 	if p.pending == 0 {
 		p.cond.Broadcast()
 	}
@@ -230,8 +243,18 @@ func (p *archivePipeline) drain() {
 	p.mu.Unlock()
 }
 
-// close stops the workers after the queues empty.
+// close refuses further enqueues, waits for the queued jobs to
+// consolidate, and stops the workers. Safe against concurrent enqueues;
+// later calls return immediately.
 func (p *archivePipeline) close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.drain()
 	for _, q := range p.queues {
 		close(q)
 	}
@@ -268,6 +291,10 @@ func (d *Depot) archiveWorker(q chan archiveJob) {
 // branch lands in the same batch stream in order, so grouped samples stay
 // chronological.
 func (d *Depot) applyJobs(jobs []archiveJob) {
+	// Jobs stay pending until their samples are consolidated: Drain() is
+	// the read-your-writes barrier for snapshots and shutdown, so pending
+	// must not reach zero between extraction and UpdateBatch.
+	defer d.pipeline.jobsDone(len(jobs))
 	type pendingArchive struct {
 		cp      *compiledPolicy
 		start   time.Time
@@ -277,22 +304,22 @@ func (d *Depot) applyJobs(jobs []archiveJob) {
 	grouped := make(map[string]*pendingArchive)
 	for _, job := range jobs {
 		values, gmt, ok := d.extract(job.policies, job.report)
-		if ok {
-			for i, cp := range job.policies {
-				if !values[i].ok {
-					continue
-				}
-				key := job.key + "|" + cp.Name
-				pa := grouped[key]
-				if pa == nil {
-					pa = &pendingArchive{cp: cp, start: gmt}
-					grouped[key] = pa
-					order = append(order, key)
-				}
-				pa.samples = append(pa.samples, rrd.Sample{Time: gmt, Value: values[i].value})
-			}
+		if !ok {
+			continue
 		}
-		d.pipeline.jobDone()
+		for i, cp := range job.policies {
+			if !values[i].ok {
+				continue
+			}
+			key := job.key + "|" + cp.Name
+			pa := grouped[key]
+			if pa == nil {
+				pa = &pendingArchive{cp: cp, start: gmt}
+				grouped[key] = pa
+				order = append(order, key)
+			}
+			pa.samples = append(pa.samples, rrd.Sample{Time: gmt, Value: values[i].value})
+		}
 	}
 	for _, key := range order {
 		pa := grouped[key]

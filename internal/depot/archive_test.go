@@ -371,6 +371,65 @@ func TestAsyncDropOnFull(t *testing.T) {
 	}
 }
 
+func TestDrainIsApplyBarrier(t *testing.T) {
+	// Drain is the read-your-writes barrier: when it returns, every
+	// acknowledged store must already be consolidated, not merely pulled
+	// off the queue. Small queues and many workers maximize the window
+	// between extraction and UpdateBatch.
+	d := NewWithOptions(NewStreamCache(), Options{AsyncArchive: true, ArchiveWorkers: 4, ArchiveQueue: 2})
+	defer d.Close()
+	addPolicies(t, d, bandwidthPolicies("site=sdsc"))
+	id := branch.MustParse("tool=pathload,site=sdsc")
+	storeSequence(t, d, id, 50)
+	d.Drain()
+	if got := d.Stats().Archive.Applied; got != 50*5 {
+		t.Fatalf("applied after Drain = %d, want %d", got, 50*5)
+	}
+}
+
+func TestCloseConcurrentWithStores(t *testing.T) {
+	// Close races in-flight stores: enqueues refused by the closing
+	// pipeline must fall back to synchronous archival instead of sending
+	// on a closed queue, and nothing acknowledged may be lost.
+	d := NewWithOptions(NewStreamCache(), Options{AsyncArchive: true, ArchiveWorkers: 2, ArchiveQueue: 2})
+	addPolicies(t, d, bandwidthPolicies("site=sdsc"))
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := branch.MustParse(fmt.Sprintf("tool=probe%d,site=sdsc", g))
+			storeSequence(t, d, id, 50)
+		}(g)
+	}
+	d.Close()
+	wg.Wait()
+	if got := d.Stats().Archive.Applied; got != 4*50*5 {
+		t.Fatalf("applied = %d, want %d", got, 4*50*5)
+	}
+}
+
+func TestLatestValueStaleAfterDay(t *testing.T) {
+	d := New(NewStreamCache())
+	addPolicies(t, d, bandwidthPolicies("site=sdsc"))
+	id := branch.MustParse("tool=pathload,site=sdsc")
+	storeSequence(t, d, id, 6)
+	if v := d.LatestValue(id, "bw-lower", rrd.Average); math.IsNaN(v) {
+		t.Fatal("no latest value after stores")
+	}
+	// A resource that goes quiet: an update 25 hours on advances the
+	// archive clock without consolidating any known point, leaving the
+	// last known value outside the 24-hour window. LatestValue must read
+	// unknown again, as the old fetch-and-scan did.
+	at := dt0.Add(6*10*time.Minute + 25*time.Hour)
+	if err := d.ArchiveUpdate(id, "bw-lower", at, math.NaN()); err != nil {
+		t.Fatal(err)
+	}
+	if v := d.LatestValue(id, "bw-lower", rrd.Average); !math.IsNaN(v) {
+		t.Fatalf("LatestValue for idle resource = %g, want NaN", v)
+	}
+}
+
 func TestArchiveGenerationAdvances(t *testing.T) {
 	d := New(NewStreamCache())
 	addPolicies(t, d, bandwidthPolicies("site=sdsc"))

@@ -233,14 +233,18 @@ func (d *Depot) archive(id branch.ID, reportXML []byte) error {
 	}
 	d.matched.Add(1)
 	job := archiveJob{id: id, key: id.String(), policies: matching, report: reportXML}
-	if d.pipeline == nil {
-		d.applyJobSync(job)
-		return nil
+	if d.pipeline != nil {
+		// The wire layer reuses envelope buffers after StoreEnvelope
+		// returns, so an async job owns a copy of the report bytes.
+		async := job
+		async.report = append([]byte(nil), reportXML...)
+		if d.pipeline.enqueue(d, async) {
+			return nil
+		}
+		// The pipeline refused the job: Close is tearing it down, and the
+		// depot has promised stores keep archiving — synchronously now.
 	}
-	// The wire layer reuses envelope buffers after StoreEnvelope returns,
-	// so an async job owns a copy of the report bytes.
-	job.report = append([]byte(nil), reportXML...)
-	d.pipeline.enqueue(d, job)
+	d.applyJobSync(job)
 	return nil
 }
 
@@ -278,12 +282,12 @@ func (d *Depot) Drain() {
 }
 
 // Close drains the async pipeline and stops its workers. The depot remains
-// readable; further stores archive synchronously.
+// usable: concurrent and later stores archive synchronously (the closed
+// pipeline refuses their enqueues), so no store can race the teardown onto
+// a closed queue.
 func (d *Depot) Close() {
 	if d.pipeline != nil {
-		d.pipeline.drain()
 		d.pipeline.close()
-		d.pipeline = nil
 	}
 }
 
@@ -332,8 +336,20 @@ func (d *Depot) ArchivedSeries() []string {
 }
 
 // ArchiveGeneration returns a counter that advances on every applied
-// archive sample; /archive conditional reads derive their ETag from it.
+// archive sample, depot-wide (surfaced in /debug/vars).
 func (d *Depot) ArchiveGeneration() uint64 { return d.archiveGen.Load() }
+
+// ArchiveSeriesGeneration returns a validator for one archived series —
+// the count of updates applied to its database — and whether the archive
+// exists. Unlike ArchiveGeneration it is scoped to the (branch, policy)
+// pair, so a /archive client's ETag stays valid while other series ingest.
+func (d *Depot) ArchiveSeriesGeneration(id branch.ID, policyName string) (uint64, bool) {
+	db := d.lookupDB(id.String() + "|" + policyName)
+	if db == nil {
+		return 0, false
+	}
+	return db.Updates(), true
+}
 
 // Stats summarizes depot activity.
 type Stats struct {
@@ -371,12 +387,19 @@ func (d *Depot) Stats() Stats {
 }
 
 // LatestValue returns the most recent known value from an archive, or NaN.
-// The archive tracks it as samples consolidate (rrd.DB.LastValue), so the
+// The archive tracks it as samples consolidate (rrd.DB.LastKnown), so the
 // availability page's per-resource calls are O(1), not a 24-hour fetch.
+// As with the fetch-and-scan this replaced, a value consolidated more than
+// 24 hours before the archive's last update is treated as unknown: a
+// resource that stopped reporting values has no current one.
 func (d *Depot) LatestValue(id branch.ID, policyName string, cf rrd.CF) float64 {
 	db := d.lookupDB(id.String() + "|" + policyName)
 	if db == nil {
 		return math.NaN()
 	}
-	return db.LastValue(cf)
+	v, at := db.LastKnown(cf)
+	if at.Before(db.Last().Add(-24 * time.Hour)) {
+		return math.NaN()
+	}
+	return v
 }

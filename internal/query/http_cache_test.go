@@ -373,8 +373,13 @@ func TestArchiveConditionalReads(t *testing.T) {
 	}
 
 	// A cache-only store (no policy match) leaves the archive tag valid:
-	// the archive generation is independent of the cache generation.
+	// the archive generation is independent of the cache generation. So
+	// does a store archived into a *different* series of the same policy —
+	// the validator is scoped per (branch, policy), not depot-wide.
 	if _, err := c.StoreEnvelope(sampleEnvelope(t, "tool=pathload,site=ncsa", t0.Add(2*time.Hour), 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.StoreEnvelope(sampleEnvelope(t, "tool=iperf,site=sdsc", t0.Add(2*time.Hour), 500)); err != nil {
 		t.Fatal(err)
 	}
 	tag2 := resp.Header.Get("ETag")

@@ -502,13 +502,17 @@ func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	// The archive generation advances on every applied sample, so it
-	// validates /archive responses the way the cache generation validates
-	// /cache: an up-to-date poller costs one integer comparison, no fetch
+	// Each archived series validates with its own update counter, so a
+	// poller's ETag stays good while *other* series ingest — a depot-wide
+	// generation would invalidate every /archive client on every applied
+	// sample. An up-to-date poller costs one integer comparison, no fetch
 	// and no CSV rendering.
-	tag := etagFor(s.d.ArchiveGeneration())
-	if s.checkNotModified(w, r, tag) {
-		return
+	var tag string
+	if gen, ok := s.d.ArchiveSeriesGeneration(id, policy); ok {
+		tag = etagFor(gen)
+		if s.checkNotModified(w, r, tag) {
+			return
+		}
 	}
 	series, err := s.d.FetchArchive(id, policy, cf, start, end)
 	if err != nil {
@@ -525,7 +529,9 @@ func (s *Server) handleArchive(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(&body, "%s,%s\n", p.Time.Format(time.RFC3339), v)
 	}
 	w.Header().Set("Content-Type", "text/csv")
-	w.Header().Set("ETag", tag)
+	if tag != "" {
+		w.Header().Set("ETag", tag)
+	}
 	w.Header().Set("Content-Length", strconv.Itoa(body.Len()))
 	if r.Method == http.MethodHead {
 		return

@@ -447,15 +447,28 @@ func (r *rraState) initLastKnown(n int) {
 // archive tracks its own most recent known row as rows are written, so
 // no ring scan or series fetch happens here.
 func (db *DB) LastValue(cf CF) float64 {
-	return db.LastValueDS(cf, 0)
+	v, _ := db.lastKnownDS(cf, 0)
+	return v
+}
+
+// LastKnown returns LastValue's value together with the end of its
+// consolidation window (zero when no known point exists). Callers use the
+// time to bound how stale a "last" value may be.
+func (db *DB) LastKnown(cf CF) (float64, time.Time) {
+	return db.lastKnownDS(cf, 0)
 }
 
 // LastValueDS is LastValue for the data source at index ds.
 func (db *DB) LastValueDS(cf CF, ds int) float64 {
+	v, _ := db.lastKnownDS(cf, ds)
+	return v
+}
+
+func (db *DB) lastKnownDS(cf CF, ds int) (float64, time.Time) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if ds < 0 || ds >= len(db.ds) {
-		return math.NaN()
+		return math.NaN(), time.Time{}
 	}
 	best := math.NaN()
 	var bestAt time.Time
@@ -467,7 +480,7 @@ func (db *DB) LastValueDS(cf CF, ds int) float64 {
 			best, bestAt = r.lastKnown[ds], r.lastKnownAt[ds]
 		}
 	}
-	return best
+	return best, bestAt
 }
 
 // Point is one fetched sample: the end of its consolidation window and one

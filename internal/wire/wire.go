@@ -332,7 +332,9 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 // Close stops accepting, closes every live connection, and returns once
-// the listener is down.
+// the listener is down and every in-flight handler has finished — after
+// Close no handler call is running or will run, so callers may tear down
+// whatever the handler writes to.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -344,5 +346,7 @@ func (s *Server) Close() error {
 		conn.Close()
 	}
 	s.mu.Unlock()
-	return s.ln.Close()
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
 }
