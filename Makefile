@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test bench-smoke bench-query bench-archive
+.PHONY: check fmt vet build test chaos bench-smoke bench-query bench-archive
 
-# The full gate: formatting, static checks, build, race-enabled tests, and
-# a one-iteration smoke of the parallel ingest benchmark tier.
-check: fmt vet build test bench-smoke
+# The full gate: formatting, static checks, build, race-enabled tests,
+# the fault-injection suite, and a one-iteration smoke of the parallel
+# ingest benchmark tier.
+check: fmt vet build test chaos bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -20,6 +21,12 @@ build:
 
 test:
 	$(GO) test -race ./...
+
+# Fault-injection suite (DESIGN.md §5d): chaos-proxy tests proving zero
+# report loss across resets, stalled acks, and controller restarts, plus
+# the spool's reliable-sink tests, all under the race detector.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestSpool|TestReliableSink' -count=1 ./internal/wire/ ./internal/agent/
 
 bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkIngestParallel4|BenchmarkArchiveParallel4' -benchtime=1x .

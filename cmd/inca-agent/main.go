@@ -34,6 +34,10 @@ func main() {
 
 		flushSize     = flag.Int("flush-size", 0, "batch this many reports per wire flush (0 = one message per round trip, the deployed protocol)")
 		flushInterval = flag.Duration("flush-interval", 0, "send a partial batch after this long (default 50ms when -flush-size is set)")
+
+		spool   = flag.String("spool", "", "reliable delivery: spool reports through a bounded store-and-forward queue; 'mem' keeps it in memory only, any other value is a directory for disk overflow (survives agent restarts)")
+		retry   = flag.Int("retry", 0, "with -spool: delivery attempts per report before it is dropped and counted (0 = retry until shutdown)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-attempt wire I/O deadline (dial is capped at 10s); a hung controller fails the attempt instead of wedging the agent")
 	)
 	flag.Parse()
 
@@ -83,13 +87,38 @@ func main() {
 	}
 
 	var sink *agent.WireSink
-	if *flushSize > 0 {
+	switch {
+	case *spool != "":
+		// Reliable path: Submit lands in the spool immediately; a delivery
+		// loop replays with backoff, reconnect, and per-attempt deadlines.
+		dopt := agent.DeliveryOptions{
+			Client:      wire.ClientOptions{IOTimeout: *timeout},
+			MaxAttempts: *retry,
+		}
+		if *spool != "mem" {
+			dopt.Spool.Dir = *spool
+		}
+		if *flushSize > 0 {
+			dopt.Batch = &wire.BatchOptions{
+				MaxBatch:      *flushSize,
+				FlushInterval: *flushInterval,
+				IOTimeout:     *timeout,
+			}
+		}
+		var serr error
+		sink, serr = agent.NewWireSinkReliable(*server, dopt)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, serr)
+			os.Exit(1)
+		}
+	case *flushSize > 0:
 		sink = agent.NewWireSinkBatched(*server, wire.BatchOptions{
 			MaxBatch:      *flushSize,
 			FlushInterval: *flushInterval,
+			IOTimeout:     *timeout,
 		})
-	} else {
-		sink = agent.NewWireSink(*server)
+	default:
+		sink = agent.NewWireSinkOptions(*server, wire.ClientOptions{IOTimeout: *timeout})
 	}
 	defer sink.Close()
 	a, err := agent.New(spec, simtime.Real{}, sink, agent.Live)
@@ -108,7 +137,20 @@ func main() {
 		cancel()
 	}()
 	a.Run(ctx)
+	if *spool != "" {
+		// Best-effort final replay so a clean shutdown loses nothing; with
+		// a spool directory, whatever cannot be delivered in time persists
+		// on disk for the next start.
+		if err := sink.Drain(10 * time.Second); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
 	st := a.Stats()
 	fmt.Printf("stopped: %d runs, %d failures, %d killed, %d submit errors\n",
 		st.Runs, st.Failures, st.Killed, st.SubmitErrs)
+	if st.Delivery != nil {
+		d := st.Delivery
+		fmt.Printf("delivery: %d spooled, %d replayed, %d rejected, %d dropped, %d reconnects, %d still queued\n",
+			d.Spooled, d.Replayed, d.Rejected, d.Dropped, d.Reconnects, d.Depth)
+	}
 }

@@ -39,6 +39,8 @@ func main() {
 		archiveWorkers = flag.Int("archive-workers", 4, "async archive worker count")
 		archiveQueue   = flag.Int("archive-queue", 256, "async archive queue capacity per worker")
 		archiveDrop    = flag.Bool("archive-drop", false, "shed archive jobs when the async queue is full instead of blocking ingest")
+
+		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "drop distributed-controller connections idle (or stalled mid-frame) this long, so dead peers cannot pin goroutines (0 = never)")
 	)
 	flag.Parse()
 
@@ -110,7 +112,7 @@ func main() {
 	}
 	ctl := controller.New(d, controller.Options{Allowlist: allowlist, Mode: envMode})
 
-	srv, err := wire.Serve(*tcpAddr, ctl.Handle)
+	srv, err := wire.ServeOptions(*tcpAddr, ctl.Handle, wire.ServerOptions{IdleTimeout: *idleTimeout})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tcp listen:", err)
 		os.Exit(1)
@@ -122,6 +124,7 @@ func main() {
 	// sample grid's specs are preloaded so `inca-agent -spec-url` works
 	// out of the box; real deployments POST their own.
 	qsrv := query.NewServer(d)
+	qsrv.WireStats = srv.Stats // delivery_* group on /debug/vars
 	specs := qsrv.EnableSpecs()
 	demoGrid := core.DemoGrid(1, time.Now().Add(-24*time.Hour))
 	for _, res := range demoGrid.Resources() {

@@ -86,6 +86,15 @@ type Stats struct {
 	SubmitErrs int // reports the sink refused or could not deliver
 	BytesSent  int64
 	DepSkips   int
+	// Delivery is the sink's reliable-delivery accounting when the sink
+	// maintains one (see WireSink.DeliveryStats); nil otherwise.
+	Delivery *DeliveryStats
+}
+
+// DeliveryStatser is implemented by sinks that account for every report's
+// delivery fate (spooled/replayed/rejected/dropped).
+type DeliveryStatser interface {
+	DeliveryStats() DeliveryStats
 }
 
 // execInterval records one execution for the resource-usage model behind
@@ -349,12 +358,16 @@ func (a *Agent) TrimIntervalsBefore(t time.Time) {
 }
 
 // Stats returns a snapshot of agent counters, folding in the scheduler's
-// dependency skips.
+// dependency skips and, when the sink keeps one, its delivery accounting.
 func (a *Agent) Stats() Stats {
 	a.mu.Lock()
 	s := a.stats
 	a.mu.Unlock()
 	_, skips := a.sched.Stats()
 	s.DepSkips = skips
+	if ds, ok := a.sink.(DeliveryStatser); ok {
+		d := ds.DeliveryStats()
+		s.Delivery = &d
+	}
 	return s
 }

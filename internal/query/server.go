@@ -33,12 +33,18 @@ import (
 	"inca/internal/consumer"
 	"inca/internal/depot"
 	"inca/internal/rrd"
+	"inca/internal/wire"
 )
 
 // Server exposes a depot over HTTP.
 type Server struct {
 	d     *depot.Depot
 	specs *SpecStore
+
+	// WireStats, when set by the embedding process, surfaces the TCP
+	// ingest server's connection/frame counters on /debug/vars as the
+	// delivery_* group (e.g. qsrv.WireStats = wireSrv.Stats).
+	WireStats func() wire.ServerStats
 
 	// Read-path counters, exposed on /debug/vars.
 	queryHits   atomic.Uint64 // /cache and /reports queries that found data
@@ -604,6 +610,16 @@ type DebugVars struct {
 	NotModified         uint64 `json:"not_modified"`
 	AvailabilityHits    uint64 `json:"availability_hits"`
 	AvailabilityMisses  uint64 `json:"availability_misses"`
+
+	// delivery_* is the TCP ingest side (the agent→controller wire
+	// protocol), present when the embedding process registered its wire
+	// server via Server.WireStats. DeliveryMessages should reconcile with
+	// Received: every message the wire accepted reached the depot.
+	DeliveryWired           bool   `json:"delivery_wired"`
+	DeliveryConnsAccepted   uint64 `json:"delivery_conns_accepted"`
+	DeliveryConnsIdleClosed uint64 `json:"delivery_conns_idle_closed"`
+	DeliveryMessages        uint64 `json:"delivery_messages"`
+	DeliveryBatches         uint64 `json:"delivery_batches"`
 }
 
 // handleDebugVars serves the counters expvar-style, but self-rendered:
@@ -632,6 +648,14 @@ func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 		AvailabilityMisses:  s.availMisses.Load(),
 	}
 	v.Generation, v.Versioned = s.generation()
+	if s.WireStats != nil {
+		ws := s.WireStats()
+		v.DeliveryWired = true
+		v.DeliveryConnsAccepted = ws.ConnsAccepted
+		v.DeliveryConnsIdleClosed = ws.ConnsIdleClosed
+		v.DeliveryMessages = ws.Messages
+		v.DeliveryBatches = ws.Batches
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

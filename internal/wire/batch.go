@@ -144,6 +144,18 @@ type BatchOptions struct {
 	// partial batch is sent anyway (default 50ms; <0 disables the timer,
 	// leaving flushing to full batches and explicit Flush/Drain calls).
 	FlushInterval time.Duration
+	// MaxPending bounds how many messages may sit unflushed while the
+	// server is unreachable — requeued messages included (default 4096;
+	// <0 removes the bound). Beyond it the oldest message is shed and
+	// counted in Stats().Dropped, the only way this client loses data.
+	MaxPending int
+	// DialTimeout bounds each connection attempt (default 10s).
+	DialTimeout time.Duration
+	// IOTimeout bounds each batch write and, while batches are awaiting
+	// acknowledgement, the wait for the next ack vector (default 30s;
+	// <0 disables deadlines). A hung server then fails the connection —
+	// requeuing its unacked batches — instead of wedging the flusher.
+	IOTimeout time.Duration
 }
 
 func (o *BatchOptions) fill() {
@@ -159,6 +171,15 @@ func (o *BatchOptions) fill() {
 	if o.FlushInterval == 0 {
 		o.FlushInterval = 50 * time.Millisecond
 	}
+	if o.MaxPending == 0 {
+		o.MaxPending = MaxBatch
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	if o.IOTimeout == 0 {
+		o.IOTimeout = 30 * time.Second
+	}
 }
 
 // BatchClient is the pipelined counterpart of Client: messages accumulate
@@ -168,6 +189,15 @@ func (o *BatchOptions) fill() {
 // arrive after Enqueue returns, a rejection or transport failure surfaces
 // on a later Enqueue, Flush, or Drain call — the trade the protocol makes
 // for keeping the pipe full. It is safe for concurrent use.
+//
+// Delivery is at-least-once up to MaxPending: a batch stays on the
+// in-flight list until its ack vector arrives, and when a connection dies
+// every unacknowledged batch is requeued ahead of the pending buffer (so
+// per-branch submission order is preserved) for the next flush to resend.
+// Only MaxPending overflow sheds messages, and every shed message is
+// counted in Stats().Dropped. A batch whose ack vector was lost in the
+// failure may be processed twice by the server — the standard
+// at-least-once trade.
 type BatchClient struct {
 	addr string
 	opt  BatchOptions
@@ -180,11 +210,21 @@ type BatchClient struct {
 	sem     chan struct{} // holds one token per in-flight batch
 	gone    chan struct{} // closed when this connection's ack reader exits
 
+	// inflight holds batches written but not yet acknowledged, oldest
+	// first; guarded by inMu, which both flushLocked and the ack reader
+	// take (the reader still never takes c.mu).
+	inMu     sync.Mutex
+	inflight [][]*Message
+
 	errMu    sync.Mutex
 	err      error
 	closed   bool
 	acked    uint64
 	rejected uint64
+	requeued uint64
+	dropped  uint64
+	redials  uint64
+	dialed   bool
 }
 
 // NewBatchClient returns a client that dials addr on first flush.
@@ -193,12 +233,24 @@ func NewBatchClient(addr string, opt BatchOptions) *BatchClient {
 	return &BatchClient{addr: addr, opt: opt}
 }
 
+// Options returns the client's options with defaults applied.
+func (c *BatchClient) Options() BatchOptions { return c.opt }
+
 // Enqueue buffers one message, flushing if the batch is full. The returned
 // error reports previously collected asynchronous failures (server
 // rejections or transport errors from earlier batches), not the fate of m.
 func (c *BatchClient) Enqueue(m *Message) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.opt.MaxPending > 0 && len(c.pending) >= c.opt.MaxPending {
+		// The unreachable-server backstop: shed the oldest message so an
+		// outage costs bounded memory, and account for the loss.
+		shed := len(c.pending) - c.opt.MaxPending + 1
+		c.pending = append(c.pending[:0], c.pending[shed:]...)
+		c.errMu.Lock()
+		c.dropped += uint64(shed)
+		c.errMu.Unlock()
+	}
 	c.pending = append(c.pending, m)
 	if len(c.pending) >= c.opt.MaxBatch {
 		return c.flushLocked()
@@ -216,50 +268,102 @@ func (c *BatchClient) Flush() error {
 	return c.flushLocked()
 }
 
+// flushLocked writes the pending buffer as MaxBatch-sized chunks. On any
+// failure the unwritten remainder stays in pending and unacknowledged
+// in-flight batches are requeued ahead of it — nothing is discarded (the
+// pre-fix code dropped the whole buffer on a dial or write error, the
+// silent-loss bug this PR exists to kill).
 func (c *BatchClient) flushLocked() error {
 	if c.timer != nil {
 		c.timer.Stop()
 		c.timer = nil
 	}
-	if len(c.pending) == 0 {
-		return c.takeErr()
-	}
-	if err := c.ensureConnLocked(); err != nil {
-		c.pending = c.pending[:0]
-		return err
-	}
-	// Claim an in-flight slot; blocks when Window batches await acks,
-	// which is the backpressure that keeps a slow server from unbounded
-	// buffering. The reader releases a slot per ack vector and never takes
-	// c.mu, so holding it here cannot deadlock.
-	select {
-	case c.sem <- struct{}{}:
-	case <-c.gone:
-		c.resetConnLocked()
-		c.pending = c.pending[:0]
-		if err := c.takeErr(); err != nil {
-			return err
+	for len(c.pending) > 0 {
+		if err := c.ensureConnLocked(); err != nil {
+			// pending is kept: the next Enqueue/Flush/Drain retries.
+			c.recordErr(err)
+			return c.takeErr()
 		}
-		return fmt.Errorf("wire: connection lost")
-	}
-	err := WriteBatch(c.bw, c.pending)
-	if err == nil {
-		err = c.bw.Flush()
-	}
-	c.pending = c.pending[:0]
-	if err != nil {
-		c.resetConnLocked()
-		c.recordErr(err)
-		return c.takeErr()
+		// Claim an in-flight slot; blocks when Window batches await acks,
+		// which is the backpressure that keeps a slow server from unbounded
+		// buffering. The reader releases a slot per ack vector and never
+		// takes c.mu, so holding it here cannot deadlock.
+		select {
+		case c.sem <- struct{}{}:
+		case <-c.gone:
+			c.resetConnLocked()
+			c.recordErr(fmt.Errorf("wire: connection lost"))
+			return c.takeErr()
+		}
+		n := len(c.pending)
+		if n > c.opt.MaxBatch {
+			n = c.opt.MaxBatch
+		}
+		chunk := make([]*Message, n)
+		copy(chunk, c.pending[:n])
+		// On the in-flight list before the write: if the write fails
+		// partway, resetConnLocked harvests the chunk back into pending.
+		c.inMu.Lock()
+		c.inflight = append(c.inflight, chunk)
+		c.inMu.Unlock()
+		c.pending = c.pending[n:]
+		if len(c.pending) == 0 {
+			c.pending = nil // release the drained backing array
+		}
+		err := c.setWriteDeadlineLocked()
+		if err == nil {
+			err = WriteBatch(c.bw, chunk)
+		}
+		if err == nil {
+			err = c.bw.Flush()
+		}
+		if err != nil {
+			c.resetConnLocked()
+			c.recordErr(err)
+			return c.takeErr()
+		}
+		c.armAckDeadlineLocked()
 	}
 	return c.takeErr()
 }
 
+func (c *BatchClient) setWriteDeadlineLocked() error {
+	if c.opt.IOTimeout < 0 {
+		return nil
+	}
+	return c.conn.SetWriteDeadline(time.Now().Add(c.opt.IOTimeout))
+}
+
+// armAckDeadlineLocked requires the ack vector for the batch just written
+// within IOTimeout. It runs under inMu to serialize against the reader's
+// clear (see readAcks): whichever of arm/clear observes the in-flight
+// list last wins, so the deadline is armed exactly when batches await
+// acknowledgement. SetReadDeadline interrupts a read already blocked, so
+// arming from here reaches a reader parked on an idle connection.
+func (c *BatchClient) armAckDeadlineLocked() {
+	if c.opt.IOTimeout < 0 {
+		return
+	}
+	c.inMu.Lock()
+	c.conn.SetReadDeadline(time.Now().Add(c.opt.IOTimeout))
+	c.inMu.Unlock()
+}
+
+// ensureConnLocked dials if no connection is live. It refuses to dial once
+// the client is closed — otherwise a FlushInterval timer callback racing
+// Close could redial and leak a connection past Close.
 func (c *BatchClient) ensureConnLocked() error {
+	c.errMu.Lock()
+	closed := c.closed
+	redial := c.dialed
+	c.errMu.Unlock()
+	if closed {
+		return fmt.Errorf("wire: client closed")
+	}
 	if c.conn != nil {
 		return nil
 	}
-	conn, err := net.Dial("tcp", c.addr)
+	conn, err := net.DialTimeout("tcp", c.addr, c.opt.DialTimeout)
 	if err != nil {
 		return fmt.Errorf("wire: dial %s: %w", c.addr, err)
 	}
@@ -268,27 +372,59 @@ func (c *BatchClient) ensureConnLocked() error {
 	c.sem = make(chan struct{}, c.opt.Window)
 	c.gone = make(chan struct{})
 	c.errMu.Lock()
-	c.closed = false // a redial after Close resumes error collection
+	c.dialed = true
+	if redial {
+		c.redials++
+	}
 	c.errMu.Unlock()
-	go c.readAcks(bufio.NewReader(conn), c.sem, c.gone)
+	go c.readAcks(conn, bufio.NewReader(conn), c.sem, c.gone)
 	return nil
 }
 
-// resetConnLocked abandons the current connection; its reader exits on the
-// closed socket and the next flush redials with fresh channels.
+// resetConnLocked abandons the current connection, waits for its ack
+// reader to exit, and requeues every batch the reader did not acknowledge
+// ahead of the pending buffer, preserving submission order. Waiting for
+// the reader is what makes the harvest race-free: after gone closes no ack
+// can settle an in-flight batch, so requeue-vs-ack double accounting is
+// impossible. The reader never takes c.mu, so holding it here cannot
+// deadlock.
 func (c *BatchClient) resetConnLocked() {
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
 	}
+	if c.gone != nil {
+		<-c.gone
+	}
 	c.bw = nil
 	c.sem = nil
 	c.gone = nil
+	c.inMu.Lock()
+	unacked := c.inflight
+	c.inflight = nil
+	c.inMu.Unlock()
+	if len(unacked) == 0 {
+		return
+	}
+	total := 0
+	for _, batch := range unacked {
+		total += len(batch)
+	}
+	requeue := make([]*Message, 0, total+len(c.pending))
+	for _, batch := range unacked {
+		requeue = append(requeue, batch...)
+	}
+	n := uint64(len(requeue))
+	c.pending = append(requeue, c.pending...)
+	c.errMu.Lock()
+	c.requeued += n
+	c.errMu.Unlock()
 }
 
-// readAcks consumes ack vectors, releasing one in-flight slot per vector.
-// It deliberately never touches c.mu (see flushLocked).
-func (c *BatchClient) readAcks(br *bufio.Reader, sem chan struct{}, gone chan struct{}) {
+// readAcks consumes ack vectors, settling the oldest in-flight batch and
+// releasing one window slot per vector. It deliberately never touches
+// c.mu (see flushLocked).
+func (c *BatchClient) readAcks(conn net.Conn, br *bufio.Reader, sem chan struct{}, gone chan struct{}) {
 	defer close(gone)
 	for {
 		acks, err := ReadAckVector(br)
@@ -296,6 +432,19 @@ func (c *BatchClient) readAcks(br *bufio.Reader, sem chan struct{}, gone chan st
 			c.recordErr(err)
 			return
 		}
+		// The server acks batches in order, so this vector settles the
+		// oldest in-flight batch: it is delivered, not requeue material.
+		// Once nothing is in flight the ack deadline is disarmed — an idle
+		// connection awaits no acks and must not time out. Under inMu to
+		// serialize against armAckDeadlineLocked.
+		c.inMu.Lock()
+		if len(c.inflight) > 0 {
+			c.inflight = c.inflight[1:]
+		}
+		if len(c.inflight) == 0 && c.opt.IOTimeout >= 0 {
+			conn.SetReadDeadline(time.Time{})
+		}
+		c.inMu.Unlock()
 		c.errMu.Lock()
 		for _, a := range acks {
 			if a.OK {
@@ -330,7 +479,9 @@ func (c *BatchClient) takeErr() error {
 }
 
 // Drain flushes the pending batch and waits until every in-flight batch
-// has been acknowledged, returning the first collected failure.
+// has been acknowledged, returning the first collected failure. After a
+// failed Drain the undelivered messages remain queued; a later flush or
+// Drain retries them.
 func (c *BatchClient) Drain() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -341,10 +492,19 @@ func (c *BatchClient) Drain() error {
 		return c.takeErr()
 	}
 	// Filling the window proves no batch still awaits its ack vector.
+	claimed := 0
 	for i := 0; i < c.opt.Window; i++ {
 		select {
 		case c.sem <- struct{}{}:
+			claimed++
 		case <-c.gone:
+			// Release the slots this fill already claimed before the sem
+			// is abandoned — they are fill tokens, not written batches,
+			// and must not read as in-flight data to anyone holding a
+			// reference to this connection's channels.
+			for j := 0; j < claimed; j++ {
+				<-c.sem
+			}
 			c.resetConnLocked()
 			if err := c.takeErr(); err != nil {
 				return err
@@ -358,15 +518,41 @@ func (c *BatchClient) Drain() error {
 	return c.takeErr()
 }
 
-// Stats returns how many batched messages were acknowledged OK and how
-// many the server rejected.
-func (c *BatchClient) Stats() (acked, rejected uint64) {
-	c.errMu.Lock()
-	defer c.errMu.Unlock()
-	return c.acked, c.rejected
+// BatchStats counts every message fate a BatchClient can assign. At any
+// quiescent point acked+rejected+dropped plus the still-queued messages
+// equals the messages enqueued; Dropped is the only loss, and only
+// MaxPending overflow (or Close with undeliverable messages) causes it.
+type BatchStats struct {
+	// Acked is messages the server acknowledged OK.
+	Acked uint64
+	// Rejected is messages the server refused (allowlist, signature).
+	Rejected uint64
+	// Requeued is messages returned to the queue after their connection
+	// died before acknowledgement — each one a survived transport fault.
+	Requeued uint64
+	// Dropped is messages shed by the MaxPending backstop or abandoned
+	// by Close after a failed final drain.
+	Dropped uint64
+	// Redials is reconnections after a connection failure.
+	Redials uint64
 }
 
-// Close drains outstanding batches and closes the connection.
+// Stats returns a snapshot of the client's delivery accounting.
+func (c *BatchClient) Stats() BatchStats {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return BatchStats{
+		Acked:    c.acked,
+		Rejected: c.rejected,
+		Requeued: c.requeued,
+		Dropped:  c.dropped,
+		Redials:  c.redials,
+	}
+}
+
+// Close drains outstanding batches and closes the connection. Messages
+// that still cannot be delivered by the final drain are abandoned and
+// counted in Stats().Dropped.
 func (c *BatchClient) Close() error {
 	err := c.Drain()
 	c.mu.Lock()
@@ -379,5 +565,11 @@ func (c *BatchClient) Close() error {
 		c.timer = nil
 	}
 	c.resetConnLocked()
+	if n := len(c.pending); n > 0 {
+		c.errMu.Lock()
+		c.dropped += uint64(n)
+		c.errMu.Unlock()
+		c.pending = nil
+	}
 	return err
 }

@@ -98,9 +98,9 @@ func TestServerHandlesBatchFrames(t *testing.T) {
 	if got.Load() != total {
 		t.Fatalf("server received %d, want %d", got.Load(), total)
 	}
-	acked, rejected := c.Stats()
-	if acked != total || rejected != 0 {
-		t.Fatalf("stats = %d acked, %d rejected", acked, rejected)
+	st := c.Stats()
+	if st.Acked != total || st.Rejected != 0 || st.Dropped != 0 {
+		t.Fatalf("stats = %+v", st)
 	}
 }
 
@@ -155,8 +155,8 @@ func TestBatchClientSurfacesRejection(t *testing.T) {
 	if err == nil {
 		t.Fatal("rejection not surfaced")
 	}
-	if _, rejected := c.Stats(); rejected != 1 {
-		t.Fatalf("rejected = %d, want 1", rejected)
+	if st := c.Stats(); st.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", st.Rejected)
 	}
 }
 

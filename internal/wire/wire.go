@@ -22,8 +22,10 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
+	"time"
 )
 
 // MaxFrame bounds a single report message (16 MiB), protecting the server
@@ -165,33 +167,145 @@ func ReadAck(r io.Reader) (*Ack, error) {
 	return &Ack{OK: status[0] == 0, Message: string(msg)}, nil
 }
 
+// RetryPolicy bounds how a client retries a failed send. Backoff between
+// attempts is exponential with full jitter: attempt n sleeps a uniform
+// random duration in [0, min(Cap, Base·2ⁿ)], so a fleet of agents cut off
+// by one controller restart does not reconnect in lockstep.
+type RetryPolicy struct {
+	// Max is the total number of attempts per Send (default 1 = no retry).
+	Max int
+	// Base is the backoff before the first retry (default 100ms).
+	Base time.Duration
+	// Cap bounds the backoff growth (default 5s).
+	Cap time.Duration
+}
+
+func (p *RetryPolicy) fill() {
+	if p.Max <= 0 {
+		p.Max = 1
+	}
+	if p.Base <= 0 {
+		p.Base = 100 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 5 * time.Second
+	}
+}
+
+// Backoff returns the jittered sleep before retry number n (1-based):
+// uniform random in [0, min(Cap, Base·2ⁿ⁻¹)].
+func (p RetryPolicy) Backoff(n int) time.Duration {
+	d := p.Base
+	for i := 1; i < n && d < p.Cap; i++ {
+		d *= 2
+	}
+	if d > p.Cap {
+		d = p.Cap
+	}
+	return time.Duration(rand.Int63n(int64(d) + 1))
+}
+
+// ClientOptions configures the delivery robustness of a Client.
+type ClientOptions struct {
+	// DialTimeout bounds each connection attempt (default 10s).
+	DialTimeout time.Duration
+	// IOTimeout bounds each write-message/read-ack step (default 30s;
+	// <0 disables deadlines). A hung server then surfaces as a timeout
+	// error instead of wedging the caller forever.
+	IOTimeout time.Duration
+	// Retry bounds in-Send retries. The zero value means a single
+	// attempt; spooling callers (agent.WireSink) keep it small and let
+	// the spool's own backoff loop own long-horizon redelivery.
+	Retry RetryPolicy
+}
+
+func (o *ClientOptions) fill() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	if o.IOTimeout == 0 {
+		o.IOTimeout = 30 * time.Second
+	}
+	o.Retry.fill()
+}
+
+// ClientStats counts a client's delivery work.
+type ClientStats struct {
+	// Dials is every connection attempt, successful or not.
+	Dials uint64
+	// Reconnects is dials after the first successful connection — each
+	// one is a recovered transport failure.
+	Reconnects uint64
+	// Retries is in-Send attempts beyond each message's first.
+	Retries uint64
+	// Sent is messages acknowledged by the server (OK or not).
+	Sent uint64
+}
+
 // Client is a connection from a distributed controller to the centralized
 // controller. It reconnects lazily after errors and is safe for concurrent
 // use (sends are serialized, as all traffic from one resource flows over
 // one connection in the deployed system).
 type Client struct {
 	addr string
+	opt  ClientOptions
 
-	mu   sync.Mutex
-	conn net.Conn
-	bw   *bufio.Writer
-	br   *bufio.Reader
+	mu        sync.Mutex
+	conn      net.Conn
+	bw        *bufio.Writer
+	br        *bufio.Reader
+	connected bool // a dial has succeeded at least once
+	stats     ClientStats
 }
 
-// NewClient returns a client that will dial addr on first use.
-func NewClient(addr string) *Client { return &Client{addr: addr} }
+// NewClient returns a client that will dial addr on first use, with
+// default deadlines and no retry.
+func NewClient(addr string) *Client { return NewClientOptions(addr, ClientOptions{}) }
 
-// Send submits one message and waits for the server's ack. A transport
-// error closes the connection so the next Send redials.
+// NewClientOptions returns a client with explicit timeout/retry behavior.
+func NewClientOptions(addr string, opt ClientOptions) *Client {
+	opt.fill()
+	return &Client{addr: addr, opt: opt}
+}
+
+// Send submits one message and waits for the server's ack, retrying
+// transport failures up to the client's RetryPolicy with jittered
+// exponential backoff. Every attempt runs under the configured dial and
+// I/O deadlines. A transport error closes the connection so the next
+// attempt redials. Note the at-least-once consequence: an error after the
+// frame hit the wire (lost ack) retries a message the server may already
+// have processed.
 func (c *Client) Send(m *Message) (*Ack, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	var lastErr error
+	for attempt := 1; attempt <= c.opt.Retry.Max; attempt++ {
+		if attempt > 1 {
+			c.stats.Retries++
+			time.Sleep(c.opt.Retry.Backoff(attempt - 1))
+		}
+		ack, err := c.sendOnceLocked(m)
+		if err == nil {
+			c.stats.Sent++
+			return ack, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+func (c *Client) sendOnceLocked(m *Message) (*Ack, error) {
 	if c.conn == nil {
-		conn, err := net.Dial("tcp", c.addr)
+		c.stats.Dials++
+		if c.connected {
+			c.stats.Reconnects++
+		}
+		conn, err := net.DialTimeout("tcp", c.addr, c.opt.DialTimeout)
 		if err != nil {
 			return nil, fmt.Errorf("wire: dial %s: %w", c.addr, err)
 		}
 		c.conn = conn
+		c.connected = true
 		c.bw = bufio.NewWriter(conn)
 		c.br = bufio.NewReader(conn)
 	}
@@ -199,6 +313,9 @@ func (c *Client) Send(m *Message) (*Ack, error) {
 		c.conn.Close()
 		c.conn = nil
 		return nil, err
+	}
+	if err := c.setDeadlineLocked(); err != nil {
+		return fail(err)
 	}
 	if err := WriteMessage(c.bw, m); err != nil {
 		return fail(err)
@@ -211,6 +328,22 @@ func (c *Client) Send(m *Message) (*Ack, error) {
 		return fail(err)
 	}
 	return ack, nil
+}
+
+// setDeadlineLocked arms the per-attempt I/O deadline covering the
+// write-and-await-ack round trip.
+func (c *Client) setDeadlineLocked() error {
+	if c.opt.IOTimeout < 0 {
+		return nil
+	}
+	return c.conn.SetDeadline(time.Now().Add(c.opt.IOTimeout))
+}
+
+// Stats returns a snapshot of the client's delivery counters.
+func (c *Client) Stats() ClientStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
 }
 
 // Close closes the underlying connection if open.
@@ -228,25 +361,55 @@ func (c *Client) Close() error {
 // Handler processes one received message and returns the ack to send.
 type Handler func(m *Message, remoteAddr string) *Ack
 
+// ServerOptions configures connection hygiene on the server side.
+type ServerOptions struct {
+	// IdleTimeout is the per-connection read deadline: how long the
+	// server waits for the next frame (or the rest of a partial frame)
+	// before dropping the connection. Zero means wait forever — the
+	// pre-robustness behavior, where a dead peer pins its goroutine
+	// until process exit.
+	IdleTimeout time.Duration
+}
+
+// ServerStats counts server-side connection and frame activity; surfaced
+// on the querying interface's /debug/vars as the delivery_* group.
+type ServerStats struct {
+	// ConnsAccepted is every distributed-controller connection accepted.
+	ConnsAccepted uint64
+	// ConnsIdleClosed is connections dropped by the idle read deadline.
+	ConnsIdleClosed uint64
+	// Messages is report messages received (batched or not).
+	Messages uint64
+	// Batches is batch frames received.
+	Batches uint64
+}
+
 // Server accepts distributed-controller connections.
 type Server struct {
 	ln      net.Listener
 	handler Handler
+	opt     ServerOptions
 	wg      sync.WaitGroup
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
+	stats  ServerStats
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0"). It returns once the
 // listener is ready; handling proceeds in background goroutines.
 func Serve(addr string, h Handler) (*Server, error) {
+	return ServeOptions(addr, h, ServerOptions{})
+}
+
+// ServeOptions starts a server with explicit connection options.
+func ServeOptions(addr string, h Handler, opt ServerOptions) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, handler: h, conns: make(map[net.Conn]struct{})}
+	s := &Server{ln: ln, handler: h, opt: opt, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -269,6 +432,7 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.conns[conn] = struct{}{}
+		s.stats.ConnsAccepted++
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go func() {
@@ -289,17 +453,38 @@ func (s *Server) serveConn(conn net.Conn) {
 	bw := bufio.NewWriter(conn)
 	remote := conn.RemoteAddr().String()
 	var scratch []byte // reused across this connection's frames
+	idleClose := func(err error) {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			s.mu.Lock()
+			s.stats.ConnsIdleClosed++
+			s.mu.Unlock()
+		}
+	}
 	for {
+		// Arm the idle deadline per frame: it covers both waiting for the
+		// next frame and draining a frame a dead peer abandoned halfway,
+		// so a stalled connection cannot pin this goroutine forever.
+		if s.opt.IdleTimeout > 0 {
+			if err := conn.SetReadDeadline(time.Now().Add(s.opt.IdleTimeout)); err != nil {
+				return
+			}
+		}
 		batch, err := peekBatch(br)
 		if err != nil {
-			return // EOF or protocol error: drop the connection
+			idleClose(err)
+			return // EOF, deadline, or protocol error: drop the connection
 		}
 		if batch {
 			var msgs []*Message
 			msgs, scratch, err = readBatch(br, scratch)
 			if err != nil {
+				idleClose(err)
 				return
 			}
+			s.mu.Lock()
+			s.stats.Batches++
+			s.stats.Messages += uint64(len(msgs))
+			s.mu.Unlock()
 			acks := make([]*Ack, len(msgs))
 			for i, msg := range msgs {
 				ack := s.handler(msg, remote)
@@ -315,8 +500,12 @@ func (s *Server) serveConn(conn net.Conn) {
 			var msg *Message
 			msg, scratch, err = readMessage(br, scratch)
 			if err != nil {
+				idleClose(err)
 				return
 			}
+			s.mu.Lock()
+			s.stats.Messages++
+			s.mu.Unlock()
 			ack := s.handler(msg, remote)
 			if ack == nil {
 				ack = &Ack{OK: true}
@@ -329,6 +518,13 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// Stats returns a snapshot of the server's connection and frame counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
 }
 
 // Close stops accepting, closes every live connection, and returns once
