@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check fmt vet build test chaos bench-smoke bench-query bench-archive
+.PHONY: check fmt vet build test chaos metrics-smoke bench-smoke bench-query bench-archive
 
 # The full gate: formatting, static checks, build, race-enabled tests,
-# the fault-injection suite, and a one-iteration smoke of the parallel
-# ingest benchmark tier.
-check: fmt vet build test chaos bench-smoke
+# the fault-injection suite, the telemetry smoke, and a one-iteration
+# smoke of the parallel ingest benchmark tier.
+check: fmt vet build test chaos metrics-smoke bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -27,6 +27,11 @@ test:
 # the spool's reliable-sink tests, all under the race detector.
 chaos:
 	$(GO) test -race -run 'TestChaos|TestSpool|TestReliableSink' -count=1 ./internal/wire/ ./internal/agent/
+
+# Telemetry gate (DESIGN.md §5e): drive the full pipeline with one shared
+# registry and lint the /metrics exposition for every stage's instruments.
+metrics-smoke:
+	$(GO) test -race -run TestMetricsSmoke -count=1 .
 
 bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkIngestParallel4|BenchmarkArchiveParallel4' -benchtime=1x .

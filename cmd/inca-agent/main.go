@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -18,6 +20,7 @@ import (
 
 	"inca/internal/agent"
 	"inca/internal/core"
+	"inca/internal/metrics"
 	"inca/internal/query"
 	"inca/internal/simtime"
 	"inca/internal/wire"
@@ -38,6 +41,8 @@ func main() {
 		spool   = flag.String("spool", "", "reliable delivery: spool reports through a bounded store-and-forward queue; 'mem' keeps it in memory only, any other value is a directory for disk overflow (survives agent restarts)")
 		retry   = flag.Int("retry", 0, "with -spool: delivery attempts per report before it is dropped and counted (0 = retry until shutdown)")
 		timeout = flag.Duration("timeout", 30*time.Second, "per-attempt wire I/O deadline (dial is capped at 10s); a hung controller fails the attempt instead of wedging the agent")
+
+		metricsAddr = flag.String("metrics", "", "serve Prometheus text metrics on this address's /metrics (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -86,13 +91,17 @@ func main() {
 		return
 	}
 
+	// One registry covers both the agent's scheduler/executor instruments
+	// and the wire path underneath it.
+	reg := metrics.NewRegistry()
+
 	var sink *agent.WireSink
 	switch {
 	case *spool != "":
 		// Reliable path: Submit lands in the spool immediately; a delivery
 		// loop replays with backoff, reconnect, and per-attempt deadlines.
 		dopt := agent.DeliveryOptions{
-			Client:      wire.ClientOptions{IOTimeout: *timeout},
+			Client:      wire.ClientOptions{IOTimeout: *timeout, Metrics: reg},
 			MaxAttempts: *retry,
 		}
 		if *spool != "mem" {
@@ -103,6 +112,7 @@ func main() {
 				MaxBatch:      *flushSize,
 				FlushInterval: *flushInterval,
 				IOTimeout:     *timeout,
+				Metrics:       reg,
 			}
 		}
 		var serr error
@@ -116,15 +126,27 @@ func main() {
 			MaxBatch:      *flushSize,
 			FlushInterval: *flushInterval,
 			IOTimeout:     *timeout,
+			Metrics:       reg,
 		})
 	default:
-		sink = agent.NewWireSinkOptions(*server, wire.ClientOptions{IOTimeout: *timeout})
+		sink = agent.NewWireSinkOptions(*server, wire.ClientOptions{IOTimeout: *timeout, Metrics: reg})
 	}
 	defer sink.Close()
-	a, err := agent.New(spec, simtime.Real{}, sink, agent.Live)
+	a, err := agent.NewMetrics(spec, simtime.Real{}, sink, agent.Live, reg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *metricsAddr != "" {
+		ln, lerr := net.Listen("tcp", *metricsAddr)
+		if lerr != nil {
+			fmt.Fprintln(os.Stderr, "metrics listen:", lerr)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		go http.Serve(ln, mux)
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
 	}
 	fmt.Printf("distributed controller on %s: %d reporter series, forwarding to %s\n",
 		*host, a.SeriesCount(), *server)

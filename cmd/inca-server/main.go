@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -21,6 +22,7 @@ import (
 	"inca/internal/core"
 	"inca/internal/depot"
 	"inca/internal/envelope"
+	"inca/internal/metrics"
 	"inca/internal/query"
 	"inca/internal/wire"
 )
@@ -41,10 +43,17 @@ func main() {
 		archiveDrop    = flag.Bool("archive-drop", false, "shed archive jobs when the async queue is full instead of blocking ingest")
 
 		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "drop distributed-controller connections idle (or stalled mid-frame) this long, so dead peers cannot pin goroutines (0 = never)")
+
+		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/ on the querying interface")
 	)
 	flag.Parse()
 
+	// One registry spans the whole pipeline — wire, controller, depot, and
+	// query instruments all land on the same /metrics page.
+	reg := metrics.NewRegistry()
+
 	var opts depot.Options
+	opts.Metrics = reg
 	switch *archiveMode {
 	case "sync":
 	case "async":
@@ -110,9 +119,9 @@ func main() {
 	if *allow != "" {
 		allowlist = strings.Split(*allow, ",")
 	}
-	ctl := controller.New(d, controller.Options{Allowlist: allowlist, Mode: envMode})
+	ctl := controller.New(d, controller.Options{Allowlist: allowlist, Mode: envMode, Metrics: reg})
 
-	srv, err := wire.ServeOptions(*tcpAddr, ctl.Handle, wire.ServerOptions{IdleTimeout: *idleTimeout})
+	srv, err := wire.ServeOptions(*tcpAddr, ctl.Handle, wire.ServerOptions{IdleTimeout: *idleTimeout, Metrics: reg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tcp listen:", err)
 		os.Exit(1)
@@ -123,8 +132,9 @@ func main() {
 	// Central configuration: serve specification files over /spec. The
 	// sample grid's specs are preloaded so `inca-agent -spec-url` works
 	// out of the box; real deployments POST their own.
-	qsrv := query.NewServer(d)
+	qsrv := query.NewServerMetrics(d, reg)
 	qsrv.WireStats = srv.Stats // delivery_* group on /debug/vars
+	qsrv.Pprof = *pprofOn
 	specs := qsrv.EnableSpecs()
 	demoGrid := core.DemoGrid(1, time.Now().Add(-24*time.Hour))
 	for _, res := range demoGrid.Resources() {
@@ -144,10 +154,17 @@ func main() {
 		}
 	}
 
-	httpSrv := &http.Server{Addr: *httpAddr, Handler: qsrv.Handler()}
+	// Listen before serving so ":0" reports the port actually bound —
+	// smoke tests (and operators) read it off stdout.
+	httpLn, err := net.Listen("tcp", *httpAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "http listen:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: qsrv.Handler()}
 	go func() {
-		fmt.Printf("querying interface on http://%s (/cache /reports /archive /graph /stats)\n", *httpAddr)
-		if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Printf("querying interface on http://%s (/cache /reports /archive /graph /stats /metrics)\n", httpLn.Addr())
+		if err := httpSrv.Serve(httpLn); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintln(os.Stderr, "http:", err)
 			os.Exit(1)
 		}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"inca/internal/branch"
+	"inca/internal/metrics"
 	"inca/internal/report"
 	"inca/internal/reporter"
 	"inca/internal/schedule"
@@ -113,8 +114,17 @@ type Agent struct {
 	mode  Mode
 	sched *schedule.Scheduler
 
+	// Counters are the single source of truth for Stats(): the same
+	// instruments feed the JSON views and the Prometheus exposition.
+	runs       *metrics.Counter
+	failures   *metrics.Counter
+	killed     *metrics.Counter
+	submitErrs *metrics.Counter
+	bytesSent  *metrics.Counter
+	execH      *metrics.Histogram
+	submitH    *metrics.Histogram
+
 	mu        sync.Mutex
-	stats     Stats
 	intervals []execInterval
 
 	// Usage model constants (see Section 5.1: the main daemon held ~18 MB
@@ -129,6 +139,19 @@ type Agent struct {
 // the internal scheduler immediately; call Run (live) or drive the
 // scheduler via Scheduler() (simulation).
 func New(spec Spec, clock simtime.Clock, sink Sink, mode Mode) (*Agent, error) {
+	return NewMetrics(spec, clock, sink, mode, nil)
+}
+
+// SpoolDepther is implemented by sinks with a store-and-forward spool; the
+// depth feeds the inca_agent_spool_depth gauge.
+type SpoolDepther interface {
+	SpoolDepth() int
+}
+
+// NewMetrics is New with agent, scheduler, and (when the sink spools)
+// spool-depth instruments registered in reg. A nil reg keeps the
+// instruments private — Stats() works either way.
+func NewMetrics(spec Spec, clock simtime.Clock, sink Sink, mode Mode, reg *metrics.Registry) (*Agent, error) {
 	if spec.Resource == "" {
 		return nil, fmt.Errorf("agent: spec has no resource hostname")
 	}
@@ -140,10 +163,22 @@ func New(spec Spec, clock simtime.Clock, sink Sink, mode Mode) (*Agent, error) {
 		clock:       clock,
 		sink:        sink,
 		mode:        mode,
-		sched:       schedule.NewScheduler(clock),
+		sched:       schedule.NewSchedulerMetrics(clock, reg),
+		runs:        reg.Counter("inca_agent_runs_total", "Reporter executions."),
+		failures:    reg.Counter("inca_agent_failures_total", "Reporter runs whose report footer said completed=false."),
+		killed:      reg.Counter("inca_agent_killed_total", "Reporter executions terminated for exceeding their run-time limit."),
+		submitErrs:  reg.Counter("inca_agent_submit_errors_total", "Reports the sink refused or could not deliver."),
+		bytesSent:   reg.Counter("inca_agent_bytes_sent_total", "Report bytes handed to the sink."),
+		execH:       reg.Histogram("inca_agent_execute_seconds", "Reporter execution latency (run through report marshal).", nil),
+		submitH:     reg.Histogram("inca_agent_submit_seconds", "Sink submit latency per report.", nil),
 		BaseMemMB:   18,
 		ForkMemMB:   17,
 		BaseCPUFrac: 0.0002,
+	}
+	if sd, ok := sink.(SpoolDepther); ok {
+		reg.GaugeFunc("inca_agent_spool_depth", "Reports queued in the reliable-delivery spool.", func() float64 {
+			return float64(sd.SpoolDepth())
+		})
 	}
 	for i := range spec.Series {
 		s := &spec.Series[i]
@@ -186,6 +221,7 @@ func (a *Agent) Run(ctx context.Context) { a.sched.Run(ctx) }
 // execute performs one reporter run: limit enforcement, error reports,
 // forwarding. This is the daemon's "wake up and fork" path.
 func (a *Agent) execute(s *Series, now time.Time) error {
+	execStart := time.Now()
 	ctx := &reporter.Context{
 		Hostname:     a.spec.Resource,
 		Now:          now,
@@ -229,25 +265,23 @@ func (a *Agent) execute(s *Series, now time.Time) error {
 	if err != nil {
 		return fmt.Errorf("agent: marshal %s: %w", s.Reporter.Name(), err)
 	}
-	a.mu.Lock()
-	a.stats.Runs++
+	a.execH.ObserveSince(execStart)
+	a.runs.Inc()
 	if killed {
-		a.stats.Killed++
+		a.killed.Inc()
 	}
 	if !rep.Succeeded() {
-		a.stats.Failures++
+		a.failures.Inc()
 	}
-	a.mu.Unlock()
 
-	if err := a.sink.Submit(s.Branch, a.spec.Resource, data); err != nil {
-		a.mu.Lock()
-		a.stats.SubmitErrs++
-		a.mu.Unlock()
+	submitStart := time.Now()
+	err = a.sink.Submit(s.Branch, a.spec.Resource, data)
+	a.submitH.ObserveSince(submitStart)
+	if err != nil {
+		a.submitErrs.Inc()
 		return fmt.Errorf("agent: submit %s: %w", s.Reporter.Name(), err)
 	}
-	a.mu.Lock()
-	a.stats.BytesSent += int64(len(data))
-	a.mu.Unlock()
+	a.bytesSent.Add(uint64(len(data)))
 	if !rep.Succeeded() {
 		// Surface the failure to the scheduler so dependent series skip.
 		return fmt.Errorf("agent: %s failed: %s", s.Reporter.Name(), rep.Footer.ErrorMessage)
@@ -357,14 +391,18 @@ func (a *Agent) TrimIntervalsBefore(t time.Time) {
 	a.intervals = kept
 }
 
-// Stats returns a snapshot of agent counters, folding in the scheduler's
+// Stats returns a snapshot of agent counters — a view over the same
+// instruments the metrics registry exposes — folding in the scheduler's
 // dependency skips and, when the sink keeps one, its delivery accounting.
 func (a *Agent) Stats() Stats {
-	a.mu.Lock()
-	s := a.stats
-	a.mu.Unlock()
-	_, skips := a.sched.Stats()
-	s.DepSkips = skips
+	s := Stats{
+		Runs:       int(a.runs.Value()),
+		Failures:   int(a.failures.Value()),
+		Killed:     int(a.killed.Value()),
+		SubmitErrs: int(a.submitErrs.Value()),
+		BytesSent:  int64(a.bytesSent.Value()),
+		DepSkips:   a.sched.Stats().Skips,
+	}
 	if ds, ok := a.sink.(DeliveryStatser); ok {
 		d := ds.DeliveryStats()
 		s.Delivery = &d

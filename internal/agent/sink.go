@@ -300,6 +300,15 @@ func (w *WireSink) DeliveryStats() DeliveryStats {
 	return s
 }
 
+// SpoolDepth returns the number of reports queued for delivery in the
+// reliable spool, or 0 without one. Implements SpoolDepther.
+func (w *WireSink) SpoolDepth() int {
+	if w.spool == nil {
+		return 0
+	}
+	return w.spool.Depth()
+}
+
 // Drain blocks until every spooled report has been delivered (or shed and
 // counted), or the timeout expires. Only meaningful on a reliable sink;
 // on others it is a no-op.

@@ -14,6 +14,7 @@ import (
 	"inca/internal/branch"
 	"inca/internal/depot"
 	"inca/internal/envelope"
+	"inca/internal/metrics"
 	"inca/internal/wire"
 )
 
@@ -59,6 +60,12 @@ type Options struct {
 	// without bound. 0 keeps the unbounded log the experiments use.
 	// Counters' accepted total keeps counting evicted entries.
 	MaxResponses int
+	// Metrics, when set, registers the controller's monotonic counters and
+	// envelope handle-latency histogram there. The registry counters never
+	// reset — unlike Counters(), whose accepted total ResetResponses()
+	// clears between experiment phases — so the two surfaces deliberately
+	// stay separate instruments.
+	Metrics *metrics.Registry
 }
 
 // Controller is the centralized controller.
@@ -66,6 +73,11 @@ type Controller struct {
 	depot DepotClient
 	opt   Options
 	allow map[string]bool
+
+	acceptedC *metrics.Counter
+	rejectedC *metrics.Counter
+	errsC     *metrics.Counter
+	handleH   *metrics.Histogram
 
 	mu        sync.Mutex
 	responses []Response // ring buffer when opt.MaxResponses > 0
@@ -77,7 +89,15 @@ type Controller struct {
 
 // New creates a controller forwarding to d.
 func New(d DepotClient, opt Options) *Controller {
-	c := &Controller{depot: d, opt: opt}
+	reg := opt.Metrics
+	c := &Controller{
+		depot:     d,
+		opt:       opt,
+		acceptedC: reg.Counter("inca_controller_accepted_total", "Reports stored in the depot."),
+		rejectedC: reg.Counter("inca_controller_rejected_total", "Reports refused: allowlist or signature."),
+		errsC:     reg.Counter("inca_controller_depot_errors_total", "Depot store failures."),
+		handleH:   reg.Histogram("inca_controller_handle_seconds", "Envelope handle latency: allowlist, wrap, depot store.", nil),
+	}
 	if len(opt.Allowlist) > 0 {
 		c.allow = make(map[string]bool, len(opt.Allowlist))
 		for _, h := range opt.Allowlist {
@@ -101,10 +121,13 @@ func (c *Controller) Allowed(host string) bool {
 // Submit accepts one report: allowlist check, envelope wrap, depot
 // forward. It returns the recorded response.
 func (c *Controller) Submit(id branch.ID, hostname string, reportXML []byte) (Response, error) {
+	handleStart := time.Now()
+	defer c.handleH.ObserveSince(handleStart)
 	if !c.Allowed(hostname) {
 		c.mu.Lock()
 		c.rejected++
 		c.mu.Unlock()
+		c.rejectedC.Inc()
 		return Response{}, fmt.Errorf("controller: host %q not in allowlist", hostname)
 	}
 	env, err := envelope.Encode(c.opt.Mode, id, reportXML)
@@ -118,6 +141,7 @@ func (c *Controller) Submit(id branch.ID, hostname string, reportXML []byte) (Re
 		c.mu.Lock()
 		c.errs++
 		c.mu.Unlock()
+		c.errsC.Inc()
 		return Response{}, fmt.Errorf("controller: depot: %w", err)
 	}
 	resp := Response{
@@ -129,6 +153,7 @@ func (c *Controller) Submit(id branch.ID, hostname string, reportXML []byte) (Re
 		Unpack:     rec.Unpack,
 		Insert:     rec.Insert,
 	}
+	c.acceptedC.Inc()
 	c.mu.Lock()
 	c.accepted++
 	if max := c.opt.MaxResponses; max > 0 && len(c.responses) >= max {
@@ -149,6 +174,7 @@ func (c *Controller) Handle(m *wire.Message, remote string) *wire.Ack {
 			c.mu.Lock()
 			c.rejected++
 			c.mu.Unlock()
+			c.rejectedC.Inc()
 			return &wire.Ack{OK: false, Message: "controller: message signature invalid for host " + m.Hostname}
 		}
 	}

@@ -142,6 +142,9 @@ type archiveJob struct {
 	key      string // id.String(), computed once
 	policies []*compiledPolicy
 	report   []byte
+	// enqueuedAt stamps async jobs for the enqueue→consolidation lag
+	// histogram; zero on the sync path.
+	enqueuedAt time.Time
 }
 
 // archivePipeline is the async machinery: one bounded queue per worker,
@@ -209,20 +212,28 @@ func (p *archivePipeline) enqueue(d *Depot, job archiveJob) bool {
 	p.mu.Unlock()
 	select {
 	case q <- job:
-		d.enqueued.Add(1)
+		d.enqueued.Inc()
 		return true
 	default:
 	}
 	if p.drop {
 		p.jobsDone(1)
-		d.dropped.Add(1)
+		d.dropped.Inc()
 		return true
 	}
 	// Backpressure: block until the worker catches up.
-	d.blocked.Add(1)
+	d.blocked.Inc()
 	q <- job
-	d.enqueued.Add(1)
+	d.enqueued.Inc()
 	return true
+}
+
+// pendingCount reads the enqueued-but-unfinished job count (scrape-time
+// gauge).
+func (p *archivePipeline) pendingCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pending
 }
 
 func (p *archivePipeline) jobsDone(n int) {
@@ -303,6 +314,9 @@ func (d *Depot) applyJobs(jobs []archiveJob) {
 	var order []string
 	grouped := make(map[string]*pendingArchive)
 	for _, job := range jobs {
+		if !job.enqueuedAt.IsZero() {
+			d.lagH.ObserveSince(job.enqueuedAt)
+		}
 		values, gmt, ok := d.extract(job.policies, job.report)
 		if !ok {
 			continue

@@ -10,6 +10,7 @@ import (
 
 	"inca/internal/branch"
 	"inca/internal/envelope"
+	"inca/internal/metrics"
 	"inca/internal/rrd"
 )
 
@@ -76,6 +77,9 @@ type Options struct {
 	// ParseArchive uses the legacy full-DOM report parse for value
 	// extraction instead of the streaming extractor (ablation baseline).
 	ParseArchive bool
+	// Metrics registers the depot's instruments (stage latencies, archive
+	// pipeline counters, cache gauges). Nil keeps them private.
+	Metrics *metrics.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -107,15 +111,22 @@ type Depot struct {
 	shards   []archiveShard
 	pipeline *archivePipeline // nil in sync mode
 
-	received   atomic.Uint64
-	bytes      atomic.Uint64
+	// archiveGen is a cache validator (advances per applied sample), not a
+	// metric — it stays an atomic so comparisons are exact.
 	archiveGen atomic.Uint64
 
-	enqueued atomic.Uint64
-	dropped  atomic.Uint64
-	blocked  atomic.Uint64
-	applied  atomic.Uint64
-	matched  atomic.Uint64
+	received *metrics.Counter
+	bytes    *metrics.Counter
+	enqueued *metrics.Counter
+	dropped  *metrics.Counter
+	blocked  *metrics.Counter
+	applied  *metrics.Counter
+	matched  *metrics.Counter
+
+	unpackH  *metrics.Histogram // envelope decode
+	insertH  *metrics.Histogram // cache update
+	archiveH *metrics.Histogram // archive phase as seen by store (enqueue in async mode)
+	lagH     *metrics.Histogram // async enqueue -> consolidation lag
 }
 
 // New creates a depot over the given cache implementation (use
@@ -135,9 +146,40 @@ func NewWithOptions(cache Cache, opts Options) *Depot {
 	for i := range d.shards {
 		d.shards[i].dbs = make(map[string]*rrd.DB)
 	}
+	reg := opts.Metrics
+	d.received = reg.Counter("inca_depot_received_total", "Reports stored into the depot.")
+	d.bytes = reg.Counter("inca_depot_bytes_total", "Report payload bytes stored.")
+	d.enqueued = reg.Counter("inca_depot_archive_enqueued_total", "Archive jobs accepted into the async queue.")
+	d.dropped = reg.Counter("inca_depot_archive_dropped_total", "Archive jobs shed because a queue was full (drop mode).")
+	d.blocked = reg.Counter("inca_depot_archive_blocked_total", "Archive enqueues that had to wait for queue space.")
+	d.applied = reg.Counter("inca_depot_archive_applied_total", "Samples consolidated into archives.")
+	d.matched = reg.Counter("inca_depot_archive_matched_total", "Stores that matched at least one archival policy.")
+	d.unpackH = reg.Histogram("inca_depot_unpack_seconds", "Envelope decode latency.", nil)
+	d.insertH = reg.Histogram("inca_depot_insert_seconds", "Cache insert latency.", nil)
+	d.archiveH = reg.Histogram("inca_depot_archive_seconds", "Archive phase latency on the store path (enqueue only in async mode).", nil)
+	d.lagH = reg.Histogram("inca_depot_archive_lag_seconds", "Async archive lag from enqueue to consolidation.", nil)
+	reg.GaugeFunc("inca_depot_cache_bytes", "Bytes held in the report cache.", func() float64 {
+		return float64(d.cache.Size())
+	})
+	reg.GaugeFunc("inca_depot_cache_entries", "Documents held in the report cache.", func() float64 {
+		return float64(d.cache.Count())
+	})
+	reg.GaugeFunc("inca_depot_archives", "Round-robin archives materialized.", func() float64 {
+		n := 0
+		for i := range d.shards {
+			sh := &d.shards[i]
+			sh.mu.Lock()
+			n += len(sh.dbs)
+			sh.mu.Unlock()
+		}
+		return float64(n)
+	})
 	d.policies.Store(compilePolicySet(nil))
 	if opts.AsyncArchive {
 		d.pipeline = newArchivePipeline(opts.ArchiveWorkers, opts.ArchiveQueue, opts.ArchiveBatch, opts.DropOnFull)
+		reg.GaugeFunc("inca_depot_archive_pending", "Archive jobs enqueued but not yet consolidated.", func() float64 {
+			return float64(d.pipeline.pendingCount())
+		})
 		d.pipeline.start(d)
 	}
 	return d
@@ -189,6 +231,7 @@ func (d *Depot) StoreEnvelope(data []byte) (Receipt, error) {
 		return Receipt{}, err
 	}
 	rec.Unpack = t1.Sub(t0)
+	d.unpackH.Observe(rec.Unpack.Seconds())
 	return rec, nil
 }
 
@@ -212,8 +255,10 @@ func (d *Depot) store(id branch.ID, reportXML []byte) (Receipt, error) {
 		return Receipt{}, err
 	}
 	t3 := time.Now()
-	d.received.Add(1)
+	d.received.Inc()
 	d.bytes.Add(uint64(len(reportXML)))
+	d.insertH.Observe(t2.Sub(t1).Seconds())
+	d.archiveH.Observe(t3.Sub(t2).Seconds())
 	return Receipt{
 		Branch:     id,
 		ReportSize: len(reportXML),
@@ -231,13 +276,14 @@ func (d *Depot) archive(id branch.ID, reportXML []byte) error {
 	if len(matching) == 0 {
 		return nil
 	}
-	d.matched.Add(1)
+	d.matched.Inc()
 	job := archiveJob{id: id, key: id.String(), policies: matching, report: reportXML}
 	if d.pipeline != nil {
 		// The wire layer reuses envelope buffers after StoreEnvelope
 		// returns, so an async job owns a copy of the report bytes.
 		async := job
 		async.report = append([]byte(nil), reportXML...)
+		async.enqueuedAt = time.Now()
 		if d.pipeline.enqueue(d, async) {
 			return nil
 		}
@@ -267,7 +313,7 @@ func (d *Depot) applyJobSync(job archiveJob) {
 		if err := db.Update(gmt, values[i].value); err == nil {
 			// Out-of-order or duplicate timestamps are dropped, as RRDTool
 			// drops them; only applied samples advance the generation.
-			d.applied.Add(1)
+			d.applied.Inc()
 			d.archiveGen.Add(1)
 		}
 	}
@@ -371,17 +417,17 @@ func (d *Depot) Stats() Stats {
 		sh.mu.Unlock()
 	}
 	return Stats{
-		Received:   d.received.Load(),
-		Bytes:      d.bytes.Load(),
+		Received:   d.received.Value(),
+		Bytes:      d.bytes.Value(),
 		CacheSize:  d.cache.Size(),
 		CacheCount: d.cache.Count(),
 		Archives:   archives,
 		Archive: ArchiveStats{
-			Enqueued: d.enqueued.Load(),
-			Dropped:  d.dropped.Load(),
-			Blocked:  d.blocked.Load(),
-			Applied:  d.applied.Load(),
-			Matched:  d.matched.Load(),
+			Enqueued: d.enqueued.Value(),
+			Dropped:  d.dropped.Value(),
+			Blocked:  d.blocked.Value(),
+			Applied:  d.applied.Value(),
+			Matched:  d.matched.Value(),
 		},
 	}
 }

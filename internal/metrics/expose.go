@@ -1,0 +1,287 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Content-Type of the Prometheus text exposition
+// format this package writes.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders every registered family in the Prometheus text format,
+// families in registration order, series within a family in registration
+// order. A nil registry writes nothing.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	// Series slices are append-only under mu; copy the headers so rendering
+	// (which reads atomics only) happens outside the lock.
+	snaps := make([][]series, len(fams))
+	for i, f := range fams {
+		snaps[i] = append([]series(nil), f.series...)
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for i, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		}
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range snaps[i] {
+			writeSeries(bw, f, s)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeSeries(w io.Writer, f *family, s series) {
+	switch inst := s.inst.(type) {
+	case *Counter:
+		fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, inst.Value())
+	case *Gauge:
+		fmt.Fprintf(w, "%s%s %d\n", f.name, s.labels, inst.Value())
+	case gaugeFunc:
+		fmt.Fprintf(w, "%s%s %s\n", f.name, s.labels, formatFloat(inst.fn()))
+	case *Histogram:
+		cum, count, sum := inst.snapshot()
+		for bi, bound := range inst.bounds {
+			fmt.Fprintf(w, "%s_bucket%s %d\n",
+				f.name, withLabel(s.labels, "le", formatFloat(bound)), cum[bi])
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n",
+			f.name, withLabel(s.labels, "le", "+Inf"), cum[len(cum)-1])
+		fmt.Fprintf(w, "%s_sum%s %s\n", f.name, s.labels, formatFloat(sum))
+		fmt.Fprintf(w, "%s_count%s %d\n", f.name, s.labels, count)
+	}
+}
+
+// withLabel splices one more label pair into an already-rendered label
+// suffix ("" or "{a=\"b\"}").
+func withLabel(sig, k, v string) string {
+	pair := k + `="` + escapeLabel(v) + `"`
+	if sig == "" {
+		return "{" + pair + "}"
+	}
+	return sig[:len(sig)-1] + "," + pair + "}"
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string per the text format: backslash and
+// newline only (quotes are legal there).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// Handler returns the GET /metrics handler serving the text exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", TextContentType)
+		if req.Method == http.MethodHead {
+			return
+		}
+		r.WriteText(w)
+	})
+}
+
+// Lint validates a text exposition: sample-line syntax, TYPE consistency,
+// histogram bucket monotonicity and +Inf presence, and _count matching the
+// +Inf bucket. It returns the set of metric family names seen. Shared by
+// the package tests and the end-to-end metrics smoke test, so "the
+// exposition parses" means the same thing in both.
+func Lint(text string) (names map[string]string, err error) {
+	names = make(map[string]string) // family -> type
+	type histState struct {
+		last    float64
+		lastVal uint64
+		sawInf  bool
+		infVal  uint64
+		count   uint64
+		sawCnt  bool
+	}
+	hists := make(map[string]*histState) // per-series histogram checks
+	lineNo := 0
+	for _, line := range strings.Split(text, "\n") {
+		lineNo++
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# TYPE "), " ", 2)
+			if len(parts) != 2 || !validName(parts[0]) {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			if prev, dup := names[parts[0]]; dup {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s (already %s)", lineNo, parts[0], prev)
+			}
+			names[parts[0]] = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, labels, value, perr := parseSample(line)
+		if perr != nil {
+			return nil, fmt.Errorf("line %d: %v", lineNo, perr)
+		}
+		fam, le := name, ""
+		if i := strings.Index(labels, `le="`); i >= 0 {
+			rest := labels[i+4:]
+			if j := strings.Index(rest, `"`); j >= 0 {
+				le = rest[:j]
+			}
+		}
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if base := strings.TrimSuffix(name, suffix); base != name && names[base] == "histogram" {
+				fam = base
+			}
+		}
+		if _, ok := names[fam]; !ok {
+			return nil, fmt.Errorf("line %d: sample %s before its TYPE line", lineNo, name)
+		}
+		if names[fam] == "histogram" {
+			key := fam + "|" + stripLe(labels)
+			hs := hists[key]
+			if hs == nil {
+				hs = &histState{last: math.Inf(-1)}
+				hists[key] = hs
+			}
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				n := uint64(value)
+				if le == "+Inf" {
+					hs.sawInf, hs.infVal = true, n
+					if n < hs.lastVal {
+						return nil, fmt.Errorf("line %d: %s +Inf bucket %d below previous %d", lineNo, fam, n, hs.lastVal)
+					}
+					break
+				}
+				bound, berr := strconv.ParseFloat(le, 64)
+				if berr != nil {
+					return nil, fmt.Errorf("line %d: bad le %q", lineNo, le)
+				}
+				if bound <= hs.last {
+					return nil, fmt.Errorf("line %d: %s buckets not ascending (%g after %g)", lineNo, fam, bound, hs.last)
+				}
+				if n < hs.lastVal {
+					return nil, fmt.Errorf("line %d: %s bucket counts not cumulative", lineNo, fam)
+				}
+				hs.last, hs.lastVal = bound, n
+			case strings.HasSuffix(name, "_count"):
+				hs.count, hs.sawCnt = uint64(value), true
+			}
+		}
+	}
+	for key, hs := range hists {
+		fam := key[:strings.Index(key, "|")]
+		if !hs.sawInf {
+			return nil, fmt.Errorf("histogram %s missing +Inf bucket", fam)
+		}
+		if hs.sawCnt && hs.count != hs.infVal {
+			return nil, fmt.Errorf("histogram %s _count %d != +Inf bucket %d", fam, hs.count, hs.infVal)
+		}
+	}
+	return names, nil
+}
+
+// parseSample splits `name{labels} value` (labels optional) and validates
+// each part.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels = rest[i : j+1]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) != 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name, rest = fields[0], fields[1]
+	}
+	if labels != "" {
+		fields := strings.Fields(rest)
+		if len(fields) != 1 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		rest = fields[0]
+	}
+	if !validName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	value, err = strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value %q in %q", rest, line)
+	}
+	return name, labels, value, nil
+}
+
+// stripLe removes the le pair (and its separating comma) from a label
+// suffix so every sample of one histogram series — buckets, _sum, _count —
+// shares a state key.
+func stripLe(labels string) string {
+	i := strings.Index(labels, `le="`)
+	if i < 0 {
+		return labels
+	}
+	rest := labels[i+4:]
+	j := strings.Index(rest, `"`)
+	if j < 0 {
+		return labels
+	}
+	out := labels[:i] + rest[j+1:]
+	out = strings.ReplaceAll(out, `",,`, `",`) // pair was mid-list
+	out = strings.ReplaceAll(out, `{,`, `{`)   // pair was first
+	out = strings.ReplaceAll(out, `,}`, `}`)   // pair was last
+	if out == "{}" {
+		return ""
+	}
+	return out
+}
+
+// Names returns the registered family names, sorted — used by the smoke
+// test's presence assertions.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f.name)
+	}
+	sort.Strings(out)
+	return out
+}

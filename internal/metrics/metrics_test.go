@@ -1,0 +1,268 @@
+package metrics
+
+import (
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("inca_test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("inca_test_depth", "help")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Fatalf("gauge = %d, want 5", got)
+	}
+	// Get-or-create: same name+labels returns the same instrument.
+	if r.Counter("inca_test_total", "help") != c {
+		t.Fatal("second Counter registration returned a new instrument")
+	}
+	if r.Gauge("inca_test_depth", "help") != g {
+		t.Fatal("second Gauge registration returned a new instrument")
+	}
+	// Different labels → different series.
+	if r.Counter("inca_test_total", "help", "k", "v") == c {
+		t.Fatal("labeled Counter aliased the unlabeled one")
+	}
+}
+
+func TestLabelOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("inca_test_total", "", "a", "1", "b", "2")
+	b := r.Counter("inca_test_total", "", "b", "2", "a", "1")
+	if a != b {
+		t.Fatal("label order changed series identity")
+	}
+}
+
+func TestNilRegistrySafe(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("nil-registry counter does not count")
+	}
+	g := r.Gauge("x", "")
+	g.Set(3)
+	if g.Value() != 3 {
+		t.Fatal("nil-registry gauge does not hold")
+	}
+	h := r.Histogram("x_seconds", "", nil)
+	h.Observe(0.1)
+	if h.Count() != 1 {
+		t.Fatal("nil-registry histogram does not observe")
+	}
+	r.GaugeFunc("x_fn", "", func() float64 { return 1 })
+	var buf strings.Builder
+	if err := r.WriteText(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil WriteText = (%q, %v), want empty, nil", buf.String(), err)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("inca_test_seconds", "help", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.05+0.5+5; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %g, want %g", got, want)
+	}
+	cum, count, _ := h.snapshot()
+	// le=0.01 catches 0.005 and 0.01 (le is inclusive); le=0.1 adds 0.05;
+	// le=1 adds 0.5; +Inf adds 5.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cum[%d] = %d, want %d (all %v)", i, cum[i], w, cum)
+		}
+	}
+	if count != 5 {
+		t.Fatalf("snapshot count = %d, want 5", count)
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	var r *Registry
+	h := r.Histogram("x_seconds", "", nil)
+	h.ObserveSince(time.Now().Add(-10 * time.Millisecond))
+	if h.Count() != 1 || h.Sum() <= 0 {
+		t.Fatalf("ObserveSince recorded count=%d sum=%g", h.Count(), h.Sum())
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("inca_reqs_total", "Requests handled.").Add(3)
+	r.Counter("inca_reqs_total", "Requests handled.", "handler", "cache").Add(2)
+	r.Gauge("inca_depth", "Spool depth.").Set(9)
+	r.GaugeFunc("inca_lag_seconds", "Next-fire lag.", func() float64 { return 1.5 })
+	h := r.Histogram("inca_lat_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(2)
+
+	var buf strings.Builder
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# HELP inca_reqs_total Requests handled.\n",
+		"# TYPE inca_reqs_total counter\n",
+		"inca_reqs_total 3\n",
+		`inca_reqs_total{handler="cache"} 2` + "\n",
+		"# TYPE inca_depth gauge\n",
+		"inca_depth 9\n",
+		"inca_lag_seconds 1.5\n",
+		`inca_lat_seconds_bucket{le="0.1"} 1` + "\n",
+		`inca_lat_seconds_bucket{le="1"} 1` + "\n",
+		`inca_lat_seconds_bucket{le="+Inf"} 2` + "\n",
+		"inca_lat_seconds_sum 2.05\n",
+		"inca_lat_seconds_count 2\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if _, err := Lint(text); err != nil {
+		t.Fatalf("Lint rejected own exposition: %v\n%s", err, text)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("inca_x_total", "", "path", `a"b\c`+"\n").Inc()
+	var buf strings.Builder
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `inca_x_total{path="a\"b\\c\n"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaping wrong:\n%s\nwant substring %q", buf.String(), want)
+	}
+	if _, err := Lint(buf.String()); err != nil {
+		t.Fatalf("Lint rejected escaped labels: %v", err)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("inca_x_total", "").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != TextContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, TextContentType)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "inca_x_total 1") {
+		t.Fatalf("handler body missing sample:\n%s", body)
+	}
+
+	post, err := srv.Client().Post(srv.URL, "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Fatalf("POST status = %d, want 405", post.StatusCode)
+	}
+}
+
+func TestLintCatchesBadExpositions(t *testing.T) {
+	cases := []struct {
+		name, text string
+	}{
+		{"garbage value", "# TYPE x counter\nx pony\n"},
+		{"sample before TYPE", "x 1\n"},
+		{"duplicate TYPE", "# TYPE x counter\n# TYPE x gauge\n"},
+		{"non-cumulative buckets", "# TYPE h histogram\n" +
+			`h_bucket{le="0.1"} 5` + "\n" + `h_bucket{le="1"} 3` + "\n" +
+			`h_bucket{le="+Inf"} 5` + "\nh_sum 1\nh_count 5\n"},
+		{"missing +Inf", "# TYPE h histogram\n" +
+			`h_bucket{le="0.1"} 1` + "\nh_sum 1\nh_count 1\n"},
+		{"count mismatch", "# TYPE h histogram\n" +
+			`h_bucket{le="+Inf"} 2` + "\nh_sum 1\nh_count 3\n"},
+	}
+	for _, tc := range cases {
+		if _, err := Lint(tc.text); err == nil {
+			t.Errorf("%s: Lint accepted bad exposition", tc.name)
+		}
+	}
+}
+
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("inca_x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering counter as gauge did not panic")
+		}
+	}()
+	r.Gauge("inca_x_total", "")
+}
+
+// TestConcurrent hammers one registry from many goroutines — registration,
+// observation, and exposition all racing. Run under -race.
+func TestConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			c := r.Counter("inca_conc_total", "")
+			h := r.Histogram("inca_conc_seconds", "", nil)
+			g := r.Gauge("inca_conc_depth", "")
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(float64(j) / 1000)
+				g.Set(int64(j))
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < 50; j++ {
+			var buf strings.Builder
+			if err := r.WriteText(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := Lint(buf.String()); err != nil {
+				t.Errorf("mid-race exposition invalid: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if got := r.Counter("inca_conc_total", "").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("inca_conc_seconds", "", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}

@@ -22,16 +22,17 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"inca/internal/agreement"
 	"inca/internal/branch"
 	"inca/internal/consumer"
 	"inca/internal/depot"
+	"inca/internal/metrics"
 	"inca/internal/rrd"
 	"inca/internal/wire"
 )
@@ -40,19 +41,25 @@ import (
 type Server struct {
 	d     *depot.Depot
 	specs *SpecStore
+	reg   *metrics.Registry // nil: instruments stay private, no /metrics route
 
 	// WireStats, when set by the embedding process, surfaces the TCP
 	// ingest server's connection/frame counters on /debug/vars as the
 	// delivery_* group (e.g. qsrv.WireStats = wireSrv.Stats).
 	WireStats func() wire.ServerStats
 
-	// Read-path counters, exposed on /debug/vars.
-	queryHits   atomic.Uint64 // /cache and /reports queries that found data
-	queryMisses atomic.Uint64 // queries for absent branches (404)
-	conditional atomic.Uint64 // requests carrying If-None-Match
-	notModified atomic.Uint64 // conditional requests answered 304
-	availHits   atomic.Uint64 // availability pages served from the memo
-	availMisses atomic.Uint64 // availability pages rendered fresh
+	// Pprof, when set before Handler is called, mounts the runtime
+	// profiling endpoints under /debug/pprof/ (inca-server -pprof).
+	Pprof bool
+
+	// Read-path counters, exposed on /debug/vars (and, with a registry,
+	// on /metrics).
+	queryHits   *metrics.Counter // /cache and /reports queries that found data
+	queryMisses *metrics.Counter // queries for absent branches (404)
+	conditional *metrics.Counter // requests carrying If-None-Match
+	notModified *metrics.Counter // conditional requests answered 304
+	availHits   *metrics.Counter // availability pages served from the memo
+	availMisses *metrics.Counter // availability pages rendered fresh
 
 	availMu sync.Mutex
 	avail   map[string]*availEntry // canonical query params → rendered page
@@ -72,7 +79,33 @@ const availMemoCap = 128
 
 // NewServer wraps d.
 func NewServer(d *depot.Depot) *Server {
-	return &Server{d: d, avail: make(map[string]*availEntry)}
+	return NewServerMetrics(d, nil)
+}
+
+// NewServerMetrics is NewServer with the read-path instruments registered
+// in reg and a Prometheus text endpoint mounted at /metrics. A nil reg
+// keeps the instruments private and omits the route.
+func NewServerMetrics(d *depot.Depot, reg *metrics.Registry) *Server {
+	s := &Server{d: d, reg: reg, avail: make(map[string]*availEntry)}
+	s.queryHits = reg.Counter("inca_query_hits_total", "Cache and report queries that found data.")
+	s.queryMisses = reg.Counter("inca_query_misses_total", "Queries for absent branches (404).")
+	s.conditional = reg.Counter("inca_query_conditional_total", "Requests carrying If-None-Match.")
+	s.notModified = reg.Counter("inca_query_not_modified_total", "Conditional requests answered 304.")
+	s.availHits = reg.Counter("inca_query_availability_memo_hits_total", "Availability pages served from the memo.")
+	s.availMisses = reg.Counter("inca_query_availability_renders_total", "Availability pages rendered fresh.")
+	return s
+}
+
+// timed wraps a handler with the per-endpoint latency histogram
+// inca_query_request_seconds{handler=name}. Observation covers the full
+// handler, 304s and errors included — the consumer-visible response time.
+func (s *Server) timed(name string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.reg.Histogram("inca_query_request_seconds", "Query HTTP request latency by endpoint.", nil, "handler", name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.ObserveSince(start)
+	}
 }
 
 // Handler returns the HTTP mux:
@@ -86,18 +119,31 @@ func NewServer(d *depot.Depot) *Server {
 //	GET  /stats       — depot counters as XML
 //	GET  /availability — VO-wide availability overview (memoized)
 //	GET  /debug/vars  — read-path counters as JSON
+//	GET  /metrics     — Prometheus text exposition (servers built with
+//	                    NewServerMetrics only)
+//	GET  /debug/pprof/* — runtime profiles (Pprof field set only)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/store", s.handleStore)
-	mux.HandleFunc("/policy", s.handlePolicy)
-	mux.HandleFunc("/cache", readOnly(s.handleCache))
-	mux.HandleFunc("/reports", readOnly(s.handleReports))
-	mux.HandleFunc("/archive", readOnly(s.handleArchive))
-	mux.HandleFunc("/graph", readOnly(s.handleGraph))
-	mux.HandleFunc("/stats", readOnly(s.handleStats))
-	mux.HandleFunc("/spec", s.handleSpec)
-	mux.HandleFunc("/availability", readOnly(s.handleAvailability))
-	mux.HandleFunc("/debug/vars", readOnly(s.handleDebugVars))
+	mux.HandleFunc("/store", s.timed("store", s.handleStore))
+	mux.HandleFunc("/policy", s.timed("policy", s.handlePolicy))
+	mux.HandleFunc("/cache", s.timed("cache", readOnly(s.handleCache)))
+	mux.HandleFunc("/reports", s.timed("reports", readOnly(s.handleReports)))
+	mux.HandleFunc("/archive", s.timed("archive", readOnly(s.handleArchive)))
+	mux.HandleFunc("/graph", s.timed("graph", readOnly(s.handleGraph)))
+	mux.HandleFunc("/stats", s.timed("stats", readOnly(s.handleStats)))
+	mux.HandleFunc("/spec", s.timed("spec", s.handleSpec))
+	mux.HandleFunc("/availability", s.timed("availability", readOnly(s.handleAvailability)))
+	mux.HandleFunc("/debug/vars", s.timed("debug_vars", readOnly(s.handleDebugVars)))
+	if s.reg != nil {
+		mux.Handle("/metrics", s.reg.Handler())
+	}
+	if s.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -140,12 +186,12 @@ func (s *Server) checkNotModified(w http.ResponseWriter, r *http.Request, tag st
 	if inm == "" {
 		return false
 	}
-	s.conditional.Add(1)
+	s.conditional.Inc()
 	for _, cand := range strings.Split(inm, ",") {
 		if c := strings.TrimSpace(cand); c == tag || c == "*" {
 			w.Header().Set("ETag", tag)
 			w.WriteHeader(http.StatusNotModified)
-			s.notModified.Add(1)
+			s.notModified.Inc()
 			return true
 		}
 	}
@@ -199,7 +245,7 @@ func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
 		e, ok := s.avail[key]
 		s.availMu.Unlock()
 		if ok && e.gen == gen {
-			s.availHits.Add(1)
+			s.availHits.Inc()
 			s.writeAvailability(w, r, contentType, tag, e.body)
 			return
 		}
@@ -218,7 +264,7 @@ func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.availMisses.Add(1)
+	s.availMisses.Inc()
 	if versioned {
 		s.availMu.Lock()
 		if len(s.avail) >= availMemoCap {
@@ -385,11 +431,11 @@ func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !ok {
-		s.queryMisses.Add(1)
+		s.queryMisses.Inc()
 		http.Error(w, "no data at branch "+id.String(), http.StatusNotFound)
 		return
 	}
-	s.queryHits.Add(1)
+	s.queryHits.Inc()
 	w.Header().Set("Content-Type", "text/xml")
 	if tag != "" {
 		w.Header().Set("ETag", tag)
@@ -425,9 +471,9 @@ func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if len(stored) == 0 {
-		s.queryMisses.Add(1)
+		s.queryMisses.Inc()
 	} else {
-		s.queryHits.Add(1)
+		s.queryHits.Inc()
 	}
 	const (
 		openTag   = `<stored branch="`
@@ -640,12 +686,12 @@ func (s *Server) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 		ArchiveDropped:      st.Archive.Dropped,
 		ArchiveBlocked:      st.Archive.Blocked,
 		ArchiveApplied:      st.Archive.Applied,
-		QueryHits:           s.queryHits.Load(),
-		QueryMisses:         s.queryMisses.Load(),
-		ConditionalRequests: s.conditional.Load(),
-		NotModified:         s.notModified.Load(),
-		AvailabilityHits:    s.availHits.Load(),
-		AvailabilityMisses:  s.availMisses.Load(),
+		QueryHits:           s.queryHits.Value(),
+		QueryMisses:         s.queryMisses.Value(),
+		ConditionalRequests: s.conditional.Value(),
+		NotModified:         s.notModified.Value(),
+		AvailabilityHits:    s.availHits.Value(),
+		AvailabilityMisses:  s.availMisses.Value(),
 	}
 	v.Generation, v.Versioned = s.generation()
 	if s.WireStats != nil {

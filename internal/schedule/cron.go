@@ -109,9 +109,12 @@ func parseField(f string, def fieldDef) (fieldSet, bool, error) {
 		lo, hi := def.min, def.max
 		switch {
 		case rangePart == "*":
-			if len(f) == 1 {
-				star = true
-			}
+			// The star flag is per element, not per field: classic (Vixie)
+			// cron treats a day field as "starred" whenever it begins with
+			// "*", so "*/2" and "*,5" keep the intersection day rule just
+			// like a bare "*". Checking len(f) == 1 here used to miss every
+			// stepped or listed star.
+			star = true
 		case strings.Contains(rangePart, "-"):
 			dash := strings.IndexByte(rangePart, '-')
 			var err error

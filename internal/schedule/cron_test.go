@@ -271,3 +271,54 @@ func TestMonthNameRangeWithStep(t *testing.T) {
 		t.Fatalf("fire = %v, want %v", fire, want)
 	}
 }
+
+func TestStarWithStepSetsDayStarRule(t *testing.T) {
+	// Classic (Vixie) cron: a day field counts as "starred" whenever it
+	// begins with "*", including "*/n" and "*,x" — only then does the other
+	// day field restrict alone (intersection). These diverge from the
+	// pre-fix behavior, which treated any multi-character field as
+	// restricted and applied the union rule.
+	cases := []struct {
+		expr string
+		want time.Time // first fire strictly after base (Wed Jul 7 2004)
+	}{
+		// dom "*/2" starred → fire on Mondays whose dom is odd:
+		// Jul 12 is even, Jul 19 is the first odd Monday.
+		{"0 0 */2 * 1", time.Date(2004, 7, 19, 0, 0, 0, 0, time.UTC)},
+		// dom "*,15" starred (list containing a star) → Mondays only.
+		{"0 0 *,15 * 1", time.Date(2004, 7, 12, 0, 0, 0, 0, time.UTC)},
+		// dow "*/2" starred → dom 15 must also hold: Jul 15 (a Thursday,
+		// dow 4 ∈ {0,2,4,6}), not Jul 8 as the union rule would give.
+		{"0 0 15 * */2", time.Date(2004, 7, 15, 0, 0, 0, 0, time.UTC)},
+		// An explicit range with a step is NOT starred: union rule stays,
+		// so the first odd dom (Fri Jul 9) fires even though it is no
+		// Monday.
+		{"0 0 1-31/2 * 1", time.Date(2004, 7, 9, 0, 0, 0, 0, time.UTC)},
+	}
+	for _, tc := range cases {
+		s := MustParseCron(tc.expr)
+		if got := s.Next(base); !got.Equal(tc.want) {
+			t.Errorf("%q: Next = %v, want %v", tc.expr, got, tc.want)
+		}
+		if !s.Matches(tc.want) {
+			t.Errorf("%q: Matches(%v) = false", tc.expr, tc.want)
+		}
+	}
+}
+
+func TestStarStepFlagParsing(t *testing.T) {
+	for expr, want := range map[string][2]bool{
+		"0 0 * * *":      {true, true},
+		"0 0 */2 * *":    {true, true},
+		"0 0 * * */2":    {true, true},
+		"0 0 *,5 * 1":    {true, false},
+		"0 0 1-31/2 * *": {false, true},
+		"0 0 15 * 1":     {false, false},
+	} {
+		s := MustParseCron(expr)
+		if s.domStar != want[0] || s.dowStar != want[1] {
+			t.Errorf("%q: domStar,dowStar = %v,%v, want %v,%v",
+				expr, s.domStar, s.dowStar, want[0], want[1])
+		}
+	}
+}

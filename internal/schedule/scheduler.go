@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"inca/internal/metrics"
 	"inca/internal/simtime"
 )
 
@@ -28,6 +29,7 @@ type Entry struct {
 	lastErr  error
 	lastRun  time.Time
 	runCount int
+	missed   int // fire instants collapsed by clock jumps
 }
 
 // ErrDependency marks an execution skipped because a dependency failed at
@@ -51,11 +53,42 @@ type Scheduler struct {
 	running bool
 	runs    int
 	skips   int
+	misses  int
+
+	runsC   *metrics.Counter
+	skipsC  *metrics.Counter
+	missesC *metrics.Counter
 }
 
 // NewScheduler returns a scheduler driven by clock.
 func NewScheduler(clock simtime.Clock) *Scheduler {
-	return &Scheduler{clock: clock, entries: make(map[string]*Entry)}
+	return NewSchedulerMetrics(clock, nil)
+}
+
+// NewSchedulerMetrics is NewScheduler with scheduler instruments registered
+// in reg (nil reg keeps them private): runs/skips/missed-fires counters
+// plus entry-count and next-fire-lag gauges, sampled at scrape time. One
+// scheduler per registry — a second registration keeps the first
+// scheduler's gauges.
+func NewSchedulerMetrics(clock simtime.Clock, reg *metrics.Registry) *Scheduler {
+	s := &Scheduler{clock: clock, entries: make(map[string]*Entry)}
+	s.runsC = reg.Counter("inca_scheduler_runs_total", "Scheduled actions executed.")
+	s.skipsC = reg.Counter("inca_scheduler_skips_total", "Executions skipped because a same-instant dependency failed.")
+	s.missesC = reg.Counter("inca_scheduler_missed_fires_total", "Fire instants collapsed into one run by clock jumps.")
+	reg.GaugeFunc("inca_scheduler_entries", "Registered schedule entries.", func() float64 {
+		return float64(s.Len())
+	})
+	reg.GaugeFunc("inca_scheduler_next_fire_lag_seconds", "Seconds the earliest pending entry is overdue (0 when on time).", func() float64 {
+		next, ok := s.NextFire()
+		if !ok {
+			return 0
+		}
+		if lag := s.clock.Now().Sub(next).Seconds(); lag > 0 {
+			return lag
+		}
+		return 0
+	})
+	return s
 }
 
 // Add registers an entry. Its first fire time is computed from the clock's
@@ -100,11 +133,37 @@ func (s *Scheduler) Len() int {
 	return len(s.entries)
 }
 
-// Stats returns the total number of runs and dependency skips so far.
-func (s *Scheduler) Stats() (runs, skips int) {
+// Stats is a snapshot of scheduler activity.
+type Stats struct {
+	// Entries is the number of registered entries.
+	Entries int
+	// Runs is actions executed (dependency skips excluded).
+	Runs int
+	// Skips is executions withheld because a same-instant dependency
+	// failed.
+	Skips int
+	// Misses is fire instants that elapsed during a clock jump and were
+	// collapsed into a single run rather than executed individually.
+	Misses int
+}
+
+// Stats returns a snapshot of scheduler activity.
+func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.runs, s.skips
+	return Stats{Entries: len(s.entries), Runs: s.runs, Skips: s.skips, Misses: s.misses}
+}
+
+// MissedFires returns how many fire instants the named entry has had
+// collapsed by clock jumps, and whether the entry exists.
+func (s *Scheduler) MissedFires(name string) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[name]
+	if !ok {
+		return 0, false
+	}
+	return e.missed, true
 }
 
 // NextFire returns the earliest pending fire time, or false when no entry
@@ -130,50 +189,86 @@ func (s *Scheduler) nextFireLocked() (time.Time, bool) {
 	return earliest, found
 }
 
-// due collects the entries firing at instant t, ordered so that every entry
-// follows its same-instant dependencies (and alphabetically within a rank,
-// for determinism).
-func (s *Scheduler) due(t time.Time) []*Entry {
+// claim is one entry taken out of the pending set for execution, together
+// with the instant it was scheduled for.
+type claim struct {
+	e      *Entry
+	fireAt time.Time
+}
+
+// missedScanCap bounds the per-claim walk counting collapsed fire instants;
+// a minutely entry jumped a year would otherwise iterate half a million
+// times under the scheduler mutex. Past the cap the count is a floor and
+// the entry reschedules from the current instant directly.
+const missedScanCap = 1000
+
+// due claims the entries firing at or before instant t and returns them
+// ordered so that every entry follows its same-instant dependencies (and
+// alphabetically within a rank, for determinism). Claiming — advancing
+// e.next past t under the lock — is what makes concurrent RunPending
+// callers fire each entry exactly once: an entry handed to one caller is no
+// longer due for any other.
+func (s *Scheduler) due(t time.Time) []claim {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	var batch []*Entry
+	var batch []claim
 	inBatch := make(map[string]bool)
 	for _, e := range s.entries {
-		if !e.next.IsZero() && !e.next.After(t) {
-			batch = append(batch, e)
-			inBatch[e.Name] = true
+		if e.next.IsZero() || e.next.After(t) {
+			continue
 		}
+		c := claim{e: e, fireAt: e.next}
+		// Claim the entry and account for fire instants the clock jumped
+		// over: everything in (fireAt, t] runs as this one execution.
+		missed := 0
+		next := e.Spec.Next(c.fireAt)
+		for !next.IsZero() && !next.After(t) {
+			missed++
+			if missed >= missedScanCap {
+				next = e.Spec.Next(t)
+				break
+			}
+			next = e.Spec.Next(next)
+		}
+		e.next = next
+		e.missed += missed
+		s.misses += missed
+		if missed > 0 {
+			s.missesC.Add(uint64(missed))
+		}
+		batch = append(batch, c)
+		inBatch[e.Name] = true
 	}
-	sort.Slice(batch, func(i, j int) bool { return batch[i].Name < batch[j].Name })
+	sort.Slice(batch, func(i, j int) bool { return batch[i].e.Name < batch[j].e.Name })
 	// Kahn's algorithm restricted to same-batch dependencies.
-	var ordered []*Entry
+	var ordered []claim
 	done := make(map[string]bool)
 	for len(ordered) < len(batch) {
 		progressed := false
-		for _, e := range batch {
-			if done[e.Name] {
+		for _, c := range batch {
+			if done[c.e.Name] {
 				continue
 			}
 			ready := true
-			for _, d := range e.DependsOn {
+			for _, d := range c.e.DependsOn {
 				if inBatch[d] && !done[d] {
 					ready = false
 					break
 				}
 			}
 			if ready {
-				ordered = append(ordered, e)
-				done[e.Name] = true
+				ordered = append(ordered, c)
+				done[c.e.Name] = true
 				progressed = true
 			}
 		}
 		if !progressed {
 			// Dependency cycle within the batch: run remaining entries in
 			// name order rather than dropping them.
-			for _, e := range batch {
-				if !done[e.Name] {
-					ordered = append(ordered, e)
-					done[e.Name] = true
+			for _, c := range batch {
+				if !done[c.e.Name] {
+					ordered = append(ordered, c)
+					done[c.e.Name] = true
 				}
 			}
 		}
@@ -185,41 +280,63 @@ func (s *Scheduler) due(t time.Time) []*Entry {
 // instant, honoring dependency order and gating, then reschedules each.
 // It returns the number of entries that ran (skips excluded). Drivers of a
 // simulated clock call this after each advance; Run calls it internally.
+// Concurrent callers split the due set between them; each entry fires
+// exactly once per instant.
 func (s *Scheduler) RunPending() int {
 	now := s.clock.Now()
 	batch := s.due(now)
 	ran := 0
-	for _, e := range batch {
+	// batchErr records this batch's results so gating sees a dependency
+	// that already ran a moment ago in this same call.
+	batchErr := make(map[string]error, len(batch))
+	for _, c := range batch {
+		e := c.e
 		skip := false
 		var failedDep string
 		s.mu.Lock()
 		for _, d := range e.DependsOn {
-			if dep, ok := s.entries[d]; ok && dep.lastErr != nil {
+			if err, ok := batchErr[d]; ok {
+				if err != nil {
+					skip = true
+					failedDep = d
+				}
+				continue
+			}
+			// Outside the batch, only a failure at this same fire instant
+			// gates: a dependency that failed at an earlier instant (or is
+			// not due now at all) says nothing about this execution.
+			if dep, ok := s.entries[d]; ok && dep.lastErr != nil && dep.lastRun.Equal(c.fireAt) {
 				skip = true
 				failedDep = d
+			}
+			if skip {
 				break
 			}
 		}
 		s.mu.Unlock()
-		fireAt := e.next
 		var err error
 		if skip {
 			err = ErrDependency{Entry: e.Name, Dep: failedDep}
 		} else {
-			err = e.Action(fireAt)
+			err = e.Action(c.fireAt)
 			ran++
 		}
+		batchErr[e.Name] = err
 		s.mu.Lock()
 		e.lastErr = err
-		e.lastRun = fireAt
+		e.lastRun = c.fireAt
 		e.runCount++
-		e.next = e.Spec.Next(now)
 		if skip {
 			s.skips++
 		} else {
 			s.runs++
 		}
 		s.mu.Unlock()
+		if skip {
+			s.skipsC.Inc()
+		} else {
+			s.runsC.Inc()
+		}
 	}
 	return ran
 }

@@ -4,10 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"inca/internal/metrics"
 	"inca/internal/simtime"
 )
 
@@ -102,9 +105,9 @@ func TestMultipleEntriesInterleave(t *testing.T) {
 	if counts["hourly"] != 2 {
 		t.Fatalf("hourly ran %d times, want 2", counts["hourly"])
 	}
-	runs, skips := s.Stats()
-	if runs != 14 || skips != 0 {
-		t.Fatalf("Stats = %d,%d", runs, skips)
+	st := s.Stats()
+	if st.Runs != 14 || st.Skips != 0 {
+		t.Fatalf("Stats = %+v", st)
 	}
 }
 
@@ -147,8 +150,7 @@ func TestDependencySkipOnFailure(t *testing.T) {
 	if len(ran) != 0 {
 		t.Fatalf("dependent ran despite failed dependency: %v", ran)
 	}
-	_, skips := s.Stats()
-	if skips != 1 {
+	if skips := s.Stats().Skips; skips != 1 {
 		t.Fatalf("skips = %d, want 1", skips)
 	}
 	_, lastErr, ok := s.LastResult("test")
@@ -271,5 +273,161 @@ func TestManyEntriesDeterministicOrder(t *testing.T) {
 		if order[i-1] >= order[i] {
 			t.Fatalf("same-instant batch not name-ordered: %v", order)
 		}
+	}
+}
+
+func TestStaleDependencyDoesNotSkip(t *testing.T) {
+	// A dependency that failed at an EARLIER fire instant must not gate an
+	// execution where it is not even due: gating is per-instant, not
+	// per-latest-error.
+	sim := simtime.NewSim(base)
+	s := NewScheduler(sim)
+	if err := s.Add(&Entry{Name: "setup", Spec: MustParseCron("0 * * * *"),
+		Action: func(time.Time) error { return errors.New("down") }}); err != nil {
+		t.Fatal(err)
+	}
+	var probeRuns []time.Time
+	if err := s.Add(&Entry{Name: "probe", Spec: MustParseCron("0,30 * * * *"), DependsOn: []string{"setup"},
+		Action: func(now time.Time) error { probeRuns = append(probeRuns, now); return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	// 00:30 probe alone (setup never ran) → runs. 01:00 both fire, setup
+	// fails → probe skipped. 01:30 probe alone; setup's failure is stale
+	// (01:00 ≠ 01:30) → probe must run.
+	drive(s, sim, base.Add(90*time.Minute+time.Second))
+	want := []time.Time{base.Add(30 * time.Minute), base.Add(90 * time.Minute)}
+	if len(probeRuns) != 2 || !probeRuns[0].Equal(want[0]) || !probeRuns[1].Equal(want[1]) {
+		t.Fatalf("probe ran at %v, want %v", probeRuns, want)
+	}
+	if st := s.Stats(); st.Skips != 1 {
+		t.Fatalf("Stats = %+v, want exactly 1 skip (at 01:00)", st)
+	}
+}
+
+func TestConcurrentRunPendingExactlyOnce(t *testing.T) {
+	// The type promises "safe for concurrent use": two drivers calling
+	// RunPending at the same instant must fire each entry exactly once.
+	// Run under -race.
+	sim := simtime.NewSim(base)
+	s := NewScheduler(sim)
+	const entries = 5
+	counts := make([]int64, entries)
+	for i := 0; i < entries; i++ {
+		i := i
+		if err := s.Add(&Entry{Name: fmt.Sprintf("e%d", i), Spec: MustParseCron("* * * * *"),
+			Action: func(time.Time) error { atomic.AddInt64(&counts[i], 1); return nil }}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const instants = 20
+	for tick := 0; tick < instants; tick++ {
+		sim.AdvanceTo(base.Add(time.Duration(tick+1) * time.Minute))
+		var wg sync.WaitGroup
+		for g := 0; g < 2; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s.RunPending()
+			}()
+		}
+		wg.Wait()
+	}
+	for i, c := range counts {
+		if c != instants {
+			t.Errorf("entry %d fired %d times, want %d (exactly once per instant)", i, c, instants)
+		}
+	}
+	if st := s.Stats(); st.Runs != entries*instants {
+		t.Fatalf("Stats.Runs = %d, want %d", st.Runs, entries*instants)
+	}
+}
+
+func TestMissedFireAccounting(t *testing.T) {
+	sim := simtime.NewSim(base)
+	s := NewScheduler(sim)
+	var fires []time.Time
+	if err := s.Add(&Entry{Name: "x", Spec: MustParseCron("* * * * *"),
+		Action: func(now time.Time) error { fires = append(fires, now); return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	// Jump the clock 10 minutes: the 00:01 fire runs, 00:02–00:10 are
+	// missed, and the entry reschedules at 00:11.
+	sim.AdvanceTo(base.Add(10 * time.Minute))
+	if ran := s.RunPending(); ran != 1 {
+		t.Fatalf("RunPending ran %d entries, want 1", ran)
+	}
+	if len(fires) != 1 || !fires[0].Equal(base.Add(time.Minute)) {
+		t.Fatalf("fired at %v, want [%v]", fires, base.Add(time.Minute))
+	}
+	st := s.Stats()
+	if st.Runs != 1 || st.Misses != 9 {
+		t.Fatalf("Stats = %+v, want Runs 1 Misses 9", st)
+	}
+	if m, ok := s.MissedFires("x"); !ok || m != 9 {
+		t.Fatalf("MissedFires = %d,%v, want 9,true", m, ok)
+	}
+	next, ok := s.NextFire()
+	if !ok || !next.Equal(base.Add(11*time.Minute)) {
+		t.Fatalf("NextFire = %v,%v, want %v", next, ok, base.Add(11*time.Minute))
+	}
+}
+
+func TestMissedFireScanCapped(t *testing.T) {
+	// A minutely entry jumped a whole year would need ~525600 Spec.Next
+	// walks; the scan stops at missedScanCap (a floor, not an exact count)
+	// and reschedules from the current instant.
+	sim := simtime.NewSim(base)
+	s := NewScheduler(sim)
+	ran := 0
+	if err := s.Add(&Entry{Name: "x", Spec: MustParseCron("* * * * *"),
+		Action: func(time.Time) error { ran++; return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	now := base.AddDate(1, 0, 0)
+	sim.AdvanceTo(now)
+	s.RunPending()
+	if ran != 1 {
+		t.Fatalf("ran %d times, want 1", ran)
+	}
+	if st := s.Stats(); st.Misses != missedScanCap {
+		t.Fatalf("Misses = %d, want the cap %d", st.Misses, missedScanCap)
+	}
+	next, ok := s.NextFire()
+	if !ok || !next.Equal(now.Add(time.Minute)) {
+		t.Fatalf("NextFire = %v,%v, want %v", next, ok, now.Add(time.Minute))
+	}
+}
+
+func TestSchedulerMetrics(t *testing.T) {
+	sim := simtime.NewSim(base)
+	reg := metrics.NewRegistry()
+	s := NewSchedulerMetrics(sim, reg)
+	if err := s.Add(&Entry{Name: "setup", Spec: MustParseCron("0 * * * *"),
+		Action: func(time.Time) error { return errors.New("down") }}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(&Entry{Name: "probe", Spec: MustParseCron("0 * * * *"), DependsOn: []string{"setup"},
+		Action: func(time.Time) error { return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	drive(s, sim, base.Add(time.Hour+time.Minute))
+	var buf strings.Builder
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"inca_scheduler_runs_total 1\n",
+		"inca_scheduler_skips_total 1\n",
+		"inca_scheduler_missed_fires_total 0\n",
+		"inca_scheduler_entries 2\n",
+		"inca_scheduler_next_fire_lag_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if _, err := metrics.Lint(text); err != nil {
+		t.Fatalf("Lint: %v", err)
 	}
 }

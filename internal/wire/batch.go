@@ -8,6 +8,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"inca/internal/metrics"
 )
 
 // Batch frames amortize the per-report round trip that serializes the
@@ -156,6 +158,10 @@ type BatchOptions struct {
 	// <0 disables deadlines). A hung server then fails the connection —
 	// requeuing its unacked batches — instead of wedging the flusher.
 	IOTimeout time.Duration
+	// Metrics, when set, registers the client's delivery counters and
+	// batch-flush latency histogram there; Stats() reads the same
+	// instruments.
+	Metrics *metrics.Registry
 }
 
 func (o *BatchOptions) fill() {
@@ -216,21 +222,33 @@ type BatchClient struct {
 	inMu     sync.Mutex
 	inflight [][]*Message
 
-	errMu    sync.Mutex
-	err      error
-	closed   bool
-	acked    uint64
-	rejected uint64
-	requeued uint64
-	dropped  uint64
-	redials  uint64
-	dialed   bool
+	errMu  sync.Mutex
+	err    error
+	closed bool
+	dialed bool
+
+	acked    *metrics.Counter
+	rejected *metrics.Counter
+	requeued *metrics.Counter
+	dropped  *metrics.Counter
+	redials  *metrics.Counter
+	flushH   *metrics.Histogram
 }
 
 // NewBatchClient returns a client that dials addr on first flush.
 func NewBatchClient(addr string, opt BatchOptions) *BatchClient {
 	opt.fill()
-	return &BatchClient{addr: addr, opt: opt}
+	reg := opt.Metrics
+	return &BatchClient{
+		addr:     addr,
+		opt:      opt,
+		acked:    reg.Counter("inca_wire_batch_acked_total", "Batched messages the server acknowledged OK."),
+		rejected: reg.Counter("inca_wire_batch_rejected_total", "Batched messages the server refused."),
+		requeued: reg.Counter("inca_wire_batch_requeued_total", "Messages requeued after their connection died unacknowledged."),
+		dropped:  reg.Counter("inca_wire_batch_dropped_total", "Messages shed by the MaxPending backstop or abandoned by Close."),
+		redials:  reg.Counter("inca_wire_batch_redials_total", "Reconnections after a connection failure."),
+		flushH:   reg.Histogram("inca_wire_batch_flush_seconds", "Batch frame write latency per chunk.", nil),
+	}
 }
 
 // Options returns the client's options with defaults applied.
@@ -247,9 +265,7 @@ func (c *BatchClient) Enqueue(m *Message) error {
 		// outage costs bounded memory, and account for the loss.
 		shed := len(c.pending) - c.opt.MaxPending + 1
 		c.pending = append(c.pending[:0], c.pending[shed:]...)
-		c.errMu.Lock()
-		c.dropped += uint64(shed)
-		c.errMu.Unlock()
+		c.dropped.Add(uint64(shed))
 	}
 	c.pending = append(c.pending, m)
 	if len(c.pending) >= c.opt.MaxBatch {
@@ -310,6 +326,7 @@ func (c *BatchClient) flushLocked() error {
 		if len(c.pending) == 0 {
 			c.pending = nil // release the drained backing array
 		}
+		start := time.Now()
 		err := c.setWriteDeadlineLocked()
 		if err == nil {
 			err = WriteBatch(c.bw, chunk)
@@ -317,6 +334,7 @@ func (c *BatchClient) flushLocked() error {
 		if err == nil {
 			err = c.bw.Flush()
 		}
+		c.flushH.ObserveSince(start)
 		if err != nil {
 			c.resetConnLocked()
 			c.recordErr(err)
@@ -373,10 +391,10 @@ func (c *BatchClient) ensureConnLocked() error {
 	c.gone = make(chan struct{})
 	c.errMu.Lock()
 	c.dialed = true
-	if redial {
-		c.redials++
-	}
 	c.errMu.Unlock()
+	if redial {
+		c.redials.Inc()
+	}
 	go c.readAcks(conn, bufio.NewReader(conn), c.sem, c.gone)
 	return nil
 }
@@ -416,9 +434,7 @@ func (c *BatchClient) resetConnLocked() {
 	}
 	n := uint64(len(requeue))
 	c.pending = append(requeue, c.pending...)
-	c.errMu.Lock()
-	c.requeued += n
-	c.errMu.Unlock()
+	c.requeued.Add(n)
 }
 
 // readAcks consumes ack vectors, settling the oldest in-flight batch and
@@ -448,9 +464,9 @@ func (c *BatchClient) readAcks(conn net.Conn, br *bufio.Reader, sem chan struct{
 		c.errMu.Lock()
 		for _, a := range acks {
 			if a.OK {
-				c.acked++
+				c.acked.Inc()
 			} else {
-				c.rejected++
+				c.rejected.Inc()
 				if c.err == nil && !c.closed {
 					c.err = fmt.Errorf("wire: server rejected report: %s", a.Message)
 				}
@@ -537,16 +553,15 @@ type BatchStats struct {
 	Redials uint64
 }
 
-// Stats returns a snapshot of the client's delivery accounting.
+// Stats returns a snapshot of the client's delivery accounting — a view
+// over the same instruments the metrics registry exposes.
 func (c *BatchClient) Stats() BatchStats {
-	c.errMu.Lock()
-	defer c.errMu.Unlock()
 	return BatchStats{
-		Acked:    c.acked,
-		Rejected: c.rejected,
-		Requeued: c.requeued,
-		Dropped:  c.dropped,
-		Redials:  c.redials,
+		Acked:    c.acked.Value(),
+		Rejected: c.rejected.Value(),
+		Requeued: c.requeued.Value(),
+		Dropped:  c.dropped.Value(),
+		Redials:  c.redials.Value(),
 	}
 }
 
@@ -566,9 +581,7 @@ func (c *BatchClient) Close() error {
 	}
 	c.resetConnLocked()
 	if n := len(c.pending); n > 0 {
-		c.errMu.Lock()
-		c.dropped += uint64(n)
-		c.errMu.Unlock()
+		c.dropped.Add(uint64(n))
 		c.pending = nil
 	}
 	return err

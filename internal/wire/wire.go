@@ -26,6 +26,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"inca/internal/metrics"
 )
 
 // MaxFrame bounds a single report message (16 MiB), protecting the server
@@ -217,6 +219,11 @@ type ClientOptions struct {
 	// attempt; spooling callers (agent.WireSink) keep it small and let
 	// the spool's own backoff loop own long-horizon redelivery.
 	Retry RetryPolicy
+	// Metrics, when set, registers the client's counters and per-attempt
+	// send-latency histogram there; Stats() reads the same instruments, so
+	// JSON and Prometheus views always agree. Clients sharing a registry
+	// merge their series.
+	Metrics *metrics.Registry
 }
 
 func (o *ClientOptions) fill() {
@@ -255,7 +262,12 @@ type Client struct {
 	bw        *bufio.Writer
 	br        *bufio.Reader
 	connected bool // a dial has succeeded at least once
-	stats     ClientStats
+
+	dials      *metrics.Counter
+	reconnects *metrics.Counter
+	retries    *metrics.Counter
+	sent       *metrics.Counter
+	sendH      *metrics.Histogram
 }
 
 // NewClient returns a client that will dial addr on first use, with
@@ -265,7 +277,16 @@ func NewClient(addr string) *Client { return NewClientOptions(addr, ClientOption
 // NewClientOptions returns a client with explicit timeout/retry behavior.
 func NewClientOptions(addr string, opt ClientOptions) *Client {
 	opt.fill()
-	return &Client{addr: addr, opt: opt}
+	reg := opt.Metrics
+	return &Client{
+		addr:       addr,
+		opt:        opt,
+		dials:      reg.Counter("inca_wire_client_dials_total", "Connection attempts, successful or not."),
+		reconnects: reg.Counter("inca_wire_client_reconnects_total", "Dials after the first successful connection."),
+		retries:    reg.Counter("inca_wire_client_retries_total", "In-Send attempts beyond each message's first."),
+		sent:       reg.Counter("inca_wire_client_sent_total", "Messages acknowledged by the server (OK or not)."),
+		sendH:      reg.Histogram("inca_wire_send_seconds", "Per-attempt send latency: dial if needed, write, await ack.", nil),
+	}
 }
 
 // Send submits one message and waits for the server's ack, retrying
@@ -281,12 +302,14 @@ func (c *Client) Send(m *Message) (*Ack, error) {
 	var lastErr error
 	for attempt := 1; attempt <= c.opt.Retry.Max; attempt++ {
 		if attempt > 1 {
-			c.stats.Retries++
+			c.retries.Inc()
 			time.Sleep(c.opt.Retry.Backoff(attempt - 1))
 		}
+		start := time.Now()
 		ack, err := c.sendOnceLocked(m)
+		c.sendH.ObserveSince(start)
 		if err == nil {
-			c.stats.Sent++
+			c.sent.Inc()
 			return ack, nil
 		}
 		lastErr = err
@@ -296,9 +319,9 @@ func (c *Client) Send(m *Message) (*Ack, error) {
 
 func (c *Client) sendOnceLocked(m *Message) (*Ack, error) {
 	if c.conn == nil {
-		c.stats.Dials++
+		c.dials.Inc()
 		if c.connected {
-			c.stats.Reconnects++
+			c.reconnects.Inc()
 		}
 		conn, err := net.DialTimeout("tcp", c.addr, c.opt.DialTimeout)
 		if err != nil {
@@ -339,11 +362,15 @@ func (c *Client) setDeadlineLocked() error {
 	return c.conn.SetDeadline(time.Now().Add(c.opt.IOTimeout))
 }
 
-// Stats returns a snapshot of the client's delivery counters.
+// Stats returns a snapshot of the client's delivery counters — a view
+// over the same instruments the metrics registry exposes.
 func (c *Client) Stats() ClientStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.stats
+	return ClientStats{
+		Dials:      c.dials.Value(),
+		Reconnects: c.reconnects.Value(),
+		Retries:    c.retries.Value(),
+		Sent:       c.sent.Value(),
+	}
 }
 
 // Close closes the underlying connection if open.
@@ -369,6 +396,9 @@ type ServerOptions struct {
 	// pre-robustness behavior, where a dead peer pins its goroutine
 	// until process exit.
 	IdleTimeout time.Duration
+	// Metrics, when set, registers the server's connection and frame
+	// counters there; Stats() reads the same instruments.
+	Metrics *metrics.Registry
 }
 
 // ServerStats counts server-side connection and frame activity; surfaced
@@ -394,7 +424,11 @@ type Server struct {
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
-	stats  ServerStats
+
+	connsAccepted   *metrics.Counter
+	connsIdleClosed *metrics.Counter
+	messages        *metrics.Counter
+	batches         *metrics.Counter
 }
 
 // Serve starts a server on addr (e.g. "127.0.0.1:0"). It returns once the
@@ -409,7 +443,14 @@ func ServeOptions(addr string, h Handler, opt ServerOptions) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, handler: h, opt: opt, conns: make(map[net.Conn]struct{})}
+	reg := opt.Metrics
+	s := &Server{
+		ln: ln, handler: h, opt: opt, conns: make(map[net.Conn]struct{}),
+		connsAccepted:   reg.Counter("inca_wire_server_connections_total", "Distributed-controller connections accepted."),
+		connsIdleClosed: reg.Counter("inca_wire_server_idle_closed_total", "Connections dropped by the idle read deadline."),
+		messages:        reg.Counter("inca_wire_server_messages_total", "Report messages received, batched or not."),
+		batches:         reg.Counter("inca_wire_server_batches_total", "Batch frames received."),
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -432,8 +473,8 @@ func (s *Server) acceptLoop() {
 			return
 		}
 		s.conns[conn] = struct{}{}
-		s.stats.ConnsAccepted++
 		s.mu.Unlock()
+		s.connsAccepted.Inc()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
@@ -455,9 +496,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	var scratch []byte // reused across this connection's frames
 	idleClose := func(err error) {
 		if ne, ok := err.(net.Error); ok && ne.Timeout() {
-			s.mu.Lock()
-			s.stats.ConnsIdleClosed++
-			s.mu.Unlock()
+			s.connsIdleClosed.Inc()
 		}
 	}
 	for {
@@ -481,10 +520,8 @@ func (s *Server) serveConn(conn net.Conn) {
 				idleClose(err)
 				return
 			}
-			s.mu.Lock()
-			s.stats.Batches++
-			s.stats.Messages += uint64(len(msgs))
-			s.mu.Unlock()
+			s.batches.Inc()
+			s.messages.Add(uint64(len(msgs)))
 			acks := make([]*Ack, len(msgs))
 			for i, msg := range msgs {
 				ack := s.handler(msg, remote)
@@ -503,9 +540,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				idleClose(err)
 				return
 			}
-			s.mu.Lock()
-			s.stats.Messages++
-			s.mu.Unlock()
+			s.messages.Inc()
 			ack := s.handler(msg, remote)
 			if ack == nil {
 				ack = &Ack{OK: true}
@@ -520,11 +555,15 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// Stats returns a snapshot of the server's connection and frame counters.
+// Stats returns a snapshot of the server's connection and frame counters —
+// a view over the same instruments the metrics registry exposes.
 func (s *Server) Stats() ServerStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return ServerStats{
+		ConnsAccepted:   s.connsAccepted.Value(),
+		ConnsIdleClosed: s.connsIdleClosed.Value(),
+		Messages:        s.messages.Value(),
+		Batches:         s.batches.Value(),
+	}
 }
 
 // Close stops accepting, closes every live connection, and returns once
