@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test chaos metrics-smoke bench-smoke bench-query bench-archive
+.PHONY: check fmt vet build test chaos metrics-smoke federation-smoke bench-smoke bench-query bench-archive bench-federation
 
 # The full gate: formatting, static checks, build, race-enabled tests,
-# the fault-injection suite, the telemetry smoke, and a one-iteration
-# smoke of the parallel ingest benchmark tier.
-check: fmt vet build test chaos metrics-smoke bench-smoke
+# the fault-injection suite, the telemetry smoke, the multi-process
+# federation smoke, and a one-iteration smoke of the parallel ingest
+# benchmark tier.
+check: fmt vet build test chaos metrics-smoke federation-smoke bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -33,6 +34,12 @@ chaos:
 metrics-smoke:
 	$(GO) test -race -run TestMetricsSmoke -count=1 .
 
+# Federation gate (DESIGN.md §5f): a real -federate router in front of two
+# real shard processes over TCP; one shard is killed mid-stream and the
+# test proves every accepted report survives the re-route.
+federation-smoke:
+	INCA_FEDERATION_SMOKE=1 $(GO) test -race -run TestFederationSmoke -count=1 .
+
 bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkIngestParallel4|BenchmarkArchiveParallel4' -benchtime=1x .
 
@@ -44,3 +51,9 @@ bench-query:
 # global-mutex DOM baseline vs sharded streaming extraction vs async workers.
 bench-archive:
 	$(GO) test -run=NONE -bench=BenchmarkArchiveParallel -benchtime=1s .
+
+# Federation tier (DESIGN.md §5f): ingest and owner-routed query scaling
+# at 1/2/4/8 shards against the single-depot baseline, with the
+# machine-readable result written to BENCH_federation.json.
+bench-federation:
+	$(GO) run ./cmd/inca-bench -experiment federation -json .

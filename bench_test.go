@@ -20,6 +20,7 @@ import (
 	"inca/internal/depot"
 	"inca/internal/envelope"
 	"inca/internal/experiments"
+	"inca/internal/federation"
 	"inca/internal/gridsim"
 	"inca/internal/loadgen"
 	"inca/internal/report"
@@ -645,3 +646,122 @@ func benchmarkArchiveConfigs(b *testing.B, parallelism int) {
 func BenchmarkArchiveParallel1(b *testing.B)  { benchmarkArchiveConfigs(b, 1) }
 func BenchmarkArchiveParallel4(b *testing.B)  { benchmarkArchiveConfigs(b, 4) }
 func BenchmarkArchiveParallel16(b *testing.B) { benchmarkArchiveConfigs(b, 16) }
+
+// --- federated multi-depot scaling (DESIGN.md §5f) ---
+
+// benchmarkFederatedIngest drives the full controller → envelope → depot
+// path against N shard depots partitioned by the production
+// consistent-hash ring (the same placement a -federate router computes).
+// Near-linear reports/sec scaling with the shard count is the federation
+// tentpole's perf target: each shard's canonical document is ~1/N the
+// size, so the splice every insert pays shrinks with N.
+func benchmarkFederatedIngest(b *testing.B, shards int) {
+	depots, ring := experiments.NewFederatedDepots(shards)
+	backends := make([]controller.DepotClient, len(depots))
+	for i, d := range depots {
+		backends[i] = d
+	}
+	var dc controller.DepotClient
+	if shards == 1 {
+		dc = backends[0]
+	} else {
+		sd, err := controller.NewShardedDepotFunc(backends, ring.OwnerIndex)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dc = sd
+	}
+	ctl := controller.New(dc, controller.Options{Mode: envelope.Attachment, MaxResponses: 1024})
+	data := loadgen.MustPremadeReport(9257)
+	ids := experiments.FederationIDs()
+	for _, id := range ids {
+		if _, err := ctl.Submit(id, "h", data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1))
+			if _, err := ctl.Submit(ids[i%len(ids)], "h", data); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "reports/sec")
+	}
+}
+
+func BenchmarkFederatedIngest1(b *testing.B) { benchmarkFederatedIngest(b, 1) }
+func BenchmarkFederatedIngest2(b *testing.B) { benchmarkFederatedIngest(b, 2) }
+func BenchmarkFederatedIngest4(b *testing.B) { benchmarkFederatedIngest(b, 4) }
+func BenchmarkFederatedIngest8(b *testing.B) { benchmarkFederatedIngest(b, 8) }
+
+// benchmarkFederatedQuery measures site-prefix Reports routed to the
+// owning shard — the owner-forward path a deep federated request takes
+// (the site prefix is exactly the ring's affinity key, so no fan-out and
+// no merge). The scan each query pays is over a ~1/N document.
+func benchmarkFederatedQuery(b *testing.B, shards int) {
+	names := make([]string, shards)
+	for i := range names {
+		names[i] = fmt.Sprintf("shard%d", i)
+	}
+	ring := federation.NewRing(names, federation.RingOptions{})
+	data := loadgen.MustPremadeReport(851)
+	ids := make([]branch.ID, 0, 4000)
+	for site := 0; site < 40; site++ {
+		for probe := 0; probe < 100; probe++ {
+			ids = append(ids, branch.MustParse(fmt.Sprintf("probe=p%03d,site=s%02d,vo=tg", probe, site)))
+		}
+	}
+	seeds := make([]*depot.IndexedCache, shards)
+	for i := range seeds {
+		seeds[i] = depot.NewIndexedCache()
+	}
+	for _, id := range ids {
+		if _, err := seeds[ring.OwnerIndex(id)].Update(id, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	caches := make([]depot.Cache, shards)
+	for i, seed := range seeds {
+		c, err := depot.LoadDump(seed.Dump())
+		if err != nil {
+			b.Fatal(err)
+		}
+		caches[i] = c
+	}
+	prefixes := make([]branch.ID, 40)
+	for site := 0; site < 40; site++ {
+		prefixes[site] = branch.ID{}.Child("vo", "tg").Child("site", fmt.Sprintf("s%02d", site))
+	}
+	b.ResetTimer()
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1))
+			prefix := prefixes[i%len(prefixes)]
+			stored, err := caches[ring.OwnerIndex(prefix)].Reports(prefix)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			if len(stored) == 0 {
+				b.Errorf("reports %s: no data", prefix)
+				return
+			}
+		}
+	})
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "queries/sec")
+	}
+}
+
+func BenchmarkFederatedQuery1(b *testing.B) { benchmarkFederatedQuery(b, 1) }
+func BenchmarkFederatedQuery2(b *testing.B) { benchmarkFederatedQuery(b, 2) }
+func BenchmarkFederatedQuery4(b *testing.B) { benchmarkFederatedQuery(b, 4) }
+func BenchmarkFederatedQuery8(b *testing.B) { benchmarkFederatedQuery(b, 8) }

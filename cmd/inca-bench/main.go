@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"inca/internal/experiments"
@@ -21,7 +22,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: all, table1-table4, fig4-fig9, shards, query, archive")
+		experiment = flag.String("experiment", "all", "experiment to run: all, table1-table4, fig4-fig9, shards, query, archive, federation")
 		hours      = flag.Int("hours", 0, "virtual hours for table4/fig8 (0 = default)")
 		days       = flag.Int("days", 0, "virtual days for fig5/fig6/fig7 (0 = default)")
 		updates    = flag.Int("updates", 0, "steady-state updates per fig9/shards cell (0 = default)")
@@ -30,6 +31,7 @@ func main() {
 		seed       = flag.Int64("seed", 2004, "simulation seed")
 		htmlOut    = flag.String("html", "", "also write the fig4 status page HTML here")
 		out        = flag.String("out", "", "append results to this file as well as stdout")
+		jsonDir    = flag.String("json", "", "write each result as machine-readable BENCH_<id>.json into this directory (\".\" for the working directory)")
 	)
 	flag.Parse()
 
@@ -79,8 +81,10 @@ func main() {
 		run(experiments.Query(experiments.QueryOptions{Readers: *workers}))
 	case "archive":
 		run(experiments.Archive(experiments.ArchiveOptions{Updates: *updates, Workers: *workers}))
+	case "federation":
+		run(experiments.Federation(experiments.FederationOptions{Updates: *updates, Workers: *workers}))
 	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (all, table1-table4, fig4-fig9, shards, query, archive)\n", *experiment)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (all, table1-table4, fig4-fig9, shards, query, archive, federation)\n", *experiment)
 		os.Exit(2)
 	}
 
@@ -100,6 +104,25 @@ func main() {
 		if _, err := f.WriteString(sb.String()); err != nil {
 			fmt.Fprintf(os.Stderr, "write %s: %v\n", *out, err)
 			os.Exit(1)
+		}
+	}
+	if *jsonDir != "" {
+		for _, r := range results {
+			path := filepath.Join(*jsonDir, "BENCH_"+r.ID+".json")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			err = r.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "write %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
 		}
 	}
 }

@@ -37,6 +37,7 @@ func main() {
 		hours     = flag.Int("hours", 24, "history window for archive/graph")
 		agreeFile = flag.String("agreement", "", "service agreement XML for -action summary (default: built-in TeraGrid agreement)")
 		watch     = flag.Duration("watch", 0, "poll interval for cache/reports using ETag revalidation (0 = fetch once)")
+		watchMax  = flag.Duration("watch-max", 0, "back off toward this interval while polls keep returning 304 (0 = 8x the -watch interval); any change resets to -watch")
 	)
 	flag.Parse()
 	c := query.NewClient(*server)
@@ -57,7 +58,7 @@ func main() {
 			st.Received, st.Bytes, st.CacheCount, st.CacheSize, st.Archives)
 	case "cache":
 		if *watch > 0 {
-			watchConditional(*watch, func(etag string) ([]byte, string, bool, error) {
+			watchConditional(*watch, *watchMax, func(etag string) ([]byte, string, bool, error) {
 				return c.CacheConditional(*branchID, etag)
 			}, fail)
 		}
@@ -68,7 +69,7 @@ func main() {
 		fmt.Println(string(data))
 	case "reports":
 		if *watch > 0 {
-			watchConditional(*watch, func(etag string) ([]byte, string, bool, error) {
+			watchConditional(*watch, *watchMax, func(etag string) ([]byte, string, bool, error) {
 				return c.ReportsConditional(*branchID, etag)
 			}, fail)
 		}
@@ -122,21 +123,39 @@ func main() {
 }
 
 // watchConditional polls with ETag revalidation, printing a fresh body
-// each time the depot changes; it never returns.
-func watchConditional(interval time.Duration, fetch func(etag string) ([]byte, string, bool, error), fail func(error)) {
+// each time the depot changes; it never returns. Consecutive 304s double
+// the sleep toward maxInterval — against a federated router every poll
+// still fans out to all shards, so an idle watcher backing off cuts the
+// whole federation's revalidation load, not just one server's. Any
+// change (or the first fetch) resets the interval.
+func watchConditional(interval, maxInterval time.Duration, fetch func(etag string) ([]byte, string, bool, error), fail func(error)) {
+	if maxInterval <= 0 {
+		maxInterval = 8 * interval
+	}
+	if maxInterval < interval {
+		maxInterval = interval
+	}
 	etag := ""
+	sleep := interval
 	for {
 		body, newTag, notModified, err := fetch(etag)
 		if err != nil {
 			fail(err)
 		}
 		if notModified {
-			fmt.Fprintf(os.Stderr, "%s unchanged (ETag %s)\n", time.Now().UTC().Format(time.RFC3339), etag)
+			fmt.Fprintf(os.Stderr, "%s unchanged (ETag %s, next poll in %s)\n", time.Now().UTC().Format(time.RFC3339), etag, sleep)
 		} else {
 			fmt.Fprintf(os.Stderr, "%s changed (ETag %s -> %s)\n", time.Now().UTC().Format(time.RFC3339), etag, newTag)
 			fmt.Println(string(body))
 			etag = newTag
+			sleep = interval
 		}
-		time.Sleep(interval)
+		time.Sleep(sleep)
+		if notModified && sleep < maxInterval {
+			sleep *= 2
+			if sleep > maxInterval {
+				sleep = maxInterval
+			}
+		}
 	}
 }

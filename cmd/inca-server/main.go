@@ -22,6 +22,7 @@ import (
 	"inca/internal/core"
 	"inca/internal/depot"
 	"inca/internal/envelope"
+	"inca/internal/federation"
 	"inca/internal/metrics"
 	"inca/internal/query"
 	"inca/internal/wire"
@@ -45,12 +46,21 @@ func main() {
 		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "drop distributed-controller connections idle (or stalled mid-frame) this long, so dead peers cannot pin goroutines (0 = never)")
 
 		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/ on the querying interface")
+
+		federate         = flag.String("federate", "", "run as a federation router over this comma-separated shard list (wireAddr/httpAddr per shard) instead of hosting a depot")
+		federateReplicas = flag.Int("federate-replicas", federation.DefaultReplicas, "virtual nodes per shard on the consistent-hash ring")
+		federateDepth    = flag.Int("federate-depth", federation.DefaultDepth, "branch-prefix affinity depth: identifiers sharing this many most-general components stay on one shard")
 	)
 	flag.Parse()
 
 	// One registry spans the whole pipeline — wire, controller, depot, and
 	// query instruments all land on the same /metrics page.
 	reg := metrics.NewRegistry()
+
+	if *federate != "" {
+		runFederated(*federate, *tcpAddr, *httpAddr, *federateReplicas, *federateDepth, *idleTimeout, reg)
+		return
+	}
 
 	var opts depot.Options
 	opts.Metrics = reg
@@ -205,6 +215,73 @@ func main() {
 				}
 				fmt.Printf("depot snapshot written to %s\n", *snapshot)
 			}
+			return
+		}
+	}
+}
+
+// runFederated runs the binary as a federation router: the same wire
+// listener agents already point at, but every accepted message forwards
+// to the shard owning its branch, and the HTTP side is the scatter-gather
+// query tier instead of a local depot (DESIGN.md §5f).
+func runFederated(topology, tcpAddr, httpAddr string, replicas, depth int, idleTimeout time.Duration, reg *metrics.Registry) {
+	shards, err := federation.ParseShards(topology)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	router, err := federation.NewRouter(shards, federation.RouterOptions{
+		Ring:    federation.RingOptions{Replicas: replicas, Depth: depth},
+		Metrics: reg,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	srv, err := wire.ServeOptions(tcpAddr, router.Handle, wire.ServerOptions{IdleTimeout: idleTimeout, Metrics: reg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tcp listen:", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	fmt.Printf("federation router listening on %s (%d shards, %d replicas, depth %d)\n",
+		srv.Addr(), len(shards), replicas, depth)
+
+	fed := query.NewFederated(router, query.FederatedOptions{Metrics: reg})
+	httpLn, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "http listen:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: fed.Handler()}
+	go func() {
+		fmt.Printf("federated querying interface on http://%s (/cache /reports /archive /availability /shards /metrics)\n", httpLn.Addr())
+		if err := httpSrv.Serve(httpLn); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintln(os.Stderr, "http:", err)
+			os.Exit(1)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(60 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			st := router.Stats()
+			fmt.Printf("router: %d routed, %d rerouted, %d unroutable across %d shards\n",
+				st.Routed, st.Rerouted, st.Unroutable, len(st.Shards))
+		case <-sig:
+			fmt.Println("shutting down")
+			httpSrv.Close()
+			// Stop accepting before the drain so the barrier is final.
+			srv.Close()
+			if err := router.Drain(); err != nil {
+				fmt.Fprintln(os.Stderr, "drain:", err)
+			}
+			router.Close()
 			return
 		}
 	}

@@ -21,8 +21,9 @@ import (
 // end by stable hash, so all data for one vo/site lands together and
 // queries stay local to a shard.
 type ShardedDepot struct {
-	backends []DepotClient
-	depth    int
+	backends  []DepotClient
+	depth     int
+	partition func(branch.ID) int // nil → built-in hash
 
 	mu     sync.Mutex
 	counts []uint64
@@ -40,8 +41,29 @@ func NewShardedDepot(backends []DepotClient, depth int) (*ShardedDepot, error) {
 	return &ShardedDepot{backends: backends, depth: depth, counts: make([]uint64, len(backends))}, nil
 }
 
+// NewShardedDepotFunc routes with a caller-supplied partitioner instead
+// of the built-in hash — how the federated benchmarks drive in-process
+// backends with the same consistent-hash ring the router uses, so an
+// in-process measurement exercises the production placement.
+func NewShardedDepotFunc(backends []DepotClient, partition func(branch.ID) int) (*ShardedDepot, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("controller: sharded depot needs at least one backend")
+	}
+	if partition == nil {
+		return nil, fmt.Errorf("controller: sharded depot needs a partition function")
+	}
+	return &ShardedDepot{backends: backends, depth: 1, partition: partition, counts: make([]uint64, len(backends))}, nil
+}
+
 // shardFor maps a branch identifier to a backend index.
 func (s *ShardedDepot) shardFor(id branch.ID) int {
+	if s.partition != nil {
+		i := s.partition(id)
+		if i < 0 || i >= len(s.backends) {
+			return 0
+		}
+		return i
+	}
 	path := id.Path()
 	if len(path) > s.depth {
 		path = path[:s.depth]

@@ -381,6 +381,19 @@ func (d *Depot) ArchivedSeries() []string {
 	return keys
 }
 
+// CacheGeneration returns the cache's generation counter and whether the
+// cache is versioned at all. It is the validator the read layers build
+// ETags from — and what the federation query tier composes across shards:
+// each shard exports its generation here, and the scatter-gather tier
+// concatenates them into one end-to-end validator.
+func (d *Depot) CacheGeneration() (uint64, bool) {
+	v, ok := d.cache.(Versioned)
+	if !ok {
+		return 0, false
+	}
+	return v.Generation(), true
+}
+
 // ArchiveGeneration returns a counter that advances on every applied
 // archive sample, depot-wide (surfaced in /debug/vars).
 func (d *Depot) ArchiveGeneration() uint64 { return d.archiveGen.Load() }

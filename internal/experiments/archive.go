@@ -107,12 +107,12 @@ func ArchiveBenchStamp(template []byte, gmtOff int, at time.Time) []byte {
 // The depot runs on NullCache so the cell measures the archival phase of
 // Store in isolation: cache splicing is common to every configuration and
 // has its own tier (BenchmarkIngestParallel*, the shards experiment).
-func archiveCell(dopts depot.Options, workers, updates int) (perSec float64, err error) {
+func archiveCell(dopts depot.Options, workers, updates int) (cell cellStats, err error) {
 	d := depot.NewWithOptions(depot.NullCache{}, dopts)
 	defer d.Close()
 	for _, p := range ArchiveBenchPolicies() {
 		if err := d.AddPolicy(p); err != nil {
-			return 0, err
+			return cellStats{}, err
 		}
 	}
 	ids := ArchiveBenchIDs(64)
@@ -122,10 +122,11 @@ func archiveCell(dopts depot.Options, workers, updates int) (perSec float64, err
 		wg      sync.WaitGroup
 		errOnce sync.Once
 	)
+	lat := newLatencyTracker(workers, updates/workers+1)
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
@@ -134,20 +135,24 @@ func archiveCell(dopts depot.Options, workers, updates int) (perSec float64, err
 				}
 				at := archiveBenchStart.Add(time.Duration(i/len(ids)+1) * time.Minute)
 				data := ArchiveBenchStamp(template, gmtOff, at)
+				opStart := time.Now()
 				if _, serr := d.Store(ids[i%len(ids)], data); serr != nil {
 					errOnce.Do(func() { err = serr })
 					return
 				}
+				lat.observe(w, time.Since(opStart))
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	d.Drain()
 	elapsed := time.Since(start)
 	if err != nil {
-		return 0, err
+		return cellStats{}, err
 	}
-	return float64(updates) / elapsed.Seconds(), nil
+	cell.OpsPerSec = float64(updates) / elapsed.Seconds()
+	cell.P50, cell.P95, cell.P99 = lat.percentiles()
+	return cell, nil
 }
 
 // Archive runs the archive-pipeline ablation: global-lock + DOM parse (the
@@ -174,15 +179,20 @@ func Archive(opt ArchiveOptions) Result {
 		var baseline float64
 		for _, cfg := range configs {
 			for _, workers := range []int{1, opt.Workers} {
-				perSec, err := archiveCell(cfg.opts, workers, opt.Updates)
+				cell, err := archiveCell(cfg.opts, workers, opt.Updates)
 				if err != nil {
 					r.Text = "error: " + err.Error()
 					return
 				}
 				if baseline == 0 {
-					baseline = perSec
+					baseline = cell.OpsPerSec
 				}
-				fmt.Fprintf(&sb, "%-18s %-9d %14.0f %9.2fx\n", cfg.name, workers, perSec, perSec/baseline)
+				fmt.Fprintf(&sb, "%-18s %-9d %14.0f %9.2fx\n", cfg.name, workers, cell.OpsPerSec, cell.OpsPerSec/baseline)
+				m := cell.metric("store", map[string]string{
+					"pipeline": cfg.name, "workers": fmt.Sprint(workers),
+				})
+				m.Value, m.ValueUnit = cell.OpsPerSec/baseline, "x-vs-baseline"
+				r.Metrics = append(r.Metrics, m)
 			}
 		}
 		r.Text = sb.String()

@@ -6,7 +6,9 @@
 package experiments
 
 import (
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 	"time"
 )
@@ -23,6 +25,55 @@ type Result struct {
 	Notes []string
 	// Elapsed is how long the experiment took to run.
 	Elapsed time.Duration
+	// Metrics carries the machine-readable measurements behind Text —
+	// what `inca-bench -json` writes to BENCH_<id>.json so results can be
+	// compared across runs without scraping tables.
+	Metrics []Metric
+}
+
+// Metric is one named measurement: a throughput (ops/sec) plus the
+// latency distribution behind it, under a set of identifying labels
+// (shard count, worker count, cache implementation, ...).
+type Metric struct {
+	// Name identifies the measured operation ("ingest", "query-exact").
+	Name string `json:"name"`
+	// Labels identify the configuration the measurement ran under.
+	Labels map[string]string `json:"labels,omitempty"`
+	// OpsPerSec is the measured throughput.
+	OpsPerSec float64 `json:"ops_per_sec,omitempty"`
+	// P50/P95/P99 are latency percentiles in microseconds (0 = not
+	// measured).
+	P50Micros float64 `json:"p50_us,omitempty"`
+	P95Micros float64 `json:"p95_us,omitempty"`
+	P99Micros float64 `json:"p99_us,omitempty"`
+	// Value carries a metric that is neither a rate nor a latency
+	// (speedup factor, byte count), named by ValueUnit.
+	Value     float64 `json:"value,omitempty"`
+	ValueUnit string  `json:"value_unit,omitempty"`
+}
+
+// resultJSON is the file shape of a serialized Result.
+type resultJSON struct {
+	ID        string   `json:"id"`
+	Title     string   `json:"title"`
+	ElapsedMS float64  `json:"elapsed_ms"`
+	Notes     []string `json:"notes,omitempty"`
+	Metrics   []Metric `json:"metrics"`
+	Text      string   `json:"text"`
+}
+
+// WriteJSON serializes the result for BENCH_<id>.json.
+func (r Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(resultJSON{
+		ID:        r.ID,
+		Title:     r.Title,
+		ElapsedMS: float64(r.Elapsed) / float64(time.Millisecond),
+		Notes:     r.Notes,
+		Metrics:   r.Metrics,
+		Text:      r.Text,
+	})
 }
 
 // String renders the result for the terminal.
@@ -93,7 +144,9 @@ func ByID(id string) (Result, error) {
 		return Query(QueryOptions{}), nil
 	case "archive":
 		return Archive(ArchiveOptions{}), nil
+	case "federation":
+		return Federation(FederationOptions{}), nil
 	default:
-		return Result{}, fmt.Errorf("experiments: unknown experiment %q (table1-4, fig4-9, shards, query, archive)", id)
+		return Result{}, fmt.Errorf("experiments: unknown experiment %q (table1-4, fig4-9, shards, query, archive, federation)", id)
 	}
 }

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"time"
+
+	"inca/internal/stats"
+)
+
+// latencyTracker collects per-operation wall times with one slice per
+// worker, so recording is contention-free during a measured cell.
+type latencyTracker struct {
+	perWorker [][]float64 // microseconds
+}
+
+func newLatencyTracker(workers, capHint int) *latencyTracker {
+	t := &latencyTracker{perWorker: make([][]float64, workers)}
+	for i := range t.perWorker {
+		t.perWorker[i] = make([]float64, 0, capHint)
+	}
+	return t
+}
+
+func (t *latencyTracker) observe(worker int, d time.Duration) {
+	t.perWorker[worker] = append(t.perWorker[worker], float64(d)/float64(time.Microsecond))
+}
+
+// percentiles merges every worker's samples and returns p50/p95/p99 in
+// microseconds (zeros when nothing was recorded).
+func (t *latencyTracker) percentiles() (p50, p95, p99 float64) {
+	var all []float64
+	for _, w := range t.perWorker {
+		all = append(all, w...)
+	}
+	if len(all) == 0 {
+		return 0, 0, 0
+	}
+	return stats.Percentile(all, 50), stats.Percentile(all, 95), stats.Percentile(all, 99)
+}
+
+// cellStats is one measured cell: throughput plus its latency
+// distribution — the row Metric entries are built from.
+type cellStats struct {
+	OpsPerSec     float64
+	P50, P95, P99 float64 // microseconds
+}
+
+func (c cellStats) metric(name string, labels map[string]string) Metric {
+	return Metric{
+		Name:      name,
+		Labels:    labels,
+		OpsPerSec: c.OpsPerSec,
+		P50Micros: c.P50,
+		P95Micros: c.P95,
+		P99Micros: c.P99,
+	}
+}

@@ -65,7 +65,7 @@ func buildQueryCache(name string, ids []branch.ID, dump []byte, data []byte) (de
 
 // queryCell runs one operation mix against a populated cache with the
 // given reader count for roughly the budget, returning ops/sec.
-func queryCell(c depot.Cache, ids []branch.ID, readers int, budget time.Duration, op func(depot.Cache, branch.ID) error) (float64, error) {
+func queryCell(c depot.Cache, ids []branch.ID, readers int, budget time.Duration, op func(depot.Cache, branch.ID) error) (cellStats, error) {
 	var (
 		next    atomic.Int64
 		done    atomic.Int64
@@ -73,31 +73,35 @@ func queryCell(c depot.Cache, ids []branch.ID, readers int, budget time.Duration
 		errOnce sync.Once
 		err     error
 	)
+	lat := newLatencyTracker(readers, 4096)
 	start := time.Now()
 	deadline := start.Add(budget)
 	for w := 0; w < readers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
+				opStart := time.Now()
 				if qerr := op(c, ids[i%len(ids)]); qerr != nil {
 					errOnce.Do(func() { err = qerr })
 					return
 				}
+				lat.observe(w, time.Since(opStart))
 				done.Add(1)
 				if time.Now().After(deadline) {
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 	if err != nil {
-		return 0, err
+		return cellStats{}, err
 	}
-	return float64(done.Load()) / elapsed.Seconds(), nil
+	p50, p95, p99 := lat.percentiles()
+	return cellStats{OpsPerSec: float64(done.Load()) / elapsed.Seconds(), P50: p50, P95: p95, P99: p99}, nil
 }
 
 func exactQueryOp(c depot.Cache, id branch.ID) error {
@@ -172,13 +176,16 @@ func Query(opt QueryOptions) Result {
 						{"query", exactQueryOp},
 						{"reports", prefixReportsOp},
 					} {
-						perSec, err := queryCell(c, ids, readers, opt.Budget, mix.op)
+						cell, err := queryCell(c, ids, readers, opt.Budget, mix.op)
 						if err != nil {
 							r.Text = "error: " + err.Error()
 							return
 						}
 						fmt.Fprintf(&sb, "%-10s %-8d %-9d %-8s %14.0f %12.2f\n",
-							name, population, readers, mix.name, perSec, 1e6/perSec*float64(readers))
+							name, population, readers, mix.name, cell.OpsPerSec, 1e6/cell.OpsPerSec*float64(readers))
+						r.Metrics = append(r.Metrics, cell.metric(mix.name, map[string]string{
+							"cache": name, "reports": fmt.Sprint(population), "readers": fmt.Sprint(readers),
+						}))
 					}
 				}
 			}

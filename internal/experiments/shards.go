@@ -28,7 +28,7 @@ type ShardsOptions struct {
 // envelope → depot path against an n-shard cache with the given number of
 // concurrent submitters, over the TeraGrid-shaped population (40 sites ×
 // 26 probes, 9257-byte reports).
-func shardsCell(shards, workers, updates int) (perSec float64, err error) {
+func shardsCell(shards, workers, updates int) (cell cellStats, err error) {
 	var cache depot.Cache
 	if shards == 1 {
 		cache = depot.NewStreamCache()
@@ -46,7 +46,7 @@ func shardsCell(shards, workers, updates int) (perSec float64, err error) {
 	}
 	for _, id := range ids {
 		if _, err = ctl.Submit(id, "loadgen", data); err != nil {
-			return 0, err
+			return cellStats{}, err
 		}
 	}
 	var (
@@ -54,29 +54,34 @@ func shardsCell(shards, workers, updates int) (perSec float64, err error) {
 		wg      sync.WaitGroup
 		errOnce sync.Once
 	)
+	lat := newLatencyTracker(workers, updates/workers+1)
 	start := time.Now()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
 				if i > updates {
 					return
 				}
+				opStart := time.Now()
 				if _, serr := ctl.Submit(ids[i%len(ids)], "loadgen", data); serr != nil {
 					errOnce.Do(func() { err = serr })
 					return
 				}
+				lat.observe(w, time.Since(opStart))
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 	if err != nil {
-		return 0, err
+		return cellStats{}, err
 	}
-	return float64(updates) / elapsed.Seconds(), nil
+	cell.OpsPerSec = float64(updates) / elapsed.Seconds()
+	cell.P50, cell.P95, cell.P99 = lat.percentiles()
+	return cell, nil
 }
 
 // Shards runs the sharded-cache ablation: steady-state ingest throughput
@@ -96,15 +101,20 @@ func Shards(opt ShardsOptions) Result {
 		var baseline float64
 		for _, shards := range []int{1, 4, 16} {
 			for _, workers := range []int{1, opt.Workers} {
-				perSec, err := shardsCell(shards, workers, opt.Updates)
+				cell, err := shardsCell(shards, workers, opt.Updates)
 				if err != nil {
 					r.Text = "error: " + err.Error()
 					return
 				}
 				if baseline == 0 {
-					baseline = perSec
+					baseline = cell.OpsPerSec
 				}
-				fmt.Fprintf(&sb, "%-8d %-9d %14.0f %9.2fx\n", shards, workers, perSec, perSec/baseline)
+				fmt.Fprintf(&sb, "%-8d %-9d %14.0f %9.2fx\n", shards, workers, cell.OpsPerSec, cell.OpsPerSec/baseline)
+				m := cell.metric("ingest", map[string]string{
+					"shards": fmt.Sprint(shards), "workers": fmt.Sprint(workers),
+				})
+				m.Value, m.ValueUnit = cell.OpsPerSec/baseline, "x-vs-baseline"
+				r.Metrics = append(r.Metrics, m)
 			}
 		}
 		r.Text = sb.String()

@@ -1,0 +1,43 @@
+package federation
+
+import (
+	"bytes"
+	"fmt"
+
+	"inca/internal/branch"
+)
+
+// StoredReport is one report recovered from a /reports response — the
+// unit the rebalance migration re-envelopes and re-stores on a branch's
+// new owner.
+type StoredReport struct {
+	ID  branch.ID
+	XML []byte
+}
+
+// ParseReports decodes a /reports response body into its stored reports.
+// The branch attribute is XML-escaped by the producer (so '>' cannot
+// appear before the open tag closes), which makes the inner report XML
+// exactly the bytes between the open tag's '>' and the closing
+// </stored>.
+func ParseReports(body []byte) ([]StoredReport, error) {
+	chunks, err := splitReports(body, "")
+	if err != nil {
+		return nil, err
+	}
+	out := make([]StoredReport, 0, len(chunks))
+	for _, c := range chunks {
+		gt := bytes.IndexByte(c.raw, '>')
+		if gt < 0 || !bytes.HasSuffix(c.raw, []byte("</stored>")) {
+			return nil, fmt.Errorf("federation: malformed stored element")
+		}
+		inner := c.raw[gt+1 : len(c.raw)-len("</stored>")]
+		// c.path is general→specific; ID.Pairs lead with the most specific.
+		pairs := make([]branch.Pair, len(c.path))
+		for i, p := range c.path {
+			pairs[len(c.path)-1-i] = p
+		}
+		out = append(out, StoredReport{ID: branch.New(pairs...), XML: inner})
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+package federation
+
+import (
+	"fmt"
+	"testing"
+
+	"inca/internal/branch"
+)
+
+// ringPopulation returns n branch identifiers with distinct site
+// prefixes — n distinct placement keys at the default depth.
+func ringPopulation(n int) []branch.ID {
+	ids := make([]branch.ID, 0, n)
+	for i := 0; i < n; i++ {
+		ids = append(ids, branch.MustParse(fmt.Sprintf("probe=p%02d,site=s%04d,vo=tg", i%26, i)))
+	}
+	return ids
+}
+
+func shardNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("10.0.0.%d:6323", i+1)
+	}
+	return names
+}
+
+// TestRingDistribution pins the load-balance guarantee: across 1000
+// branches the most- and least-loaded shard stay within 20% of the even
+// split, for every shard count the benches exercise.
+func TestRingDistribution(t *testing.T) {
+	ids := ringPopulation(1000)
+	for _, shards := range []int{2, 4, 8} {
+		r := NewRing(shardNames(shards), RingOptions{})
+		counts := make(map[string]int)
+		for _, id := range ids {
+			owner := r.Owner(id)
+			if owner == "" {
+				t.Fatalf("shards=%d: no owner for %s", shards, id)
+			}
+			counts[owner]++
+		}
+		if len(counts) != shards {
+			t.Fatalf("shards=%d: only %d shards received branches", shards, len(counts))
+		}
+		mean := float64(len(ids)) / float64(shards)
+		min, max := len(ids), 0
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		if skew := (float64(max) - mean) / mean; skew > 0.20 {
+			t.Errorf("shards=%d: max shard %d vs mean %.0f (%.0f%% over)", shards, max, mean, skew*100)
+		}
+		if skew := (mean - float64(min)) / mean; skew > 0.20 {
+			t.Errorf("shards=%d: min shard %d vs mean %.0f (%.0f%% under)", shards, min, mean, skew*100)
+		}
+	}
+}
+
+// TestRingRemapFraction pins the point of consistent hashing: adding or
+// removing one member re-routes about 1/N of the keys, not all of them.
+func TestRingRemapFraction(t *testing.T) {
+	ids := ringPopulation(1000)
+	names := shardNames(4)
+	r4 := NewRing(names, RingOptions{})
+
+	r5 := r4.With("10.0.0.9:6323")
+	moved := 0
+	for _, id := range ids {
+		if r4.Owner(id) != r5.Owner(id) {
+			// A join may only move keys onto the joining shard.
+			if got := r5.Owner(id); got != "10.0.0.9:6323" {
+				t.Fatalf("join moved %s to %s, not the joining shard", id, got)
+			}
+			moved++
+		}
+	}
+	want := float64(len(ids)) / 5
+	if f := float64(moved); f < 0.5*want || f > 1.5*want {
+		t.Errorf("join moved %d of %d keys; want ≈%.0f (1/5)", moved, len(ids), want)
+	}
+
+	r3 := r4.Without(names[0])
+	moved = 0
+	for _, id := range ids {
+		if r4.Owner(id) != r3.Owner(id) {
+			// A leave may only move keys off the leaving shard.
+			if was := r4.Owner(id); was != names[0] {
+				t.Fatalf("leave moved %s owned by surviving shard %s", id, was)
+			}
+			moved++
+		}
+	}
+	want = float64(len(ids)) / 4
+	if f := float64(moved); f < 0.5*want || f > 1.5*want {
+		t.Errorf("leave moved %d of %d keys; want ≈%.0f (1/4)", moved, len(ids), want)
+	}
+}
+
+// TestRingPrefixAffinity pins the subtree guarantee: every identifier
+// under one vo/site prefix maps to the same shard, however deep.
+func TestRingPrefixAffinity(t *testing.T) {
+	r := NewRing(shardNames(8), RingOptions{})
+	base := r.Owner(branch.MustParse("site=sdsc,vo=tg"))
+	for _, s := range []string{
+		"probe=ssh,site=sdsc,vo=tg",
+		"dest=caltech,tool=pathload,performance=network,site=sdsc,vo=tg",
+		"x=y,probe=gridftp,site=sdsc,vo=tg",
+	} {
+		if got := r.Owner(branch.MustParse(s)); got != base {
+			t.Errorf("%s owned by %s; want subtree owner %s", s, got, base)
+		}
+	}
+	// A different site need not share the owner, but must be stable.
+	other := branch.MustParse("probe=ssh,site=ncsa,vo=tg")
+	if a, b := r.Owner(other), r.Owner(other); a != b {
+		t.Errorf("unstable owner for %s: %s then %s", other, a, b)
+	}
+}
+
+// TestRingDeterminism: equal member sets (in any order) build identical
+// rings, so independently configured routers agree on placement.
+func TestRingDeterminism(t *testing.T) {
+	a := NewRing([]string{"c:1", "a:1", "b:1"}, RingOptions{})
+	b := NewRing([]string{"b:1", "a:1", "c:1", "a:1"}, RingOptions{})
+	if a.Signature() != b.Signature() {
+		t.Fatalf("signatures differ: %s vs %s", a.Signature(), b.Signature())
+	}
+	for _, id := range ringPopulation(100) {
+		if a.Owner(id) != b.Owner(id) {
+			t.Fatalf("placement differs for %s", id)
+		}
+	}
+	if c := NewRing([]string{"a:1", "b:1"}, RingOptions{}); c.Signature() == a.Signature() {
+		t.Fatal("different member sets share a signature")
+	}
+	if d := NewRing([]string{"c:1", "a:1", "b:1"}, RingOptions{Depth: 3}); d.Signature() == a.Signature() {
+		t.Fatal("different depths share a signature")
+	}
+}
+
+// TestRingRoot: the root identifier routes somewhere stable rather than
+// panicking — shallow queries are scatter-gathered by the query tier,
+// but the ring must still answer.
+func TestRingRoot(t *testing.T) {
+	r := NewRing(shardNames(3), RingOptions{})
+	if r.Owner(branch.ID{}) == "" {
+		t.Fatal("root has no owner")
+	}
+	if NewRing(nil, RingOptions{}).Owner(branch.ID{}) != "" {
+		t.Fatal("empty ring returned an owner")
+	}
+}

@@ -1,0 +1,338 @@
+package federation
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"inca/internal/branch"
+	"inca/internal/metrics"
+	"inca/internal/wire"
+)
+
+// Shard names one depot process: the wire address its controller ingests
+// on (which doubles as the ring member name) and the HTTP address of its
+// querying interface.
+type Shard struct {
+	// Wire is the shard's distributed-controller TCP address; it is also
+	// the shard's identity on the ring.
+	Wire string
+	// HTTP is the shard's querying-interface address ("" when the shard
+	// only ingests). A bare host:port is accepted; the query tier adds
+	// the scheme.
+	HTTP string
+}
+
+// Name returns the shard's ring identity.
+func (s Shard) Name() string { return s.Wire }
+
+// BaseURL returns the shard's querying interface URL.
+func (s Shard) BaseURL() string {
+	if s.HTTP == "" {
+		return ""
+	}
+	if strings.Contains(s.HTTP, "://") {
+		return s.HTTP
+	}
+	return "http://" + s.HTTP
+}
+
+// ParseShard parses "wireAddr/httpAddr" (the slash and HTTP part
+// optional).
+func ParseShard(s string) (Shard, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Shard{}, fmt.Errorf("federation: empty shard spec")
+	}
+	wireAddr, httpAddr, _ := strings.Cut(s, "/")
+	if wireAddr == "" {
+		return Shard{}, fmt.Errorf("federation: shard spec %q has no wire address", s)
+	}
+	return Shard{Wire: wireAddr, HTTP: httpAddr}, nil
+}
+
+// ParseShards parses a comma-separated -federate topology list.
+func ParseShards(list string) ([]Shard, error) {
+	var out []Shard
+	for _, part := range strings.Split(list, ",") {
+		if strings.TrimSpace(part) == "" {
+			continue
+		}
+		s, err := ParseShard(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("federation: no shards in %q", list)
+	}
+	return out, nil
+}
+
+// RouterOptions configures a Router.
+type RouterOptions struct {
+	// Ring sets the consistent-hash geometry (replicas, affinity depth).
+	Ring RingOptions
+	// Batch templates the per-shard wire.BatchClient (Metrics is
+	// overridden by the router's registry).
+	Batch wire.BatchOptions
+	// Metrics, when set, registers the router's counters and the shard
+	// clients' delivery instruments there.
+	Metrics *metrics.Registry
+}
+
+// Router is the federation ingest tier: a wire.Handler that accepts the
+// agent→controller protocol and forwards every message to the shard
+// owning its branch over a per-shard BatchClient. Acknowledging a message
+// transfers custody to the router; from there the batch client's
+// at-least-once machinery (in-flight tracking, requeue on connection
+// loss) carries it to the shard, and a shard's departure harvests its
+// queue back for re-routing. Loss is bounded exactly as for one
+// BatchClient: only a MaxPending overflow sheds messages.
+type Router struct {
+	opt RouterOptions
+
+	mu      sync.RWMutex
+	ring    *Ring
+	shards  map[string]Shard             // by ring name
+	clients map[string]*wire.BatchClient // by ring name
+
+	routed     *metrics.Counter
+	rerouted   *metrics.Counter
+	unroutable *metrics.Counter
+}
+
+// NewRouter builds a router over the initial shard topology.
+func NewRouter(shards []Shard, opt RouterOptions) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("federation: router needs at least one shard")
+	}
+	reg := opt.Metrics
+	r := &Router{
+		opt:        opt,
+		shards:     make(map[string]Shard, len(shards)),
+		clients:    make(map[string]*wire.BatchClient, len(shards)),
+		routed:     reg.Counter("inca_federation_routed_total", "Messages accepted and routed to an owning shard."),
+		rerouted:   reg.Counter("inca_federation_rerouted_total", "Harvested messages re-routed after a shard left."),
+		unroutable: reg.Counter("inca_federation_unroutable_total", "Messages rejected for an unparseable branch."),
+	}
+	names := make([]string, 0, len(shards))
+	for _, s := range shards {
+		if _, dup := r.shards[s.Name()]; dup {
+			return nil, fmt.Errorf("federation: duplicate shard %s", s.Name())
+		}
+		r.shards[s.Name()] = s
+		r.clients[s.Name()] = r.newClient(s)
+		names = append(names, s.Name())
+	}
+	r.ring = NewRing(names, opt.Ring)
+	return r, nil
+}
+
+func (r *Router) newClient(s Shard) *wire.BatchClient {
+	bo := r.opt.Batch
+	bo.Metrics = r.opt.Metrics
+	return wire.NewBatchClient(s.Wire, bo)
+}
+
+// Ring returns the current ring (immutable; safe to keep).
+func (r *Router) Ring() *Ring {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.ring
+}
+
+// Shards returns the current topology in ring-member order — the order
+// the query tier composes per-shard ETags in.
+func (r *Router) Shards() []Shard {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Shard, 0, len(r.shards))
+	for _, name := range r.ring.Members() {
+		out = append(out, r.shards[name])
+	}
+	return out
+}
+
+// Owner returns the shard owning id.
+func (r *Router) Owner(id branch.ID) (Shard, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	name := r.ring.Owner(id)
+	s, ok := r.shards[name]
+	return s, ok
+}
+
+// Handle implements wire.Handler: parse the branch, enqueue toward its
+// owner, acknowledge. The ack is a custody transfer, not an end-to-end
+// receipt — the batch client redelivers across shard connection faults,
+// so the distributed controller's spool can discard the report.
+// Signature verification stays with the shard controllers (the signature
+// rides inside the message); the router adds no trust.
+func (r *Router) Handle(m *wire.Message, remoteAddr string) *wire.Ack {
+	id, err := branch.Parse(m.Branch)
+	if err != nil {
+		r.unroutable.Inc()
+		return &wire.Ack{OK: false, Message: "bad branch: " + err.Error()}
+	}
+	r.mu.RLock()
+	client := r.clients[r.ring.Owner(id)]
+	r.mu.RUnlock()
+	if client == nil {
+		r.unroutable.Inc()
+		return &wire.Ack{OK: false, Message: "no shard owns " + m.Branch}
+	}
+	// Enqueue surfaces *previous* asynchronous failures; the batch client
+	// still holds this message either way, so the ack stands.
+	client.Enqueue(m)
+	r.routed.Inc()
+	return &wire.Ack{OK: true}
+}
+
+// Join adds a shard to the ring. Only the ring ranges the new member
+// claims move; everything else keeps its owner (see TestRingRemapFraction
+// for the ≈1/N bound). Data migration for the moved ranges is the query
+// tier's business — the router only changes where new ingest lands.
+func (r *Router) Join(s Shard) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.shards[s.Name()]; dup {
+		return fmt.Errorf("federation: shard %s already joined", s.Name())
+	}
+	r.shards[s.Name()] = s
+	r.clients[s.Name()] = r.newClient(s)
+	r.ring = r.ring.With(s.Name())
+	return nil
+}
+
+// DrainShard is the drain barrier for a graceful leave: it blocks until
+// every message accepted for the shard has been written and acknowledged
+// (or returns the delivery error for a shard that cannot be reached).
+func (r *Router) DrainShard(name string) error {
+	r.mu.RLock()
+	client := r.clients[name]
+	r.mu.RUnlock()
+	if client == nil {
+		return fmt.Errorf("federation: unknown shard %s", name)
+	}
+	return client.Drain()
+}
+
+// Leave removes a shard. New ingest for its ranges re-routes to the
+// survivors immediately, and every message still queued toward the
+// departed shard — including batches written but never acknowledged, the
+// kill-mid-stream case — is harvested and re-enqueued through the new
+// ring, so no accepted report is lost with the shard. Call DrainShard
+// first for a graceful departure; skip it when the shard is already
+// dead. Returns how many messages were re-routed.
+func (r *Router) Leave(name string) (int, error) {
+	r.mu.Lock()
+	if _, ok := r.shards[name]; !ok {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("federation: unknown shard %s", name)
+	}
+	if len(r.shards) == 1 {
+		r.mu.Unlock()
+		return 0, fmt.Errorf("federation: cannot remove the last shard")
+	}
+	client := r.clients[name]
+	delete(r.shards, name)
+	delete(r.clients, name)
+	r.ring = r.ring.Without(name)
+	r.mu.Unlock()
+
+	// Harvest outside the lock: CloseHarvest may wait out an ack reader.
+	orphans := client.CloseHarvest()
+	moved := 0
+	for _, m := range orphans {
+		id, err := branch.Parse(m.Branch)
+		if err != nil {
+			continue // was unroutable all along
+		}
+		r.mu.RLock()
+		next := r.clients[r.ring.Owner(id)]
+		r.mu.RUnlock()
+		if next != nil {
+			next.Enqueue(m)
+			moved++
+		}
+	}
+	r.rerouted.Add(uint64(moved))
+	return moved, nil
+}
+
+// Flush pushes every shard client's pending partial batch.
+func (r *Router) Flush() error {
+	var first error
+	for _, c := range r.snapshotClients() {
+		if err := c.Flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Drain blocks until every accepted message has been acknowledged by its
+// shard (the router-wide barrier the smoke tests and shutdown use).
+func (r *Router) Drain() error {
+	var first error
+	for _, c := range r.snapshotClients() {
+		if err := c.Drain(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Close drains and closes every shard client.
+func (r *Router) Close() error {
+	var first error
+	for _, c := range r.snapshotClients() {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func (r *Router) snapshotClients() []*wire.BatchClient {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*wire.BatchClient, 0, len(r.clients))
+	for _, c := range r.clients {
+		out = append(out, c)
+	}
+	return out
+}
+
+// ShardStats is one shard's delivery accounting.
+type ShardStats struct {
+	Shard Shard
+	Batch wire.BatchStats
+}
+
+// RouterStats snapshots the router's routing and per-shard delivery
+// counters.
+type RouterStats struct {
+	Routed     uint64
+	Rerouted   uint64
+	Unroutable uint64
+	Shards     []ShardStats
+}
+
+// Stats returns a snapshot of routing and delivery accounting, shards in
+// ring-member order.
+func (r *Router) Stats() RouterStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st := RouterStats{
+		Routed:     r.routed.Value(),
+		Rerouted:   r.rerouted.Value(),
+		Unroutable: r.unroutable.Value(),
+	}
+	for _, name := range r.ring.Members() {
+		st.Shards = append(st.Shards, ShardStats{Shard: r.shards[name], Batch: r.clients[name].Stats()})
+	}
+	return st
+}

@@ -162,11 +162,7 @@ func readOnly(h http.HandlerFunc) http.HandlerFunc {
 // generation returns the cache generation when the underlying cache is
 // versioned.
 func (s *Server) generation() (uint64, bool) {
-	v, ok := s.d.Cache().(depot.Versioned)
-	if !ok {
-		return 0, false
-	}
-	return v.Generation(), true
+	return s.d.CacheGeneration()
 }
 
 // etagFor renders a generation as a strong entity tag. Each endpoint has
@@ -207,8 +203,13 @@ func (s *Server) checkNotModified(w http.ResponseWriter, r *http.Request, tag st
 func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	contentType := "text/html; charset=utf-8"
-	if q.Get("format") == "text" {
+	switch q.Get("format") {
+	case "text":
 		contentType = "text/plain; charset=utf-8"
+	case "json":
+		// Structured rows — the interchange the federated query tier
+		// scatters and merges (see internal/query/federated.go).
+		contentType = "application/json; charset=utf-8"
 	}
 	resources := q["resource"]
 	if len(resources) == 0 {
@@ -256,9 +257,15 @@ func (s *Server) handleAvailability(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var body []byte
-	if q.Get("format") == "text" {
+	switch q.Get("format") {
+	case "text":
 		body = []byte(page.Text())
-	} else {
+	case "json":
+		if body, err = marshalAvailabilityPage(page); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	default:
 		if body, err = page.HTML(); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return

@@ -260,6 +260,14 @@ func (c *BatchClient) Options() BatchOptions { return c.opt }
 func (c *BatchClient) Enqueue(m *Message) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.errMu.Lock()
+	closed := c.closed
+	c.errMu.Unlock()
+	if closed {
+		// After Close (or CloseHarvest) a buffered message could never be
+		// delivered — refuse it so the caller keeps custody.
+		return fmt.Errorf("wire: client closed")
+	}
 	if c.opt.MaxPending > 0 && len(c.pending) >= c.opt.MaxPending {
 		// The unreachable-server backstop: shed the oldest message so an
 		// outage costs bounded memory, and account for the loss.
@@ -563,6 +571,34 @@ func (c *BatchClient) Stats() BatchStats {
 		Dropped:  c.dropped.Value(),
 		Redials:  c.redials.Value(),
 	}
+}
+
+// CloseHarvest closes the client immediately and returns every
+// undelivered message — the pending buffer plus any batches written but
+// not yet acknowledged, in submission order — instead of draining or
+// dropping them. It exists for re-routing: when a federation shard
+// leaves (or dies), the router harvests the shard's queue and re-enqueues
+// it toward the new owners, preserving at-least-once delivery across the
+// membership change. Harvested messages are not counted in
+// Stats().Dropped; custody transfers to the caller.
+func (c *BatchClient) CloseHarvest() []*Message {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.errMu.Lock()
+	c.closed = true
+	c.errMu.Unlock()
+	if c.timer != nil {
+		c.timer.Stop()
+		c.timer = nil
+	}
+	// resetConnLocked waits out the ack reader and requeues unacknowledged
+	// in-flight batches ahead of pending, so the harvest is race-free and
+	// ordered. (A batch whose ack vector was in flight may be harvested
+	// anyway and redelivered — the usual at-least-once trade.)
+	c.resetConnLocked()
+	out := c.pending
+	c.pending = nil
+	return out
 }
 
 // Close drains outstanding batches and closes the connection. Messages

@@ -341,3 +341,72 @@ func BenchmarkWireBatchRoundTrip(b *testing.B) {
 		}
 	}
 }
+func TestCloseHarvestReturnsUndelivered(t *testing.T) {
+	// Nothing flushes (large batch, no timer): every message is still
+	// pending, and the harvest must return all of them in order without
+	// ever dialing.
+	c := NewBatchClient("127.0.0.1:1", BatchOptions{MaxBatch: 64, FlushInterval: -1})
+	const total = 17
+	for i := 0; i < total; i++ {
+		c.Enqueue(&Message{Branch: fmt.Sprintf("r=%d", i), Hostname: "h", Report: []byte("<r/>")})
+	}
+	got := c.CloseHarvest()
+	if len(got) != total {
+		t.Fatalf("harvested %d, want %d", len(got), total)
+	}
+	for i, m := range got {
+		if m.Branch != fmt.Sprintf("r=%d", i) {
+			t.Fatalf("message %d out of order: %s", i, m.Branch)
+		}
+	}
+	if st := c.Stats(); st.Dropped != 0 {
+		t.Fatalf("harvested messages counted as dropped: %+v", st)
+	}
+	if c.CloseHarvest() != nil {
+		t.Fatal("second harvest returned messages")
+	}
+	if err := c.Enqueue(&Message{Branch: "r=late"}); err == nil {
+		t.Fatal("enqueue after close accepted")
+	}
+}
+
+func TestCloseHarvestAfterPartialDelivery(t *testing.T) {
+	// The server acknowledges the first batch then hangs: the harvest
+	// must return the written-but-unacknowledged batches (the
+	// kill-mid-stream case) so nothing is lost or double-counted.
+	var seen atomic.Int64
+	block := make(chan struct{})
+	srv, err := Serve("127.0.0.1:0", func(m *Message, remote string) *Ack {
+		if seen.Add(1) > 5 {
+			<-block
+		}
+		return &Ack{OK: true}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	defer close(block)
+
+	// Window 4 holds all 4 batches without blocking a flush.
+	c := NewBatchClient(srv.Addr(), BatchOptions{MaxBatch: 5, Window: 4, FlushInterval: -1, IOTimeout: -1})
+	const total = 20
+	for i := 0; i < total; i++ {
+		c.Enqueue(&Message{Branch: fmt.Sprintf("r=%d", i), Hostname: "h", Report: []byte("<r/>")})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Stats().Acked < 5 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	got := c.CloseHarvest()
+	st := c.Stats()
+	if int(st.Acked)+len(got) != total {
+		t.Fatalf("acked %d + harvested %d != %d", st.Acked, len(got), total)
+	}
+	if len(got) == 0 {
+		t.Fatal("nothing harvested while the server hung")
+	}
+	if st.Dropped != 0 {
+		t.Fatalf("harvest counted as loss: %+v", st)
+	}
+}
