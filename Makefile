@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test chaos metrics-smoke federation-smoke bench-smoke bench-query bench-archive bench-federation
+.PHONY: check fmt vet build test chaos metrics-smoke federation-smoke storage-smoke bench-smoke bench-query bench-archive bench-federation bench-storage
 
 # The full gate: formatting, static checks, build, race-enabled tests,
 # the fault-injection suite, the telemetry smoke, the multi-process
-# federation smoke, and a one-iteration smoke of the parallel ingest
-# benchmark tier.
-check: fmt vet build test chaos metrics-smoke federation-smoke bench-smoke
+# federation and storage smokes, and a one-iteration smoke of the
+# parallel ingest benchmark tier.
+check: fmt vet build test chaos metrics-smoke federation-smoke storage-smoke bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -40,6 +40,13 @@ metrics-smoke:
 federation-smoke:
 	INCA_FEDERATION_SMOKE=1 $(GO) test -race -run TestFederationSmoke -count=1 .
 
+# Storage gate (DESIGN.md §5g): a real -storage disk server SIGKILLed
+# twice (after a clean drain and mid-stream) with its WAL tail torn,
+# restarted, and checkpointed — no acknowledged report or archive may be
+# lost, and the torn tail must be truncated.
+storage-smoke:
+	INCA_STORAGE_SMOKE=1 $(GO) test -race -run TestStorageSmoke -count=1 .
+
 bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkIngestParallel4|BenchmarkArchiveParallel4' -benchtime=1x .
 
@@ -57,3 +64,10 @@ bench-archive:
 # machine-readable result written to BENCH_federation.json.
 bench-federation:
 	$(GO) run ./cmd/inca-bench -experiment federation -json .
+
+# Storage tier (DESIGN.md §5g): memory vs disk engine across report
+# ingest, archive updates at 10k/100k series (with the heap staying flat
+# on disk), and restart recovery (WAL replay vs checkpoint vs snapshot);
+# machine-readable result written to BENCH_storage.json.
+bench-storage:
+	$(GO) run ./cmd/inca-bench -experiment storage -json .

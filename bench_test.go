@@ -647,6 +647,55 @@ func BenchmarkArchiveParallel1(b *testing.B)  { benchmarkArchiveConfigs(b, 1) }
 func BenchmarkArchiveParallel4(b *testing.B)  { benchmarkArchiveConfigs(b, 4) }
 func BenchmarkArchiveParallel16(b *testing.B) { benchmarkArchiveConfigs(b, 16) }
 
+// --- disk storage engine: the same archive tier over paged files + WAL ---
+//
+// Identical workload to benchmarkArchiveParallel's sharded-sync cell, but
+// the depot runs on the disk engine (DESIGN.md §5g): every store appends a
+// WAL frame and consolidation lands in paged archive files. OpenFiles is
+// sized so the working set (64 branches x 5 policies = 320 archives) stays
+// inside the handle LRU — the steady-state configuration, not the
+// eviction-thrash one.
+
+func benchmarkDiskArchiveParallel(b *testing.B, parallelism int) {
+	d, err := depot.OpenDisk(depot.DiskOptions{
+		Cache: depot.NullCache{}, Dir: b.TempDir(), OpenFiles: 512,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	for _, p := range experiments.ArchiveBenchPolicies() {
+		if err := d.AddPolicy(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ids := experiments.ArchiveBenchIDs(64)
+	template, gmtOff := experiments.ArchiveBenchReport()
+	b.SetBytes(int64(len(template)))
+	b.SetParallelism(parallelism)
+	b.ResetTimer()
+	var next atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1))
+			at := benchStart.Add(time.Duration(i/len(ids)+1) * time.Minute)
+			data := experiments.ArchiveBenchStamp(template, gmtOff, at)
+			if _, err := d.Store(ids[i%len(ids)], data); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	d.Drain()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "reports/sec")
+	}
+}
+
+func BenchmarkDiskArchiveParallel1(b *testing.B)  { benchmarkDiskArchiveParallel(b, 1) }
+func BenchmarkDiskArchiveParallel4(b *testing.B)  { benchmarkDiskArchiveParallel(b, 4) }
+func BenchmarkDiskArchiveParallel16(b *testing.B) { benchmarkDiskArchiveParallel(b, 16) }
+
 // --- federated multi-depot scaling (DESIGN.md §5f) ---
 
 // benchmarkFederatedIngest drives the full controller → envelope → depot

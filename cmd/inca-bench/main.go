@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: all, table1-table4, fig4-fig9, shards, query, archive, federation")
+		experiment = flag.String("experiment", "all", "experiment to run: all, table1-table4, fig4-fig9, shards, query, archive, federation, storage")
 		hours      = flag.Int("hours", 0, "virtual hours for table4/fig8 (0 = default)")
 		days       = flag.Int("days", 0, "virtual days for fig5/fig6/fig7 (0 = default)")
 		updates    = flag.Int("updates", 0, "steady-state updates per fig9/shards cell (0 = default)")
@@ -83,8 +83,10 @@ func main() {
 		run(experiments.Archive(experiments.ArchiveOptions{Updates: *updates, Workers: *workers}))
 	case "federation":
 		run(experiments.Federation(experiments.FederationOptions{Updates: *updates, Workers: *workers}))
+	case "storage":
+		run(experiments.Storage(experiments.StorageOptions{Updates: *updates, Workers: *workers}))
 	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (all, table1-table4, fig4-fig9, shards, query, archive, federation)\n", *experiment)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (all, table1-table4, fig4-fig9, shards, query, archive, federation, storage)\n", *experiment)
 		os.Exit(2)
 	}
 

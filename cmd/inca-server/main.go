@@ -8,6 +8,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
@@ -37,6 +38,11 @@ func main() {
 		cacheImp  = flag.String("cache", "stream", "cache implementation: stream, file, dom, split, or indexed")
 		cacheFile = flag.String("cache-file", "inca-cache.xml", "backing file for -cache file")
 		snapshot  = flag.String("snapshot", "", "depot snapshot file: loaded at startup if present, written at shutdown")
+
+		storage    = flag.String("storage", "memory", "depot storage engine: memory (resident archives) or disk (paged archive files + WAL under -data)")
+		dataDir    = flag.String("data", "inca-data", "storage directory for -storage disk")
+		openFiles  = flag.Int("open-files", 64, "open archive file handles kept by the disk engine's LRU")
+		checkpoint = flag.Duration("checkpoint", 5*time.Minute, "disk engine checkpoint interval (0 = only at shutdown)")
 
 		archiveMode    = flag.String("archive", "sync", "archive pipeline mode: sync or async")
 		archiveWorkers = flag.Int("archive-workers", 4, "async archive worker count")
@@ -77,44 +83,64 @@ func main() {
 	}
 
 	var d *depot.Depot
-	if *snapshot != "" {
-		if f, err := os.Open(*snapshot); err == nil {
-			restored, rerr := depot.ReadSnapshotOptions(f, opts)
-			f.Close()
-			if rerr != nil {
-				fmt.Fprintf(os.Stderr, "snapshot %s: %v\n", *snapshot, rerr)
-				os.Exit(1)
-			}
-			d = restored
-			st := d.Stats()
-			fmt.Printf("restored depot snapshot: %d cached entries, %d archives, %d policies\n",
-				st.CacheCount, st.Archives, len(d.Policies()))
+	switch *storage {
+	case "disk":
+		dd, err := depot.OpenDisk(depot.DiskOptions{Options: opts, Dir: *dataDir, OpenFiles: *openFiles})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "storage %s: %v\n", *dataDir, err)
+			os.Exit(1)
 		}
+		d = dd
+		st := d.Stats()
+		fmt.Printf("disk depot %s: %d cached entries, %d archives, %d policies\n",
+			*dataDir, st.CacheCount, st.Archives, len(d.Policies()))
+	case "memory":
+		if *snapshot != "" {
+			if f, err := os.Open(*snapshot); err == nil {
+				restored, rerr := depot.ReadSnapshotOptions(f, opts)
+				f.Close()
+				if rerr != nil {
+					fmt.Fprintf(os.Stderr, "snapshot %s: %v\n", *snapshot, rerr)
+					os.Exit(1)
+				}
+				d = restored
+				st := d.Stats()
+				fmt.Printf("restored depot snapshot: %d cached entries, %d archives, %d policies\n",
+					st.CacheCount, st.Archives, len(d.Policies()))
+			}
+		}
+		if d == nil {
+			var cache depot.Cache
+			switch *cacheImp {
+			case "stream":
+				cache = depot.NewStreamCache()
+			case "file":
+				fc, err := depot.OpenFileCache(*cacheFile)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("cache file %s: %d entries\n", fc.Path(), fc.Count())
+				cache = fc
+			case "dom":
+				cache = depot.NewDOMCache()
+			case "split":
+				cache = depot.NewSplitCacheDepth(2)
+			case "indexed":
+				cache = depot.NewIndexedCache()
+			default:
+				fmt.Fprintf(os.Stderr, "unknown cache %q\n", *cacheImp)
+				os.Exit(2)
+			}
+			d = depot.NewWithOptions(cache, opts)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown storage %q\n", *storage)
+		os.Exit(2)
 	}
-	if d == nil {
-		var cache depot.Cache
-		switch *cacheImp {
-		case "stream":
-			cache = depot.NewStreamCache()
-		case "file":
-			fc, err := depot.OpenFileCache(*cacheFile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			fmt.Printf("cache file %s: %d entries\n", fc.Path(), fc.Count())
-			cache = fc
-		case "dom":
-			cache = depot.NewDOMCache()
-		case "split":
-			cache = depot.NewSplitCacheDepth(2)
-		case "indexed":
-			cache = depot.NewIndexedCache()
-		default:
-			fmt.Fprintf(os.Stderr, "unknown cache %q\n", *cacheImp)
-			os.Exit(2)
-		}
-		d = depot.NewWithOptions(cache, opts)
+	// The availability policy ships with the server, but a restored depot
+	// (snapshot or disk checkpoint/WAL) may already carry it.
+	if !hasPolicy(d, consumer.AvailabilityPolicy().Name) {
 		if err := d.AddPolicy(consumer.AvailabilityPolicy()); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -184,6 +210,14 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	ticker := time.NewTicker(60 * time.Second)
 	defer ticker.Stop()
+	// Periodic checkpoints bound both WAL replay time after a crash and the
+	// page-cache durability window (DESIGN.md §5g).
+	var ckptC <-chan time.Time
+	if d.DiskBacked() && *checkpoint > 0 {
+		ckptTicker := time.NewTicker(*checkpoint)
+		defer ckptTicker.Stop()
+		ckptC = ckptTicker.C
+	}
 	for {
 		select {
 		case <-ticker.C:
@@ -191,6 +225,10 @@ func main() {
 			accepted, rejected, errs := ctl.Counters()
 			fmt.Printf("depot: %d reports (%d bytes), cache %d entries / %d bytes; controller: %d ok, %d rejected, %d errors\n",
 				st.Received, st.Bytes, st.CacheCount, st.CacheSize, accepted, rejected, errs)
+		case <-ckptC:
+			if err := d.Checkpoint(); err != nil {
+				fmt.Fprintln(os.Stderr, "checkpoint:", err)
+			}
 		case <-sig:
 			fmt.Println("shutting down")
 			httpSrv.Close()
@@ -198,26 +236,43 @@ func main() {
 			// after every in-flight connection handler has finished, so no
 			// store can race the archive pipeline shutdown.
 			srv.Close()
-			// Drains any queued archive work (WriteSnapshot would also
-			// drain, but shutdown without -snapshot must not lose samples).
-			d.Close()
-			if *snapshot != "" {
-				f, err := os.Create(*snapshot)
-				if err == nil {
-					err = d.WriteSnapshot(f)
-					if cerr := f.Close(); err == nil {
-						err = cerr
-					}
+			if d.DiskBacked() {
+				// Fold the WAL into the checkpoint so the next start replays
+				// nothing; the WAL still covers us if this fails mid-way.
+				if err := d.Checkpoint(); err != nil {
+					fmt.Fprintln(os.Stderr, "checkpoint:", err)
+				} else {
+					fmt.Println("depot checkpoint written")
 				}
+			}
+			if *snapshot != "" {
+				// Written atomically (temp + fsync + rename): a crash here
+				// leaves the previous snapshot intact, never a torn image.
+				err := depot.AtomicWriteFile(*snapshot, func(w io.Writer) error {
+					return d.WriteSnapshot(w)
+				})
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "snapshot %s: %v\n", *snapshot, err)
 					os.Exit(1)
 				}
 				fmt.Printf("depot snapshot written to %s\n", *snapshot)
 			}
+			// Drains any queued archive work and, on disk, closes every
+			// archive handle and the live WAL segment.
+			d.Close()
 			return
 		}
 	}
+}
+
+// hasPolicy reports whether the depot already carries a policy by name.
+func hasPolicy(d *depot.Depot, name string) bool {
+	for _, p := range d.Policies() {
+		if p.Name == name {
+			return true
+		}
+	}
+	return false
 }
 
 // runFederated runs the binary as a federation router: the same wire

@@ -91,46 +91,23 @@ func (s *policySet) match(id branch.ID) []*compiledPolicy {
 	return out
 }
 
-// archiveShard is one stripe of the branch|policy → archive map.
-type archiveShard struct {
-	mu  sync.Mutex
-	dbs map[string]*rrd.DB
-}
-
 func shardIndex(key string, n int) int {
 	h := fnv.New32a()
 	h.Write([]byte(key))
 	return int(h.Sum32() % uint32(n))
 }
 
-func (d *Depot) shardFor(key string) *archiveShard {
-	return &d.shards[shardIndex(key, len(d.shards))]
+// lookupDB returns the pinned archive for key; the caller must invoke the
+// release function when done with the handle.
+func (d *Depot) lookupDB(key string) (archiveDB, func(), bool) {
+	return d.archives.lookup(key)
 }
 
-// lookupDB returns the archive for key, or nil.
-func (d *Depot) lookupDB(key string) *rrd.DB {
-	sh := d.shardFor(key)
-	sh.mu.Lock()
-	db := sh.dbs[key]
-	sh.mu.Unlock()
-	return db
-}
-
-// ensureDB returns the archive for key, creating it from the policy when
-// absent. start seeds a new database one step before the first sample.
-func (d *Depot) ensureDB(key string, cp *compiledPolicy, start time.Time) (*rrd.DB, error) {
-	sh := d.shardFor(key)
-	sh.mu.Lock()
-	defer sh.mu.Unlock()
-	if db, ok := sh.dbs[key]; ok {
-		return db, nil
-	}
-	db, err := rrd.NewFromPolicy(start.Add(-cp.Archive.Step), cp.Name, cp.Archive)
-	if err != nil {
-		return nil, err
-	}
-	sh.dbs[key] = db
-	return db, nil
+// ensureDB returns the pinned archive for key, creating it from the policy
+// when absent. start seeds a new database one step before the first
+// sample. The caller must invoke the release function when done.
+func (d *Depot) ensureDB(key string, cp *compiledPolicy, start time.Time) (archiveDB, func(), error) {
+	return d.archives.ensure(key, cp, start)
 }
 
 // archiveJob is one report headed for the archive: the branch, the matched
@@ -337,7 +314,7 @@ func (d *Depot) applyJobs(jobs []archiveJob) {
 	}
 	for _, key := range order {
 		pa := grouped[key]
-		db, err := d.ensureDB(key, pa.cp, pa.start)
+		db, release, err := d.ensureDB(key, pa.cp, pa.start)
 		if err != nil {
 			continue
 		}
@@ -345,6 +322,7 @@ func (d *Depot) applyJobs(jobs []archiveJob) {
 			d.applied.Add(uint64(n))
 			d.archiveGen.Add(1)
 		}
+		release()
 	}
 }
 

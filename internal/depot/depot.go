@@ -1,9 +1,9 @@
 package depot
 
 import (
+	"encoding/xml"
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -108,8 +108,20 @@ type Depot struct {
 	polMu    sync.Mutex
 	policies atomic.Pointer[policySet]
 
-	shards   []archiveShard
+	// archives is the storage backend: resident shards (memoryStore) or
+	// paged files behind a handle LRU (diskStore).
+	archives archiveStore
 	pipeline *archivePipeline // nil in sync mode
+
+	// Disk engine only (nil/zero otherwise): the write-ahead log, its
+	// directories, and the checkpoint machinery. storeBarrier is held
+	// shared by every logged mutation and exclusively around WAL rotation,
+	// so no mutation straddles a checkpoint's segment boundary.
+	wal          *wal
+	dataDir      string
+	walDir       string
+	ckptMu       sync.Mutex
+	storeBarrier sync.RWMutex
 
 	// archiveGen is a cache validator (advances per applied sample), not a
 	// metric — it stays an atomic so comparisons are exact.
@@ -138,13 +150,17 @@ func New(cache Cache) *Depot {
 // NewWithOptions creates a depot with explicit archive-pipeline options.
 func NewWithOptions(cache Cache, opts Options) *Depot {
 	opts = opts.withDefaults()
+	return newDepot(cache, opts, newMemoryStore(opts.ArchiveShards))
+}
+
+// newDepot wires a depot over an explicit archive store (OpenDisk passes
+// the paged-file backend). opts must already have defaults applied.
+func newDepot(cache Cache, opts Options, store archiveStore) *Depot {
+	opts = opts.withDefaults()
 	d := &Depot{
-		cache:  cache,
-		opts:   opts,
-		shards: make([]archiveShard, opts.ArchiveShards),
-	}
-	for i := range d.shards {
-		d.shards[i].dbs = make(map[string]*rrd.DB)
+		cache:    cache,
+		opts:     opts,
+		archives: store,
 	}
 	reg := opts.Metrics
 	d.received = reg.Counter("inca_depot_received_total", "Reports stored into the depot.")
@@ -165,14 +181,7 @@ func NewWithOptions(cache Cache, opts Options) *Depot {
 		return float64(d.cache.Count())
 	})
 	reg.GaugeFunc("inca_depot_archives", "Round-robin archives materialized.", func() float64 {
-		n := 0
-		for i := range d.shards {
-			sh := &d.shards[i]
-			sh.mu.Lock()
-			n += len(sh.dbs)
-			sh.mu.Unlock()
-		}
-		return float64(n)
+		return float64(d.archives.count())
 	})
 	d.policies.Store(compilePolicySet(nil))
 	if opts.AsyncArchive {
@@ -197,6 +206,22 @@ func (d *Depot) AddPolicy(p Policy) error {
 	if p.Archive.Step <= 0 || p.Archive.History <= 0 {
 		return fmt.Errorf("depot: policy %s has invalid archive configuration", p.Name)
 	}
+	if d.wal != nil {
+		d.storeBarrier.RLock()
+		defer d.storeBarrier.RUnlock()
+		frame, err := xml.Marshal(marshalPolicyEntry(p))
+		if err != nil {
+			return err
+		}
+		if err := d.wal.append(walFramePolicy, frame); err != nil {
+			return err
+		}
+	}
+	return d.addPolicyApply(p)
+}
+
+// addPolicyApply installs a policy (already logged, when logging at all).
+func (d *Depot) addPolicyApply(p Policy) error {
 	d.polMu.Lock()
 	defer d.polMu.Unlock()
 	cur := d.policies.Load()
@@ -242,6 +267,23 @@ func (d *Depot) Store(id branch.ID, reportXML []byte) (Receipt, error) {
 }
 
 func (d *Depot) store(id branch.ID, reportXML []byte) (Receipt, error) {
+	if d.wal != nil {
+		// Log first, then apply: a crash after the append replays the
+		// report; a crash before it never acknowledged the store. The
+		// shared barrier keeps the append and its application on the same
+		// side of any concurrent checkpoint rotation.
+		d.storeBarrier.RLock()
+		defer d.storeBarrier.RUnlock()
+		if err := d.wal.append(walFrameReport, encodeReportFrame(id, reportXML)); err != nil {
+			return Receipt{}, err
+		}
+	}
+	return d.storeApply(id, reportXML)
+}
+
+// storeApply is the store path past the write-ahead log (the WAL replay
+// entry point).
+func (d *Depot) storeApply(id branch.ID, reportXML []byte) (Receipt, error) {
 	t1 := time.Now()
 	// Added comes straight from the cache update: deriving it from
 	// Count() before/after misreports under concurrent stores (two adds
@@ -306,7 +348,7 @@ func (d *Depot) applyJobSync(job archiveJob) {
 		if !values[i].ok {
 			continue
 		}
-		db, err := d.ensureDB(job.key+"|"+cp.Name, cp, gmt)
+		db, release, err := d.ensureDB(job.key+"|"+cp.Name, cp, gmt)
 		if err != nil {
 			continue
 		}
@@ -316,6 +358,7 @@ func (d *Depot) applyJobSync(job archiveJob) {
 			d.applied.Inc()
 			d.archiveGen.Add(1)
 		}
+		release()
 	}
 }
 
@@ -327,13 +370,19 @@ func (d *Depot) Drain() {
 	}
 }
 
-// Close drains the async pipeline and stops its workers. The depot remains
-// usable: concurrent and later stores archive synchronously (the closed
-// pipeline refuses their enqueues), so no store can race the teardown onto
-// a closed queue.
+// Close drains the async pipeline and stops its workers; a disk-backed
+// depot also closes its archive handles (flushing them to stable storage)
+// and the write-ahead log. The memory depot remains usable after Close:
+// concurrent and later stores archive synchronously (the closed pipeline
+// refuses their enqueues), so no store can race the teardown onto a
+// closed queue.
 func (d *Depot) Close() {
 	if d.pipeline != nil {
 		d.pipeline.close()
+	}
+	if d.wal != nil {
+		d.archives.close()
+		d.wal.close()
 	}
 }
 
@@ -341,14 +390,28 @@ func (d *Depot) Close() {
 // report parsing. Consumers use it to archive derived metrics such as the
 // summary percentages behind Figure 5.
 func (d *Depot) ArchiveUpdate(id branch.ID, policyName string, at time.Time, value float64) error {
+	if d.wal != nil {
+		d.storeBarrier.RLock()
+		defer d.storeBarrier.RUnlock()
+		if err := d.wal.append(walFrameManual, encodeManualFrame(id, policyName, at, value)); err != nil {
+			return err
+		}
+	}
+	return d.archiveUpdateApply(id, policyName, at, value)
+}
+
+// archiveUpdateApply is ArchiveUpdate past the write-ahead log (the WAL
+// replay entry point).
+func (d *Depot) archiveUpdateApply(id branch.ID, policyName string, at time.Time, value float64) error {
 	cp, ok := d.policies.Load().byName[policyName]
 	if !ok {
 		return fmt.Errorf("depot: no policy %s", policyName)
 	}
-	db, err := d.ensureDB(id.String()+"|"+policyName, cp, at)
+	db, release, err := d.ensureDB(id.String()+"|"+policyName, cp, at)
 	if err != nil {
 		return err
 	}
+	defer release()
 	if err := db.Update(at, value); err != nil {
 		return err
 	}
@@ -359,26 +422,17 @@ func (d *Depot) ArchiveUpdate(id branch.ID, policyName string, at time.Time, val
 // FetchArchive retrieves an archived series for the exact branch identifier
 // and policy.
 func (d *Depot) FetchArchive(id branch.ID, policyName string, cf rrd.CF, start, end time.Time) (*rrd.Series, error) {
-	db := d.lookupDB(id.String() + "|" + policyName)
-	if db == nil {
+	db, release, ok := d.lookupDB(id.String() + "|" + policyName)
+	if !ok {
 		return nil, fmt.Errorf("depot: no archive for %s under policy %s", id, policyName)
 	}
+	defer release()
 	return db.Fetch(cf, start, end)
 }
 
 // ArchivedSeries lists the (branch, policy) pairs with archives.
 func (d *Depot) ArchivedSeries() []string {
-	var keys []string
-	for i := range d.shards {
-		sh := &d.shards[i]
-		sh.mu.Lock()
-		for k := range sh.dbs {
-			keys = append(keys, k)
-		}
-		sh.mu.Unlock()
-	}
-	sort.Strings(keys)
-	return keys
+	return d.archives.keys()
 }
 
 // CacheGeneration returns the cache's generation counter and whether the
@@ -403,10 +457,11 @@ func (d *Depot) ArchiveGeneration() uint64 { return d.archiveGen.Load() }
 // exists. Unlike ArchiveGeneration it is scoped to the (branch, policy)
 // pair, so a /archive client's ETag stays valid while other series ingest.
 func (d *Depot) ArchiveSeriesGeneration(id branch.ID, policyName string) (uint64, bool) {
-	db := d.lookupDB(id.String() + "|" + policyName)
-	if db == nil {
+	db, release, ok := d.lookupDB(id.String() + "|" + policyName)
+	if !ok {
 		return 0, false
 	}
+	defer release()
 	return db.Updates(), true
 }
 
@@ -422,13 +477,7 @@ type Stats struct {
 
 // Stats returns current counters.
 func (d *Depot) Stats() Stats {
-	archives := 0
-	for i := range d.shards {
-		sh := &d.shards[i]
-		sh.mu.Lock()
-		archives += len(sh.dbs)
-		sh.mu.Unlock()
-	}
+	archives := d.archives.count()
 	return Stats{
 		Received:   d.received.Value(),
 		Bytes:      d.bytes.Value(),
@@ -452,10 +501,11 @@ func (d *Depot) Stats() Stats {
 // 24 hours before the archive's last update is treated as unknown: a
 // resource that stopped reporting values has no current one.
 func (d *Depot) LatestValue(id branch.ID, policyName string, cf rrd.CF) float64 {
-	db := d.lookupDB(id.String() + "|" + policyName)
-	if db == nil {
+	db, release, ok := d.lookupDB(id.String() + "|" + policyName)
+	if !ok {
 		return math.NaN()
 	}
+	defer release()
 	v, at := db.LastKnown(cf)
 	if at.Before(db.Last().Add(-24 * time.Hour)) {
 		return math.NaN()

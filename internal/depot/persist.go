@@ -7,7 +7,6 @@ import (
 	"encoding/xml"
 	"fmt"
 	"io"
-	"sort"
 	"time"
 
 	"inca/internal/branch"
@@ -72,11 +71,30 @@ func readSection(r *bufio.Reader) (string, []byte, error) {
 	if n > 1<<32 {
 		return "", nil, fmt.Errorf("depot: implausible section size %d", n)
 	}
-	data := make([]byte, n)
-	if _, err := io.ReadFull(r, data); err != nil {
-		return "", nil, err
+	// The length is untrusted input: grow the buffer chunk by chunk so a
+	// corrupt header fails on the short read instead of allocating
+	// gigabytes up front.
+	const chunk = 1 << 20
+	data := make([]byte, 0, min64(n, chunk))
+	for uint64(len(data)) < n {
+		step := n - uint64(len(data))
+		if step > chunk {
+			step = chunk
+		}
+		start := len(data)
+		data = append(data, make([]byte, step)...)
+		if _, err := io.ReadFull(r, data[start:]); err != nil {
+			return "", nil, fmt.Errorf("depot: section %s truncated: %w", tag, err)
+		}
 	}
 	return string(tag), data, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 // WriteSnapshot serializes the depot state. In async mode the archive
@@ -91,47 +109,27 @@ func (d *Depot) WriteSnapshot(w io.Writer) error {
 	if err := writeSection(bw, "CACH", d.cache.Dump()); err != nil {
 		return err
 	}
-	pols := xmlPolicies{}
-	for _, p := range d.policies.Load().all {
-		pols.Policies = append(pols.Policies, xmlPolicyEntry{
-			Name: p.Name, Prefix: p.Prefix.String(), Path: p.Path,
-			Step: p.Archive.Step.String(), Granularity: p.Archive.Granularity,
-			History: p.Archive.History.String(), ManualOnly: p.ManualOnly,
-			Heartbeat: heartbeatString(p.Archive.Heartbeat),
-		})
-	}
-	type archiveEntry struct {
-		key string
-		db  *rrd.DB
-	}
-	var archives []archiveEntry
-	for i := range d.shards {
-		sh := &d.shards[i]
-		sh.mu.Lock()
-		for k, db := range sh.dbs {
-			archives = append(archives, archiveEntry{k, db})
-		}
-		sh.mu.Unlock()
-	}
-	sort.Slice(archives, func(i, j int) bool { return archives[i].key < archives[j].key })
-
-	polsXML, err := xml.Marshal(pols)
+	polsXML, err := marshalPolicies(d.policies.Load().all)
 	if err != nil {
 		return err
 	}
 	if err := writeSection(bw, "POLS", polsXML); err != nil {
 		return err
 	}
-	for _, a := range archives {
+	// The store iterates in key order pinning one archive at a time, and
+	// both backends serialize the same image for the same update history —
+	// a disk depot's snapshot is byte-identical to its memory twin's.
+	err = d.archives.each(func(key string, db archiveDB) error {
 		var buf bytes.Buffer
-		buf.WriteString(a.key)
+		buf.WriteString(key)
 		buf.WriteByte(0)
-		if _, err := a.db.WriteTo(&buf); err != nil {
+		if _, err := db.WriteTo(&buf); err != nil {
 			return err
 		}
-		if err := writeSection(bw, "ARCH", buf.Bytes()); err != nil {
-			return err
-		}
+		return writeSection(bw, "ARCH", buf.Bytes())
+	})
+	if err != nil {
+		return err
 	}
 	return bw.Flush()
 }
@@ -200,10 +198,7 @@ func ReadSnapshotOptions(r io.Reader, opts Options) (*Depot, error) {
 			if err != nil {
 				return nil, fmt.Errorf("depot: snapshot archive %s: %w", key, err)
 			}
-			sh := d.shardFor(key)
-			sh.mu.Lock()
-			sh.dbs[key] = db
-			sh.mu.Unlock()
+			d.archives.(*memoryStore).insert(key, db)
 		default:
 			// Unknown sections are skipped for forward compatibility.
 		}

@@ -146,7 +146,9 @@ func ByID(id string) (Result, error) {
 		return Archive(ArchiveOptions{}), nil
 	case "federation":
 		return Federation(FederationOptions{}), nil
+	case "storage":
+		return Storage(StorageOptions{}), nil
 	default:
-		return Result{}, fmt.Errorf("experiments: unknown experiment %q (table1-4, fig4-9, shards, query, archive, federation)", id)
+		return Result{}, fmt.Errorf("experiments: unknown experiment %q (table1-4, fig4-9, shards, query, archive, federation, storage)", id)
 	}
 }

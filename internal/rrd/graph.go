@@ -183,16 +183,19 @@ type ArchivalPolicy struct {
 	CFs []CF
 }
 
-// NewFromPolicy builds a single-source DB implementing the policy.
-func NewFromPolicy(start time.Time, dsName string, p ArchivalPolicy) (*DB, error) {
+// PolicyLayout expands an archival policy into the concrete database
+// layout NewFromPolicy builds — exported so alternative storage engines
+// (the paged on-disk format in rrd/file) create archives with exactly the
+// geometry the in-memory path would.
+func PolicyLayout(dsName string, p ArchivalPolicy) (time.Duration, []DS, []RRA, error) {
 	if p.Step <= 0 {
-		return nil, fmt.Errorf("rrd: policy step must be positive")
+		return 0, nil, nil, fmt.Errorf("rrd: policy step must be positive")
 	}
 	if p.Granularity <= 0 {
 		p.Granularity = 1
 	}
 	if p.History <= 0 {
-		return nil, fmt.Errorf("rrd: policy history must be positive")
+		return 0, nil, nil, fmt.Errorf("rrd: policy history must be positive")
 	}
 	hb := p.Heartbeat
 	if hb <= 0 {
@@ -212,5 +215,14 @@ func NewFromPolicy(start time.Time, dsName string, p ArchivalPolicy) (*DB, error
 		rras = append(rras, RRA{CF: cf, XFF: 0.5, Steps: p.Granularity, Rows: rows})
 	}
 	ds := []DS{{Name: dsName, Type: Gauge, Heartbeat: hb, Min: math.NaN(), Max: math.NaN()}}
-	return New(start, p.Step, ds, rras)
+	return p.Step, ds, rras, nil
+}
+
+// NewFromPolicy builds a single-source DB implementing the policy.
+func NewFromPolicy(start time.Time, dsName string, p ArchivalPolicy) (*DB, error) {
+	step, ds, rras, err := PolicyLayout(dsName, p)
+	if err != nil {
+		return nil, err
+	}
+	return New(start, step, ds, rras)
 }

@@ -103,7 +103,8 @@ func (db *DB) WriteTo(w io.Writer) (int64, error) {
 		b.dur(db.pdpKnown[i])
 	}
 	b.u64(uint64(len(db.rras)))
-	for _, r := range db.rras {
+	rowBuf := make([]float64, len(db.ds))
+	for ri, r := range db.rras {
 		b.u64(uint64(r.def.CF))
 		b.f64(r.def.XFF)
 		b.u64(uint64(r.def.Steps))
@@ -120,9 +121,30 @@ func (db *DB) WriteTo(w io.Writer) (int64, error) {
 			b.u64(uint64(a.known))
 			b.u64(uint64(a.unknown))
 		}
-		for _, row := range r.ring {
-			for _, v := range row {
-				b.f64(v)
+		for j := 0; j < r.def.Rows; j++ {
+			switch {
+			case db.rings == nil:
+				for _, v := range r.ring[j] {
+					b.f64(v)
+				}
+			case j < r.filled:
+				// External rings: rows are written sequentially from index 0,
+				// so exactly the first `filled` indices have ever been stored
+				// (after a wrap filled == Rows and every index is live).
+				if err := db.rings.ReadRow(ri, j, rowBuf); err != nil {
+					if b.err == nil {
+						b.err = err
+					}
+				}
+				for _, v := range rowBuf {
+					b.f64(v)
+				}
+			default:
+				// Never-written rows are unknown, as the in-memory rings
+				// initialize them — the images stay byte-identical.
+				for range db.ds {
+					b.f64(math.NaN())
+				}
 			}
 		}
 	}

@@ -130,13 +130,29 @@ type cdpAcc struct {
 	unknown int
 }
 
-// DB is an in-memory round-robin database. All methods are safe for
-// concurrent use.
+// RingStore holds archive rows outside the DB — the hook the paged
+// on-disk format (rrd/file) plugs in so consolidated rows go to pwrites
+// instead of in-memory rings. Row indices are positions in the archive's
+// circular buffer; rra is the archive's index in declaration order. A row
+// index that has never been written may be read only after a write to it
+// (the DB reads only rows inside the filled window). Implementations are
+// called under the DB's lock and need no locking of their own.
+type RingStore interface {
+	// WriteRow stores one consolidated row (len = data source count).
+	WriteRow(rra, row int, values []float64) error
+	// ReadRow loads one row into dst (len = data source count).
+	ReadRow(rra, row int, dst []float64) error
+}
+
+// DB is a round-robin database. Rows live in memory by default, or in an
+// external RingStore (NewExternal) for disk-backed archives. All methods
+// are safe for concurrent use.
 type DB struct {
 	mu         sync.Mutex
 	step       time.Duration
 	ds         []DS
 	rras       []*rraState
+	rings      RingStore // nil = in-memory rings
 	created    time.Time
 	lastUpdate time.Time
 	lastRaw    []float64 // previous raw input per DS (Counter/Derive)
@@ -149,6 +165,21 @@ type DB struct {
 // New creates a database. start becomes the initial "last update" instant;
 // the first real update must be after it.
 func New(start time.Time, step time.Duration, ds []DS, rras []RRA) (*DB, error) {
+	return newDB(start, step, ds, rras, nil)
+}
+
+// NewExternal creates a database whose consolidated rows live in the given
+// RingStore instead of in-memory rings — the constructor the paged on-disk
+// format uses. Consolidation state stays in memory (persist it via State);
+// only the rows, the bulk of an archive, go through the store.
+func NewExternal(start time.Time, step time.Duration, ds []DS, rras []RRA, rings RingStore) (*DB, error) {
+	if rings == nil {
+		return nil, fmt.Errorf("rrd: NewExternal requires a ring store")
+	}
+	return newDB(start, step, ds, rras, rings)
+}
+
+func newDB(start time.Time, step time.Duration, ds []DS, rras []RRA, rings RingStore) (*DB, error) {
 	if step <= 0 {
 		return nil, fmt.Errorf("rrd: non-positive step %v", step)
 	}
@@ -174,6 +205,7 @@ func New(start time.Time, step time.Duration, ds []DS, rras []RRA) (*DB, error) 
 	db := &DB{
 		step:       step,
 		ds:         append([]DS(nil), ds...),
+		rings:      rings,
 		created:    start,
 		lastUpdate: start,
 		lastRaw:    make([]float64, len(ds)),
@@ -192,11 +224,13 @@ func New(start time.Time, step time.Duration, ds []DS, rras []RRA) (*DB, error) 
 			return nil, fmt.Errorf("rrd: archive %s xff %g out of [0,1)", r.CF, r.XFF)
 		}
 		st := &rraState{def: r, newest: -1, lastEnd: base, acc: make([]cdpAcc, len(ds))}
-		st.ring = make([][]float64, r.Rows)
-		for i := range st.ring {
-			st.ring[i] = make([]float64, len(ds))
-			for j := range st.ring[i] {
-				st.ring[i][j] = math.NaN()
+		if rings == nil {
+			st.ring = make([][]float64, r.Rows)
+			for i := range st.ring {
+				st.ring[i] = make([]float64, len(ds))
+				for j := range st.ring[i] {
+					st.ring[i][j] = math.NaN()
+				}
 			}
 		}
 		st.initLastKnown(len(ds))
@@ -363,8 +397,10 @@ func (db *DB) updateLocked(t time.Time, values []float64) error {
 			db.pdpSum[i] = 0
 			db.pdpKnown[i] = 0
 		}
-		for _, rra := range db.rras {
-			rra.pushPDP(windowEnd, pdp, db.step)
+		for ri := range db.rras {
+			if err := db.pushPDP(ri, windowEnd, pdp); err != nil {
+				return err
+			}
 		}
 		if !cursor.Before(t) {
 			break
@@ -376,8 +412,12 @@ func (db *DB) updateLocked(t time.Time, values []float64) error {
 }
 
 // pushPDP folds one finalized PDP (for the window ending at end) into the
-// archive's in-progress consolidation.
-func (r *rraState) pushPDP(end time.Time, pdp []float64, step time.Duration) {
+// archive's in-progress consolidation. A completed consolidation writes
+// one row — to the in-memory ring, or through the external RingStore,
+// whose write error (disk full, closed file) fails the update before any
+// ring state advances.
+func (db *DB) pushPDP(ri int, end time.Time, pdp []float64) error {
+	r := db.rras[ri]
 	for i, v := range pdp {
 		a := &r.acc[i]
 		if math.IsNaN(v) {
@@ -396,7 +436,7 @@ func (r *rraState) pushPDP(end time.Time, pdp []float64, step time.Duration) {
 	}
 	r.pdpCount++
 	if r.pdpCount < r.def.Steps {
-		return
+		return nil
 	}
 	row := make([]float64, len(pdp))
 	for i := range pdp {
@@ -416,8 +456,15 @@ func (r *rraState) pushPDP(end time.Time, pdp []float64, step time.Duration) {
 			row[i] = a.last
 		}
 	}
-	r.newest = (r.newest + 1) % r.def.Rows
-	r.ring[r.newest] = row
+	next := (r.newest + 1) % r.def.Rows
+	if db.rings != nil {
+		if err := db.rings.WriteRow(ri, next, row); err != nil {
+			return err
+		}
+	} else {
+		r.ring[next] = row
+	}
+	r.newest = next
 	if r.filled < r.def.Rows {
 		r.filled++
 	}
@@ -430,6 +477,7 @@ func (r *rraState) pushPDP(end time.Time, pdp []float64, step time.Duration) {
 		}
 	}
 	resetAcc(r.acc)
+	return nil
 }
 
 // initLastKnown allocates the last-known tracking for n data sources.
@@ -527,10 +575,14 @@ func (db *DB) Fetch(cf CF, start, end time.Time) (*Series, error) {
 	if end.Before(start) {
 		return nil, fmt.Errorf("rrd: fetch end %v before start %v", end, start)
 	}
-	var candidates []*rraState
-	for _, r := range db.rras {
+	type candidate struct {
+		idx int // index in db.rras, the external RingStore's archive key
+		r   *rraState
+	}
+	var candidates []candidate
+	for i, r := range db.rras {
 		if r.def.CF == cf {
-			candidates = append(candidates, r)
+			candidates = append(candidates, candidate{i, r})
 		}
 	}
 	if len(candidates) == 0 {
@@ -538,17 +590,18 @@ func (db *DB) Fetch(cf CF, start, end time.Time) (*Series, error) {
 	}
 	// Sort by resolution fine→coarse.
 	sort.Slice(candidates, func(i, j int) bool {
-		return candidates[i].def.Steps < candidates[j].def.Steps
+		return candidates[i].r.def.Steps < candidates[j].r.def.Steps
 	})
-	chosen := candidates[len(candidates)-1]
-	for _, r := range candidates {
-		res := db.step * time.Duration(r.def.Steps)
-		oldest := r.lastEnd.Add(-time.Duration(r.filled) * res)
+	chosenCand := candidates[len(candidates)-1]
+	for _, c := range candidates {
+		res := db.step * time.Duration(c.r.def.Steps)
+		oldest := c.r.lastEnd.Add(-time.Duration(c.r.filled) * res)
 		if !oldest.After(start) {
-			chosen = r
+			chosenCand = c
 			break
 		}
 	}
+	chosen := chosenCand.r
 	res := db.step * time.Duration(chosen.def.Steps)
 	s := &Series{CF: cf, Resolution: res, DSNames: db.DSNames()}
 	if chosen.filled == 0 {
@@ -561,10 +614,15 @@ func (db *DB) Fetch(cf CF, start, end time.Time) (*Series, error) {
 			continue
 		}
 		idx := (oldestIdx + i) % chosen.def.Rows
-		s.Points = append(s.Points, Point{
-			Time:   rowTime,
-			Values: append([]float64(nil), chosen.ring[idx]...),
-		})
+		vals := make([]float64, len(db.ds))
+		if db.rings != nil {
+			if err := db.rings.ReadRow(chosenCand.idx, idx, vals); err != nil {
+				return nil, err
+			}
+		} else {
+			copy(vals, chosen.ring[idx])
+		}
+		s.Points = append(s.Points, Point{Time: rowTime, Values: vals})
 	}
 	return s, nil
 }

@@ -1,0 +1,139 @@
+package rrd
+
+import (
+	"fmt"
+	"time"
+)
+
+// The exported state snapshot behind the paged on-disk format (rrd/file):
+// everything a DB holds in memory *except* the consolidated rows, which an
+// external RingStore owns. A disk-backed archive persists this state in a
+// fixed header region and restores through NewFromState, so the rows — the
+// bulk of an archive — never have to be rewritten or reloaded wholesale.
+
+// CDPAcc is one data source's in-progress consolidation accumulator.
+type CDPAcc struct {
+	Sum, Min, Max, Last float64
+	Known, Unknown      int
+}
+
+// RRAState is one archive's definition plus its mutable consolidation
+// cursor — but not its rows.
+type RRAState struct {
+	Def         RRA
+	Newest      int // index of the most recently written row; -1 when empty
+	Filled      int
+	PDPCount    int
+	LastEnd     time.Time
+	Acc         []CDPAcc
+	LastKnown   []float64
+	LastKnownAt []time.Time
+}
+
+// DBState is the complete row-less state of a database.
+type DBState struct {
+	Step       time.Duration
+	Created    time.Time
+	LastUpdate time.Time
+	Updates    uint64
+	DS         []DS
+	LastRaw    []float64
+	PDPSum     []float64
+	PDPKnown   []time.Duration
+	RRAs       []RRAState
+}
+
+// State returns a deep copy of the database's row-less state.
+func (db *DB) State() DBState {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	st := DBState{
+		Step:       db.step,
+		Created:    db.created,
+		LastUpdate: db.lastUpdate,
+		Updates:    db.updates,
+		DS:         append([]DS(nil), db.ds...),
+		LastRaw:    append([]float64(nil), db.lastRaw...),
+		PDPSum:     append([]float64(nil), db.pdpSum...),
+		PDPKnown:   append([]time.Duration(nil), db.pdpKnown...),
+	}
+	st.RRAs = make([]RRAState, len(db.rras))
+	for i, r := range db.rras {
+		st.RRAs[i] = RRAState{
+			Def:         r.def,
+			Newest:      r.newest,
+			Filled:      r.filled,
+			PDPCount:    r.pdpCount,
+			LastEnd:     r.lastEnd,
+			LastKnown:   append([]float64(nil), r.lastKnown...),
+			LastKnownAt: append([]time.Time(nil), r.lastKnownAt...),
+		}
+		st.RRAs[i].Acc = make([]CDPAcc, len(r.acc))
+		for j, a := range r.acc {
+			st.RRAs[i].Acc[j] = CDPAcc{
+				Sum: a.sum, Min: a.min, Max: a.max, Last: a.last,
+				Known: a.known, Unknown: a.unknown,
+			}
+		}
+	}
+	return st
+}
+
+// NewFromState reconstructs a database over an external RingStore from a
+// state snapshot — the open path of a disk-backed archive, whose rows are
+// already in place behind the store.
+func NewFromState(st DBState, rings RingStore) (*DB, error) {
+	if rings == nil {
+		return nil, fmt.Errorf("rrd: NewFromState requires a ring store (in-memory restore goes through ReadDB)")
+	}
+	if st.Step <= 0 {
+		return nil, fmt.Errorf("rrd: state has non-positive step %v", st.Step)
+	}
+	nds := len(st.DS)
+	if nds == 0 || len(st.LastRaw) != nds || len(st.PDPSum) != nds || len(st.PDPKnown) != nds {
+		return nil, fmt.Errorf("rrd: state data source arity mismatch")
+	}
+	if len(st.RRAs) == 0 {
+		return nil, fmt.Errorf("rrd: state has no archives")
+	}
+	db := &DB{
+		step:       st.Step,
+		ds:         append([]DS(nil), st.DS...),
+		rings:      rings,
+		created:    st.Created,
+		lastUpdate: st.LastUpdate,
+		updates:    st.Updates,
+		lastRaw:    append([]float64(nil), st.LastRaw...),
+		pdpSum:     append([]float64(nil), st.PDPSum...),
+		pdpKnown:   append([]time.Duration(nil), st.PDPKnown...),
+	}
+	for i, rs := range st.RRAs {
+		if rs.Def.Rows <= 0 || rs.Def.Steps <= 0 {
+			return nil, fmt.Errorf("rrd: state archive %d has non-positive geometry", i)
+		}
+		if len(rs.Acc) != nds || len(rs.LastKnown) != nds || len(rs.LastKnownAt) != nds {
+			return nil, fmt.Errorf("rrd: state archive %d arity mismatch", i)
+		}
+		if rs.Newest < -1 || rs.Newest >= rs.Def.Rows || rs.Filled < 0 || rs.Filled > rs.Def.Rows {
+			return nil, fmt.Errorf("rrd: state archive %d cursor out of range", i)
+		}
+		r := &rraState{
+			def:         rs.Def,
+			newest:      rs.Newest,
+			filled:      rs.Filled,
+			pdpCount:    rs.PDPCount,
+			lastEnd:     rs.LastEnd,
+			lastKnown:   append([]float64(nil), rs.LastKnown...),
+			lastKnownAt: append([]time.Time(nil), rs.LastKnownAt...),
+		}
+		r.acc = make([]cdpAcc, nds)
+		for j, a := range rs.Acc {
+			r.acc[j] = cdpAcc{
+				sum: a.Sum, min: a.Min, max: a.Max, last: a.Last,
+				known: a.Known, unknown: a.Unknown,
+			}
+		}
+		db.rras = append(db.rras, r)
+	}
+	return db, nil
+}
