@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test chaos metrics-smoke federation-smoke storage-smoke bench-smoke bench-query bench-archive bench-federation bench-storage
+.PHONY: check fmt vet build test chaos metrics-smoke federation-smoke storage-smoke feed-smoke bench-smoke bench-query bench-archive bench-federation bench-storage bench-feed
 
 # The full gate: formatting, static checks, build, race-enabled tests,
 # the fault-injection suite, the telemetry smoke, the multi-process
-# federation and storage smokes, and a one-iteration smoke of the
+# federation, storage and feed smokes, and a one-iteration smoke of the
 # parallel ingest benchmark tier.
-check: fmt vet build test chaos metrics-smoke federation-smoke storage-smoke bench-smoke
+check: fmt vet build test chaos metrics-smoke federation-smoke storage-smoke feed-smoke bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -47,6 +47,14 @@ federation-smoke:
 storage-smoke:
 	INCA_STORAGE_SMOKE=1 $(GO) test -race -run TestStorageSmoke -count=1 .
 
+# Feed gate (DESIGN.md §5h): a real inca-server and real inca-consumer
+# -subscribe processes over TCP; the subscriber is killed mid-stream and
+# a successor resumes from its cursor — every generation must be observed
+# exactly once (changes or one catch-up snapshot, no gaps, no replays)
+# and the pushed state must hash identically to the polled /cache.
+feed-smoke:
+	INCA_FEED_SMOKE=1 $(GO) test -race -run TestFeedSmoke -count=1 .
+
 bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkIngestParallel4|BenchmarkArchiveParallel4' -benchtime=1x .
 
@@ -71,3 +79,10 @@ bench-federation:
 # machine-readable result written to BENCH_storage.json.
 bench-storage:
 	$(GO) run ./cmd/inca-bench -experiment storage -json .
+
+# Consumer tier (DESIGN.md §5h): N conditional pollers vs N /feed
+# subscribers at 1..1024 consumers over real TCP — query-tier request
+# rate and store-to-observe propagation percentiles, written to
+# BENCH_feed.json.
+bench-feed:
+	$(GO) run ./cmd/inca-bench -experiment feed -json .

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"inca/internal/agent"
+	"inca/internal/agreement"
 	"inca/internal/consumer"
 	"inca/internal/controller"
 	"inca/internal/core"
@@ -52,6 +53,11 @@ func main() {
 		idleTimeout = flag.Duration("idle-timeout", 5*time.Minute, "drop distributed-controller connections idle (or stalled mid-frame) this long, so dead peers cannot pin goroutines (0 = never)")
 
 		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof profiling endpoints under /debug/pprof/ on the querying interface")
+
+		feedOn    = flag.Bool("feed", true, "serve the depot change feed on /feed (SSE + long-poll push to consumers)")
+		feedQueue = flag.Int("feed-queue", 256, "per-subscriber coalesced event queue limit; a slower subscriber is demoted to a fresh snapshot")
+		agreeSpec = flag.String("agreement", "", "serve a live agreement status stream on /feed?stream=status and /summary: 'teragrid' or a path to an agreement XML file")
+		reverify  = flag.Duration("reverify", 5*time.Minute, "periodic full re-evaluation interval for the status stream (staleness advances with wall time)")
 
 		federate         = flag.String("federate", "", "run as a federation router over this comma-separated shard list (wireAddr/httpAddr per shard) instead of hosting a depot")
 		federateReplicas = flag.Int("federate-replicas", federation.DefaultReplicas, "virtual nodes per shard on the consistent-hash ring")
@@ -171,6 +177,31 @@ func main() {
 	qsrv := query.NewServerMetrics(d, reg)
 	qsrv.WireStats = srv.Stats // delivery_* group on /debug/vars
 	qsrv.Pprof = *pprofOn
+
+	// Attach the change feed after the depot's own policy setup so feed
+	// subscribers only ever observe steady-state commits.
+	var qfeed *query.Feed
+	if *feedOn {
+		fopts := query.FeedOptions{QueueLimit: *feedQueue, Metrics: reg, Reverify: *reverify}
+		if *agreeSpec != "" {
+			ag := agreement.TeraGrid()
+			if *agreeSpec != "teragrid" {
+				data, err := os.ReadFile(*agreeSpec)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				if ag, err = agreement.Parse(data); err != nil {
+					fmt.Fprintf(os.Stderr, "agreement %s: %v\n", *agreeSpec, err)
+					os.Exit(1)
+				}
+			}
+			fopts.Agreement = ag
+			fmt.Printf("status stream: agreement %s, reverify every %s\n", ag.Name, *reverify)
+		}
+		qfeed = query.NewFeed(d, fopts)
+		qsrv.Feed = qfeed
+	}
 	specs := qsrv.EnableSpecs()
 	demoGrid := core.DemoGrid(1, time.Now().Add(-24*time.Hour))
 	for _, res := range demoGrid.Resources() {
@@ -199,7 +230,7 @@ func main() {
 	}
 	httpSrv := &http.Server{Handler: qsrv.Handler()}
 	go func() {
-		fmt.Printf("querying interface on http://%s (/cache /reports /archive /graph /stats /metrics)\n", httpLn.Addr())
+		fmt.Printf("querying interface on http://%s (/cache /reports /archive /graph /feed /stats /metrics)\n", httpLn.Addr())
 		if err := httpSrv.Serve(httpLn); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintln(os.Stderr, "http:", err)
 			os.Exit(1)
@@ -236,6 +267,11 @@ func main() {
 			// after every in-flight connection handler has finished, so no
 			// store can race the archive pipeline shutdown.
 			srv.Close()
+			if qfeed != nil {
+				// Detach the publisher and end subscribers before the
+				// depot closes underneath them.
+				qfeed.Close()
+			}
 			if d.DiskBacked() {
 				// Fold the WAL into the checkpoint so the next start replays
 				// nothing; the WAL still covers us if this fails mid-way.
@@ -304,6 +340,10 @@ func runFederated(topology, tcpAddr, httpAddr string, replicas, depth int, idleT
 		srv.Addr(), len(shards), replicas, depth)
 
 	fed := query.NewFederated(router, query.FederatedOptions{Metrics: reg})
+	// The tier subscribes to every shard's /feed and re-serves the merged
+	// stream with composed cursors; shards without /feed turn the tier's
+	// /feed into a 503 until they are upgraded.
+	ffeed := fed.AttachFeed(query.FeedOptions{Metrics: reg})
 	httpLn, err := net.Listen("tcp", httpAddr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "http listen:", err)
@@ -311,7 +351,7 @@ func runFederated(topology, tcpAddr, httpAddr string, replicas, depth int, idleT
 	}
 	httpSrv := &http.Server{Handler: fed.Handler()}
 	go func() {
-		fmt.Printf("federated querying interface on http://%s (/cache /reports /archive /availability /shards /metrics)\n", httpLn.Addr())
+		fmt.Printf("federated querying interface on http://%s (/cache /reports /archive /availability /feed /shards /metrics)\n", httpLn.Addr())
 		if err := httpSrv.Serve(httpLn); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintln(os.Stderr, "http:", err)
 			os.Exit(1)
@@ -331,6 +371,7 @@ func runFederated(topology, tcpAddr, httpAddr string, replicas, depth int, idleT
 		case <-sig:
 			fmt.Println("shutting down")
 			httpSrv.Close()
+			ffeed.Close()
 			// Stop accepting before the drain so the barrier is final.
 			srv.Close()
 			if err := router.Drain(); err != nil {

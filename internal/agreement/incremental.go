@@ -1,0 +1,287 @@
+package agreement
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"inca/internal/branch"
+	"inca/internal/depot"
+	"inca/internal/report"
+)
+
+// Delta is one resource's status change between evaluations — the unit
+// the live status stream pushes (the paper's Figure 4 grid, one row at a
+// time instead of the whole page).
+type Delta struct {
+	Resource string
+	// Status is the resource's new verification outcome; nil when the
+	// resource vanished from the cache.
+	Status *ResourceStatus
+}
+
+// Incremental is the change-feed form of Evaluate: it retains the parsed
+// report index and the per-resource outcomes across cycles, and re-runs
+// verification only for resources whose input reports changed. The
+// cross-site dependency is tracked explicitly: a report named
+// "grid.xsite.<svc>.to.<target>" stored under resource A is *input* to
+// target's inbound check, so a change to it dirties both A and target.
+//
+// Staleness (MaxAge) is a function of wall time, not of any report
+// change, so a caller must still run Full periodically — an idle resource
+// goes red by aging, with no event to trigger it.
+type Incremental struct {
+	ag     *Agreement
+	prefix branch.ID
+
+	memo       map[string]*incMemo // branch string → parsed + placement
+	byResource map[string]*indexed
+	statuses   map[string]*ResourceStatus
+	at         time.Time
+}
+
+// incMemo is one branch's retained parse plus where it was indexed, so an
+// update can un-index the previous report before placing the new one.
+type incMemo struct {
+	xml      []byte
+	rep      *report.Report
+	resource string
+	name     string
+	live     bool
+}
+
+// NewIncremental returns an incremental evaluator. Call Full once to
+// seed it, then Update with changed branches.
+func NewIncremental(ag *Agreement) *Incremental {
+	prefix := branch.ID{}
+	if ag.VO != "" {
+		prefix = branch.MustParse("vo=" + ag.VO)
+	}
+	return &Incremental{
+		ag:         ag,
+		prefix:     prefix,
+		memo:       make(map[string]*incMemo),
+		byResource: make(map[string]*indexed),
+		statuses:   make(map[string]*ResourceStatus),
+	}
+}
+
+// Status assembles the current full outcome from the retained
+// per-resource statuses (the live stream's snapshot).
+func (inc *Incremental) Status() *VOStatus {
+	status := &VOStatus{Agreement: inc.ag, At: inc.at}
+	resources := make([]string, 0, len(inc.statuses))
+	for r := range inc.statuses {
+		resources = append(resources, r)
+	}
+	sort.Strings(resources)
+	for _, r := range resources {
+		status.Resources = append(status.Resources, inc.statuses[r])
+	}
+	return status
+}
+
+// Full rebuilds the index from the whole cache and re-verifies every
+// resource, returning the deltas against the previous evaluation
+// (including removals). It is both the seed and the periodic
+// staleness/consistency sweep.
+func (inc *Incremental) Full(cache depot.Cache, now time.Time) (*VOStatus, []Delta, error) {
+	stored, err := cache.Reports(inc.prefix)
+	if err != nil {
+		return nil, nil, fmt.Errorf("agreement: cache read: %w", err)
+	}
+	for _, m := range inc.memo {
+		m.live = false
+	}
+	inc.byResource = make(map[string]*indexed)
+	for _, s := range stored {
+		inc.place(s.ID, s.XML)
+	}
+	for key, m := range inc.memo {
+		if !m.live {
+			delete(inc.memo, key)
+		}
+	}
+	// Every current resource is dirty; removed resources are deltas too.
+	dirty := make(map[string]bool, len(inc.byResource))
+	for res := range inc.byResource {
+		dirty[res] = true
+	}
+	for res := range inc.statuses {
+		if _, ok := inc.byResource[res]; !ok {
+			dirty[res] = true
+		}
+	}
+	deltas := inc.reevaluate(dirty, now)
+	return inc.Status(), deltas, nil
+}
+
+// Update re-reads only the changed branches, re-verifies the resources
+// they feed, and returns the resulting deltas. Branches outside the
+// agreement's VO prefix or without a resource component are ignored.
+func (inc *Incremental) Update(cache depot.Cache, changed []branch.ID, now time.Time) ([]Delta, error) {
+	dirty := make(map[string]bool)
+	for _, b := range changed {
+		if !inc.prefix.IsRoot() && !b.HasSuffix(inc.prefix) {
+			continue
+		}
+		if _, ok := b.Get("resource"); !ok {
+			continue
+		}
+		stored, err := cache.Reports(b)
+		if err != nil {
+			return nil, fmt.Errorf("agreement: cache read %s: %w", b, err)
+		}
+		if len(stored) == 0 {
+			// The branch left the cache: un-index whatever it held.
+			key := b.String()
+			if m, ok := inc.memo[key]; ok {
+				inc.unplace(m, dirty)
+				delete(inc.memo, key)
+			}
+			continue
+		}
+		for _, s := range stored {
+			for res := range inc.placeDirty(s.ID, s.XML) {
+				dirty[res] = true
+			}
+		}
+	}
+	return inc.reevaluate(dirty, now), nil
+}
+
+// place indexes one stored report (Full path: dirtiness is global).
+func (inc *Incremental) place(id branch.ID, xmlBytes []byte) {
+	inc.placeDirty(id, xmlBytes)
+}
+
+// placeDirty indexes one stored report and returns the resources whose
+// verification inputs it touched: its own resource, plus the cross-site
+// target of both the previous and the new report name.
+func (inc *Incremental) placeDirty(id branch.ID, xmlBytes []byte) map[string]bool {
+	dirty := make(map[string]bool)
+	res, ok := id.Get("resource")
+	if !ok {
+		return dirty
+	}
+	key := id.String()
+	m := inc.memo[key]
+	if m == nil || !bytes.Equal(m.xml, xmlBytes) {
+		rep, err := report.Parse(xmlBytes)
+		if err != nil {
+			// Foreign data is not agreement input, but if it *replaced*
+			// a report we must un-index the old one.
+			if m != nil {
+				inc.unplace(m, dirty)
+				delete(inc.memo, key)
+			}
+			return dirty
+		}
+		if m != nil {
+			inc.unplace(m, dirty)
+		}
+		m = &incMemo{
+			xml:      append([]byte(nil), xmlBytes...),
+			rep:      rep,
+			resource: res,
+			name:     rep.Header.Name,
+		}
+		inc.memo[key] = m
+	}
+	m.live = true
+	// Indexing is idempotent, and Full rebuilds byResource from scratch,
+	// so a memo hit must still place its report.
+	idx := inc.byResource[res]
+	if idx == nil {
+		site, _ := id.Get("site")
+		idx = &indexed{site: site, reports: make(map[string]*report.Report), branch: make(map[string]branch.ID)}
+		inc.byResource[res] = idx
+	}
+	idx.reports[m.name] = m.rep
+	idx.branch[m.name] = id
+	dirty[res] = true
+	if target, ok := xsiteTarget(m.name); ok {
+		dirty[target] = true
+	}
+	return dirty
+}
+
+// unplace removes a memoized report from the resource index and dirties
+// everything that depended on it.
+func (inc *Incremental) unplace(m *incMemo, dirty map[string]bool) {
+	if idx := inc.byResource[m.resource]; idx != nil {
+		if idx.reports[m.name] == m.rep {
+			delete(idx.reports, m.name)
+			delete(idx.branch, m.name)
+		}
+		if len(idx.reports) == 0 {
+			delete(inc.byResource, m.resource)
+		}
+	}
+	dirty[m.resource] = true
+	if target, ok := xsiteTarget(m.name); ok {
+		dirty[target] = true
+	}
+}
+
+// xsiteTarget extracts the destination resource from a cross-site
+// reporter name ("grid.xsite.<svc>.to.<target>").
+func xsiteTarget(name string) (string, bool) {
+	if !strings.Contains(name, "grid.xsite.") {
+		return "", false
+	}
+	i := strings.LastIndex(name, ".to.")
+	if i < 0 {
+		return "", false
+	}
+	target := name[i+len(".to."):]
+	return target, target != ""
+}
+
+// reevaluate runs evaluateResource for each dirty resource and returns
+// the deltas against the retained statuses.
+func (inc *Incremental) reevaluate(dirty map[string]bool, now time.Time) []Delta {
+	inc.at = now
+	resources := make([]string, 0, len(dirty))
+	for r := range dirty {
+		resources = append(resources, r)
+	}
+	sort.Strings(resources)
+	var deltas []Delta
+	for _, res := range resources {
+		idx, ok := inc.byResource[res]
+		if !ok {
+			if _, had := inc.statuses[res]; had {
+				delete(inc.statuses, res)
+				deltas = append(deltas, Delta{Resource: res})
+			}
+			continue
+		}
+		rs := evaluateResource(inc.ag, res, idx, inc.byResource, now)
+		if prev, ok := inc.statuses[res]; ok && equalStatus(prev, rs) {
+			continue
+		}
+		inc.statuses[res] = rs
+		deltas = append(deltas, Delta{Resource: res, Status: rs})
+	}
+	return deltas
+}
+
+// equalStatus compares two resource outcomes field by field (TestResult
+// holds a branch.ID, which is not ==-comparable).
+func equalStatus(a, b *ResourceStatus) bool {
+	if a.Resource != b.Resource || a.Site != b.Site || len(a.Results) != len(b.Results) {
+		return false
+	}
+	for i := range a.Results {
+		x, y := a.Results[i], b.Results[i]
+		if x.Resource != y.Resource || x.Category != y.Category || x.Test != y.Test ||
+			x.Pass != y.Pass || x.Detail != y.Detail || x.Pieces != y.Pieces ||
+			!x.Branch.Equal(y.Branch) {
+			return false
+		}
+	}
+	return true
+}

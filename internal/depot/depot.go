@@ -98,10 +98,37 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// ChangeKind classifies a depot commit for change-feed publication.
+type ChangeKind uint8
+
+const (
+	// ChangeReport is a report stored into the cache.
+	ChangeReport ChangeKind = iota
+	// ChangePolicy is an archival-policy upload.
+	ChangePolicy
+	// ChangeManual is a manual archive update.
+	ChangeManual
+)
+
+// Change describes one committed mutation, published to the change feed
+// after the commit succeeds. Report carries the report body for
+// ChangeReport (valid only for the duration of the publisher call — the
+// wire layer reuses envelope buffers) and the policy name for
+// ChangePolicy/ChangeManual.
+type Change struct {
+	Branch branch.ID
+	Kind   ChangeKind
+	Report []byte
+}
+
 // Depot is Inca's storage facility: cache plus archive.
 type Depot struct {
 	cache Cache
 	opts  Options
+
+	// publisher, when set, observes every committed mutation (the change
+	// feed). Installed after WAL replay so recovery does not re-publish.
+	publisher atomic.Pointer[func(Change)]
 
 	// policies is an immutable snapshot swapped on AddPolicy; the store
 	// path matches against it without locking. polMu serializes writers.
@@ -197,6 +224,26 @@ func newDepot(cache Cache, opts Options, store archiveStore) *Depot {
 // Cache exposes the underlying cache for queries.
 func (d *Depot) Cache() Cache { return d.cache }
 
+// SetPublisher installs the change-feed publication hook. The function is
+// called synchronously after each successful commit (store, policy upload,
+// manual archive update), so it must be fast — the feed hub only stamps a
+// cursor and offers to in-memory queues. WAL replay runs inside OpenDisk,
+// before any caller can install a publisher, so recovery never
+// re-publishes. Pass nil to detach.
+func (d *Depot) SetPublisher(fn func(Change)) {
+	if fn == nil {
+		d.publisher.Store(nil)
+		return
+	}
+	d.publisher.Store(&fn)
+}
+
+func (d *Depot) publish(c Change) {
+	if fn := d.publisher.Load(); fn != nil {
+		(*fn)(c)
+	}
+}
+
 // AddPolicy uploads an archival policy. Policies apply to reports stored
 // after the upload.
 func (d *Depot) AddPolicy(p Policy) error {
@@ -234,6 +281,7 @@ func (d *Depot) addPolicyApply(p Policy) error {
 	copy(next, cur.all)
 	next = append(next, p)
 	d.policies.Store(compilePolicySet(next))
+	d.publish(Change{Branch: p.Prefix, Kind: ChangePolicy, Report: []byte(p.Name)})
 	return nil
 }
 
@@ -301,6 +349,7 @@ func (d *Depot) storeApply(id branch.ID, reportXML []byte) (Receipt, error) {
 	d.bytes.Add(uint64(len(reportXML)))
 	d.insertH.Observe(t2.Sub(t1).Seconds())
 	d.archiveH.Observe(t3.Sub(t2).Seconds())
+	d.publish(Change{Branch: id, Kind: ChangeReport, Report: reportXML})
 	return Receipt{
 		Branch:     id,
 		ReportSize: len(reportXML),
@@ -416,6 +465,7 @@ func (d *Depot) archiveUpdateApply(id branch.ID, policyName string, at time.Time
 		return err
 	}
 	d.archiveGen.Add(1)
+	d.publish(Change{Branch: id, Kind: ChangeManual, Report: []byte(policyName)})
 	return nil
 }
 

@@ -148,7 +148,9 @@ func ByID(id string) (Result, error) {
 		return Federation(FederationOptions{}), nil
 	case "storage":
 		return Storage(StorageOptions{}), nil
+	case "feed":
+		return Feed(FeedOptions{}), nil
 	default:
-		return Result{}, fmt.Errorf("experiments: unknown experiment %q (table1-4, fig4-9, shards, query, archive, federation, storage)", id)
+		return Result{}, fmt.Errorf("experiments: unknown experiment %q (table1-4, fig4-9, shards, query, archive, federation, storage, feed)", id)
 	}
 }

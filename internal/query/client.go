@@ -1,6 +1,7 @@
 package query
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/csv"
 	"encoding/json"
@@ -186,6 +187,121 @@ func (c *Client) CacheConditional(branchID, etag string) (body []byte, newETag s
 func (c *Client) ReportsConditional(branchID, etag string) (body []byte, newETag string, notModified bool, err error) {
 	return c.getConditional("/reports", url.Values{"branch": {branchID}}, etag)
 }
+
+// ErrFeedUnsupported reports that the server has no /feed endpoint (an
+// older server, or one started without -feed). Consumers fall back to
+// conditional polling.
+var ErrFeedUnsupported = fmt.Errorf("query: server does not support /feed")
+
+// FeedEvent is one parsed server-sent event from /feed.
+type FeedEvent struct {
+	// Type is "snapshot", "resume", "change", "status", or "error".
+	Type string
+	// Cursor is the event's stream position — persist it and pass it
+	// back on reconnect.
+	Cursor string
+	// Data is the event body: a cache subtree (snapshot), a changeEvent
+	// JSON document (change), or a status row (status).
+	Data []byte
+}
+
+// FeedChange is the decoded body of a "change" event.
+type FeedChange struct {
+	Branch string `json:"branch"`
+	Kind   string `json:"kind"`
+	Report string `json:"report,omitempty"`
+	Policy string `json:"policy,omitempty"`
+}
+
+// Change decodes a "change" event's body.
+func (e FeedEvent) Change() (FeedChange, error) {
+	var fc FeedChange
+	if err := json.Unmarshal(e.Data, &fc); err != nil {
+		return FeedChange{}, fmt.Errorf("query: bad change event: %w", err)
+	}
+	return fc, nil
+}
+
+// FeedStream is an open /feed subscription.
+type FeedStream struct {
+	resp *http.Response
+	br   *bufio.Reader
+}
+
+// FeedSubscribe opens the server's change feed at a branch prefix.
+// cursor resumes a previous subscription ("" for a fresh one); stream
+// selects "status" for the live agreement stream ("" for depot changes).
+// The first event is a "snapshot" (the subscriber was behind) or a
+// "resume" (its cursor is current). Returns ErrFeedUnsupported when the
+// server lacks the endpoint, so callers can fall back to polling.
+func (c *Client) FeedSubscribe(branchID, cursor, stream string) (*FeedStream, error) {
+	params := url.Values{"branch": {branchID}}
+	if cursor != "" {
+		params.Set("cursor", cursor)
+	}
+	if stream != "" {
+		params.Set("stream", stream)
+	}
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/feed?"+params.Encode(), nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusNotFound, http.StatusMethodNotAllowed,
+		http.StatusNotImplemented, http.StatusServiceUnavailable:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		return nil, ErrFeedUnsupported
+	default:
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		return nil, fmt.Errorf("query: feed: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	return &FeedStream{resp: resp, br: bufio.NewReader(resp.Body)}, nil
+}
+
+// Next blocks for the next event. Ping comments are skipped. Returns
+// io.EOF (or the transport error) when the stream ends.
+func (fs *FeedStream) Next() (FeedEvent, error) {
+	var ev FeedEvent
+	var data [][]byte
+	sawData := false
+	for {
+		raw, err := fs.br.ReadString('\n')
+		if err != nil {
+			return FeedEvent{}, err
+		}
+		line := strings.TrimRight(raw, "\r\n")
+		switch {
+		case line == "":
+			if ev.Type == "" && !sawData {
+				continue // stray separator
+			}
+			ev.Data = bytes.Join(data, []byte("\n"))
+			return ev, nil
+		case strings.HasPrefix(line, ":"):
+			continue // heartbeat comment
+		case strings.HasPrefix(line, "event:"):
+			ev.Type = strings.TrimSpace(line[len("event:"):])
+		case strings.HasPrefix(line, "id:"):
+			ev.Cursor = strings.TrimSpace(line[len("id:"):])
+		case strings.HasPrefix(line, "data:"):
+			d := line[len("data:"):]
+			d = strings.TrimPrefix(d, " ")
+			data = append(data, []byte(d))
+			sawData = true
+		}
+	}
+}
+
+// Close terminates the subscription.
+func (fs *FeedStream) Close() error { return fs.resp.Body.Close() }
 
 // DebugVars fetches the server's read-path counters.
 func (c *Client) DebugVars() (DebugVars, error) {

@@ -38,6 +38,7 @@ type Federated struct {
 	router *federation.Router
 	httpc  *http.Client
 	reg    *metrics.Registry
+	feed   *FederatedFeed // composed change feed; set by AttachFeed
 
 	fanouts     *metrics.Counter // requests scattered to every shard
 	forwards    *metrics.Counter // requests proxied to the owning shard
@@ -95,6 +96,7 @@ func (f *Federated) Handler() http.Handler {
 	mux.HandleFunc("/availability", readOnly(f.handleAvailability))
 	mux.HandleFunc("/stats", readOnly(f.handleStats))
 	mux.HandleFunc("/debug/vars", readOnly(f.handleDebugVars))
+	mux.HandleFunc("/feed", readOnly(f.handleFeed))
 	mux.HandleFunc("/shards", readOnly(f.handleShards))
 	mux.HandleFunc("/federation/join", f.handleJoin)
 	mux.HandleFunc("/federation/leave", f.handleLeave)
@@ -772,6 +774,9 @@ func (f *Federated) handleJoin(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}
+	if f.feed != nil {
+		f.feed.rewire()
+	}
 	fmt.Fprintf(w, "joined %s (migrated %d reports)\n", s.Name(), migrated)
 }
 
@@ -828,6 +833,9 @@ func (f *Federated) handleLeave(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
+	}
+	if f.feed != nil {
+		f.feed.rewire()
 	}
 	fmt.Fprintf(w, "left %s (migrated %d reports, re-routed %d queued messages)\n", name, migrated, moved)
 }

@@ -1,0 +1,374 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+
+	"inca/internal/branch"
+	"inca/internal/federation"
+	"inca/internal/feed"
+)
+
+// FederatedFeed composes the shards' change feeds into one stream on the
+// federated tier: a watcher per shard subscribes to that shard's /feed
+// and republishes its events into a local fan-out hub, so a consumer
+// subscribes once and observes every shard's changes merged. Cursors are
+// composed the same way /cache ETags are (PR 6): the ring signature
+// followed by each shard's own cursor in ring-member order, joined with
+// "." — "f<ringSig>-<c1>.<c2>...". A membership change mints a new
+// signature, so a composed cursor from the old topology never
+// revalidates: every subscriber is demoted to a fresh merged snapshot.
+type FederatedFeed struct {
+	fed *Federated
+	hub *feed.Hub
+
+	mu          sync.Mutex
+	sig         string   // ring signature the watchers were wired under
+	cursors     []string // latest per-shard cursor, ring-member order
+	unsupported []string // shard names whose /feed is missing
+	stopCh      chan struct{}
+	closed      bool
+	wg          sync.WaitGroup
+}
+
+// AttachFeed composes the shards' change feeds and mounts them on the
+// tier's /feed. Call before Handler; Close the returned feed to detach.
+// QueueLimit and Metrics apply to the local hub; Agreement is ignored
+// (the status stream is a single-depot feature — subscribe to a shard).
+func (f *Federated) AttachFeed(opts FeedOptions) *FederatedFeed {
+	ff := &FederatedFeed{fed: f}
+	ff.hub = feed.NewHub(feed.Options{
+		QueueLimit: opts.QueueLimit,
+		Name:       "federated",
+		Metrics:    opts.Metrics,
+	})
+	f.feed = ff
+	ff.rewire()
+	return ff
+}
+
+// Close stops every shard watcher and ends every subscriber.
+func (ff *FederatedFeed) Close() {
+	ff.mu.Lock()
+	if ff.closed {
+		ff.mu.Unlock()
+		return
+	}
+	ff.closed = true
+	if ff.stopCh != nil {
+		close(ff.stopCh)
+	}
+	ff.mu.Unlock()
+	ff.wg.Wait()
+	ff.hub.Close()
+}
+
+// composeLocked renders the composed cursor from the per-shard cursors;
+// a shard that has not reported a position yet contributes "-", which
+// never matches a real cursor.
+func (ff *FederatedFeed) composeLocked() string {
+	parts := make([]string, len(ff.cursors))
+	for i, c := range ff.cursors {
+		if c == "" {
+			c = "-"
+		}
+		parts[i] = c
+	}
+	return "f" + ff.sig + "-" + strings.Join(parts, ".")
+}
+
+// rewire tears down the watchers and restarts them against the current
+// ring. Called at attach time and after every membership change: the
+// composed cursor space changes with the signature, so subscribers are
+// force-resynced to a merged snapshot under the new topology.
+func (ff *FederatedFeed) rewire() {
+	ff.mu.Lock()
+	if ff.closed {
+		ff.mu.Unlock()
+		return
+	}
+	sig := ff.fed.router.Ring().Signature()
+	if sig == ff.sig && ff.stopCh != nil {
+		ff.mu.Unlock()
+		return
+	}
+	if ff.stopCh != nil {
+		close(ff.stopCh)
+	}
+	stop := make(chan struct{})
+	shards := ff.fed.router.Shards()
+	ff.stopCh = stop
+	ff.sig = sig
+	ff.cursors = make([]string, len(shards))
+	ff.unsupported = nil
+	composed := ff.composeLocked()
+	ff.mu.Unlock()
+
+	ff.hub.SetCursor(composed)
+	ff.hub.ForceResync()
+	for i, s := range shards {
+		ff.wg.Add(1)
+		go ff.watch(i, s, sig, stop)
+	}
+}
+
+// setCursor records shard i's newest cursor and returns the resulting
+// composed cursor. ok is false when the watcher's generation is stale
+// (the ring changed under it) — the watcher must exit.
+func (ff *FederatedFeed) setCursor(gen string, i int, c string) (composed string, ok bool) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ff.sig != gen || ff.closed {
+		return "", false
+	}
+	ff.cursors[i] = c
+	return ff.composeLocked(), true
+}
+
+func (ff *FederatedFeed) setUnsupported(gen string, name string, v bool) {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if ff.sig != gen || ff.closed {
+		return
+	}
+	for i, n := range ff.unsupported {
+		if n == name {
+			if !v {
+				ff.unsupported = append(ff.unsupported[:i], ff.unsupported[i+1:]...)
+			}
+			return
+		}
+	}
+	if v {
+		ff.unsupported = append(ff.unsupported, name)
+	}
+}
+
+// unsupportedShard names a shard whose /feed is missing ("" when all
+// shards stream). The tier refuses subscriptions then: serving a merged
+// feed that silently omits one shard's changes would defeat the cursor
+// contract.
+func (ff *FederatedFeed) unsupportedShard() string {
+	ff.mu.Lock()
+	defer ff.mu.Unlock()
+	if len(ff.unsupported) == 0 {
+		return ""
+	}
+	return ff.unsupported[0]
+}
+
+func sleepOrStop(stop chan struct{}, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-stop:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// watch is one shard's upstream subscription loop: subscribe at the last
+// known cursor, republish changes with composed cursors, reconnect with
+// backoff on transport errors. An upstream snapshot after we have been
+// live means the shard demoted us (or restarted — new epoch): our own
+// subscribers have a gap, so they are demoted to a merged snapshot too.
+func (ff *FederatedFeed) watch(i int, s federation.Shard, gen string, stop chan struct{}) {
+	defer ff.wg.Done()
+	base := s.BaseURL()
+	if base == "" {
+		ff.setUnsupported(gen, s.Name(), true)
+		return
+	}
+	// The tier's scatter client carries a per-request timeout, which
+	// would sever a healthy stream; the watcher uses the default
+	// transport instead.
+	c := NewClient(base)
+	cursor := ""
+	live := false
+	backoff := 250 * time.Millisecond
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		fs, err := c.FeedSubscribe("", cursor, "")
+		if err != nil {
+			if errors.Is(err, ErrFeedUnsupported) {
+				ff.setUnsupported(gen, s.Name(), true)
+			}
+			if !sleepOrStop(stop, backoff) {
+				return
+			}
+			if backoff *= 2; backoff > 5*time.Second {
+				backoff = 5 * time.Second
+			}
+			continue
+		}
+		ff.setUnsupported(gen, s.Name(), false)
+		connDone := make(chan struct{})
+		go func() {
+			select {
+			case <-stop:
+				fs.Close()
+			case <-connDone:
+			}
+		}()
+		stale := ff.relay(i, gen, fs, &cursor, &live)
+		close(connDone)
+		fs.Close()
+		if stale {
+			return
+		}
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		backoff = 250 * time.Millisecond
+	}
+}
+
+// relay pumps one upstream connection into the local hub; returns true
+// when the watcher's generation went stale and the loop must exit.
+func (ff *FederatedFeed) relay(i int, gen string, fs *FeedStream, cursor *string, live *bool) bool {
+	for {
+		ev, err := fs.Next()
+		if err != nil {
+			return false
+		}
+		switch ev.Type {
+		case "snapshot":
+			*cursor = ev.Cursor
+			composed, ok := ff.setCursor(gen, i, ev.Cursor)
+			if !ok {
+				return true
+			}
+			ff.hub.SetCursor(composed)
+			if *live {
+				// The shard handed us a snapshot we cannot forward (our
+				// subscribers hold different prefixes): demote them all
+				// to a merged snapshot at the new composed cursor.
+				ff.hub.ForceResync()
+			}
+			*live = true
+		case "resume":
+			*cursor = ev.Cursor
+			if composed, ok := ff.setCursor(gen, i, ev.Cursor); !ok {
+				return true
+			} else if !*live {
+				ff.hub.SetCursor(composed)
+			}
+			*live = true
+		case "change":
+			*cursor = ev.Cursor
+			composed, ok := ff.setCursor(gen, i, ev.Cursor)
+			if !ok {
+				return true
+			}
+			fe, err := upstreamEvent(ev)
+			if err != nil {
+				continue
+			}
+			fe.Cursor = composed
+			ff.hub.PublishExternal(fe)
+		case "error":
+			// Shard-side snapshot failure; reconnect from scratch.
+			*cursor = ""
+			return false
+		}
+	}
+}
+
+// upstreamEvent rebuilds the hub event from a shard's wire change,
+// preserving the coalescing identity Feed.publish assigned.
+func upstreamEvent(ev FeedEvent) (feed.Event, error) {
+	fc, err := ev.Change()
+	if err != nil {
+		return feed.Event{}, err
+	}
+	id, err := branch.Parse(fc.Branch)
+	if err != nil {
+		return feed.Event{}, err
+	}
+	fe := feed.Event{Branch: id, Data: append([]byte(nil), ev.Data...)}
+	switch fc.Kind {
+	case "report":
+		fe.Kind = feed.KindReport
+	case "policy":
+		fe.Kind = feed.KindPolicy
+		fe.Key = "policy|" + fc.Policy
+	case "manual":
+		fe.Kind = feed.KindManual
+		fe.Key = fc.Branch + "|" + fc.Policy
+	default:
+		return feed.Event{}, fmt.Errorf("query: unknown change kind %q", fc.Kind)
+	}
+	return fe, nil
+}
+
+// mergedSnapshot is the catch-up body for a federated feed subscriber:
+// the same scatter-and-merge /cache performs, at the moment of the call
+// — at least as fresh as any composed cursor the hub has minted.
+func (f *Federated) mergedSnapshot(prefix branch.ID) ([]byte, error) {
+	shards := f.router.Shards()
+	ring := f.router.Ring()
+	resps := f.scatter(shards, "/cache", url.Values{"branch": {prefix.String()}}, nil)
+	var docs []federation.ShardDoc
+	for _, resp := range resps {
+		if resp.err != nil {
+			return nil, fmt.Errorf("shard %s: %w", resp.shard.Name(), resp.err)
+		}
+		switch resp.status {
+		case http.StatusOK:
+			docs = append(docs, federation.ShardDoc{Shard: resp.shard.Name(), Body: resp.body})
+		case http.StatusNotFound:
+			// Nothing under the prefix on this shard.
+		default:
+			return nil, fmt.Errorf("shard %s: status %d", resp.shard.Name(), resp.status)
+		}
+	}
+	if len(docs) == 0 {
+		return nil, nil
+	}
+	f.merges.Inc()
+	return federation.MergeCache(docs, prefix, ring)
+}
+
+// handleFeed serves GET /feed on the federated tier — the same wire
+// protocol as Server.handleFeed, backed by the composed hub and the
+// merged-cache snapshot.
+func (f *Federated) handleFeed(w http.ResponseWriter, r *http.Request) {
+	if f.feed == nil {
+		http.Error(w, "feed disabled", http.StatusNotFound)
+		return
+	}
+	q := r.URL.Query()
+	prefix, err := branch.Parse(q.Get("branch"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch q.Get("stream") {
+	case "", "changes":
+	case "status":
+		http.Error(w, "status stream unavailable on the federated tier; subscribe to a shard", http.StatusNotFound)
+		return
+	default:
+		http.Error(w, "unknown stream "+q.Get("stream"), http.StatusBadRequest)
+		return
+	}
+	if name := f.feed.unsupportedShard(); name != "" {
+		http.Error(w, "shard "+name+" does not serve /feed", http.StatusServiceUnavailable)
+		return
+	}
+	serveFeed(w, r, prefix, f.feed.hub, func() ([]byte, error) {
+		return f.mergedSnapshot(prefix)
+	})
+}

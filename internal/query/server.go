@@ -52,6 +52,11 @@ type Server struct {
 	// profiling endpoints under /debug/pprof/ (inca-server -pprof).
 	Pprof bool
 
+	// Feed, when set before Handler is called, mounts the change feed
+	// on /feed (and, when the feed evaluates an agreement, the status
+	// snapshot on /summary). See NewFeed.
+	Feed *Feed
+
 	// Read-path counters, exposed on /debug/vars (and, with a registry,
 	// on /metrics).
 	queryHits   *metrics.Counter // /cache and /reports queries that found data
@@ -118,6 +123,10 @@ func (s *Server) timed(name string, h http.HandlerFunc) http.HandlerFunc {
 //	GET  /graph       — same params plus &title=&ylabel=; ASCII plot
 //	GET  /stats       — depot counters as XML
 //	GET  /availability — VO-wide availability overview (memoized)
+//	GET  /feed        — SSE/long-poll change feed (servers with Feed set;
+//	                    ?branch=&cursor=&stream=&mode=&wait=)
+//	GET  /summary     — live agreement status as JSON (feed servers
+//	                    evaluating an agreement only)
 //	GET  /debug/vars  — read-path counters as JSON
 //	GET  /metrics     — Prometheus text exposition (servers built with
 //	                    NewServerMetrics only)
@@ -134,6 +143,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/spec", s.timed("spec", s.handleSpec))
 	mux.HandleFunc("/availability", s.timed("availability", readOnly(s.handleAvailability)))
 	mux.HandleFunc("/debug/vars", s.timed("debug_vars", readOnly(s.handleDebugVars)))
+	if s.Feed != nil {
+		mux.HandleFunc("/feed", s.timed("feed", readOnly(s.handleFeed)))
+		if s.Feed.status != nil {
+			mux.HandleFunc("/summary", s.timed("summary", readOnly(s.handleSummary)))
+		}
+	}
 	if s.reg != nil {
 		mux.Handle("/metrics", s.reg.Handler())
 	}
