@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test chaos metrics-smoke federation-smoke storage-smoke feed-smoke bench-smoke bench-query bench-archive bench-federation bench-storage bench-feed
+.PHONY: check fmt vet build test chaos metrics-smoke federation-smoke replication-smoke storage-smoke feed-smoke bench-smoke bench-query bench-archive bench-federation bench-storage bench-feed bench-replication
 
 # The full gate: formatting, static checks, build, race-enabled tests,
 # the fault-injection suite, the telemetry smoke, the multi-process
 # federation, storage and feed smokes, and a one-iteration smoke of the
 # parallel ingest benchmark tier.
-check: fmt vet build test chaos metrics-smoke federation-smoke storage-smoke feed-smoke bench-smoke
+check: fmt vet build test chaos metrics-smoke federation-smoke replication-smoke storage-smoke feed-smoke bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -39,6 +39,13 @@ metrics-smoke:
 # test proves every accepted report survives the re-route.
 federation-smoke:
 	INCA_FEDERATION_SMOKE=1 $(GO) test -race -run TestFederationSmoke -count=1 .
+
+# Replication gate (DESIGN.md §5i): a -federate router with a -replicate
+# follower behind one shard; the primary is SIGKILLed and the follower
+# promoted via /federation/leave — the federated /reports must come back
+# byte-identical with a zero-loss custody ledger.
+replication-smoke:
+	INCA_REPLICATION_SMOKE=1 $(GO) test -race -run TestReplicationSmoke -count=1 .
 
 # Storage gate (DESIGN.md §5g): a real -storage disk server SIGKILLed
 # twice (after a clean drain and mid-stream) with its WAL tail torn,
@@ -86,3 +93,9 @@ bench-storage:
 # BENCH_feed.json.
 bench-feed:
 	$(GO) run ./cmd/inca-bench -experiment feed -json .
+
+# Replication tier (DESIGN.md §5i): ingest overhead of the follower tee
+# against the unreplicated router, and failover drain latency
+# (promote + re-enqueue + redeliver); written to BENCH_replication.json.
+bench-replication:
+	$(GO) run ./cmd/inca-bench -experiment replication -json .

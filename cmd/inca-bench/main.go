@@ -22,7 +22,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: all, table1-table4, fig4-fig9, shards, query, archive, federation, storage, feed")
+		experiment = flag.String("experiment", "all", "experiment to run: all, table1-table4, fig4-fig9, shards, query, archive, federation, storage, feed, replication")
 		hours      = flag.Int("hours", 0, "virtual hours for table4/fig8 (0 = default)")
 		days       = flag.Int("days", 0, "virtual days for fig5/fig6/fig7 (0 = default)")
 		updates    = flag.Int("updates", 0, "steady-state updates per fig9/shards cell (0 = default)")
@@ -87,8 +87,10 @@ func main() {
 		run(experiments.Storage(experiments.StorageOptions{Updates: *updates, Workers: *workers}))
 	case "feed":
 		run(experiments.Feed(experiments.FeedOptions{}))
+	case "replication":
+		run(experiments.Replication(experiments.ReplicationOptions{Messages: *updates, Workers: *workers}))
 	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (all, table1-table4, fig4-fig9, shards, query, archive, federation, storage, feed)\n", *experiment)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (all, table1-table4, fig4-fig9, shards, query, archive, federation, storage, feed, replication)\n", *experiment)
 		os.Exit(2)
 	}
 

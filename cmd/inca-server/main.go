@@ -59,9 +59,11 @@ func main() {
 		agreeSpec = flag.String("agreement", "", "serve a live agreement status stream on /feed?stream=status and /summary: 'teragrid' or a path to an agreement XML file")
 		reverify  = flag.Duration("reverify", 5*time.Minute, "periodic full re-evaluation interval for the status stream (staleness advances with wall time)")
 
-		federate         = flag.String("federate", "", "run as a federation router over this comma-separated shard list (wireAddr/httpAddr per shard) instead of hosting a depot")
+		federate         = flag.String("federate", "", "run as a federation router over this comma-separated shard list (wireAddr/httpAddr[=followerWire/followerHTTP] per shard) instead of hosting a depot")
 		federateReplicas = flag.Int("federate-replicas", federation.DefaultReplicas, "virtual nodes per shard on the consistent-hash ring")
 		federateDepth    = flag.Int("federate-depth", federation.DefaultDepth, "branch-prefix affinity depth: identifiers sharing this many most-general components stay on one shard")
+		replicate        = flag.String("replicate", "", "comma-separated follower list paired positionally with -federate shards (wireAddr/httpAddr, '-' = no follower): the router tees each shard's wire stream to its follower, and /federation/leave promotes the follower when the primary dies")
+		replicateReads   = flag.Bool("replicate-reads", true, "let the federated query tier serve reads from followers (generation-gated so a lagging follower never moves a consumer backwards)")
 	)
 	flag.Parse()
 
@@ -70,8 +72,12 @@ func main() {
 	reg := metrics.NewRegistry()
 
 	if *federate != "" {
-		runFederated(*federate, *tcpAddr, *httpAddr, *federateReplicas, *federateDepth, *idleTimeout, reg)
+		runFederated(*federate, *replicate, *tcpAddr, *httpAddr, *federateReplicas, *federateDepth, *idleTimeout, *replicateReads, reg)
 		return
+	}
+	if *replicate != "" {
+		fmt.Fprintln(os.Stderr, "-replicate requires -federate")
+		os.Exit(2)
 	}
 
 	var opts depot.Options
@@ -313,11 +319,16 @@ func hasPolicy(d *depot.Depot, name string) bool {
 
 // runFederated runs the binary as a federation router: the same wire
 // listener agents already point at, but every accepted message forwards
-// to the shard owning its branch, and the HTTP side is the scatter-gather
-// query tier instead of a local depot (DESIGN.md §5f).
-func runFederated(topology, tcpAddr, httpAddr string, replicas, depth int, idleTimeout time.Duration, reg *metrics.Registry) {
+// to the shard owning its branch (and tees to the shard's follower when
+// one is configured — DESIGN.md §5i), and the HTTP side is the
+// scatter-gather query tier instead of a local depot (DESIGN.md §5f).
+func runFederated(topology, replicate, tcpAddr, httpAddr string, replicas, depth int, idleTimeout time.Duration, preferFollower bool, reg *metrics.Registry) {
 	shards, err := federation.ParseShards(topology)
 	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := federation.ApplyReplicas(shards, replicate); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
@@ -338,8 +349,18 @@ func runFederated(topology, tcpAddr, httpAddr string, replicas, depth int, idleT
 	defer srv.Close()
 	fmt.Printf("federation router listening on %s (%d shards, %d replicas, depth %d)\n",
 		srv.Addr(), len(shards), replicas, depth)
+	followers := 0
+	for _, s := range shards {
+		if s.HasReplica() {
+			followers++
+		}
+	}
+	if followers > 0 {
+		fmt.Printf("replication: %d of %d shards have followers (tee mode, follower reads %v)\n",
+			followers, len(shards), preferFollower)
+	}
 
-	fed := query.NewFederated(router, query.FederatedOptions{Metrics: reg})
+	fed := query.NewFederated(router, query.FederatedOptions{Metrics: reg, PreferFollower: preferFollower})
 	// The tier subscribes to every shard's /feed and re-serves the merged
 	// stream with composed cursors; shards without /feed turn the tier's
 	// /feed into a 503 until they are upgraded.
@@ -366,8 +387,8 @@ func runFederated(topology, tcpAddr, httpAddr string, replicas, depth int, idleT
 		select {
 		case <-ticker.C:
 			st := router.Stats()
-			fmt.Printf("router: %d routed, %d rerouted, %d unroutable across %d shards\n",
-				st.Routed, st.Rerouted, st.Unroutable, len(st.Shards))
+			fmt.Printf("router: %d routed, %d rerouted, %d unroutable, %d refused, %d reroute-dropped, %d promotions across %d shards\n",
+				st.Routed, st.Rerouted, st.Unroutable, st.Refused, st.RerouteDropped, st.Promotions, len(st.Shards))
 		case <-sig:
 			fmt.Println("shutting down")
 			httpSrv.Close()

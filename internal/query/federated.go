@@ -35,10 +35,11 @@ import (
 // at or below the ring's affinity depth skip the fan-out entirely and
 // proxy to the one owning shard.
 type Federated struct {
-	router *federation.Router
-	httpc  *http.Client
-	reg    *metrics.Registry
-	feed   *FederatedFeed // composed change feed; set by AttachFeed
+	router         *federation.Router
+	httpc          *http.Client
+	reg            *metrics.Registry
+	feed           *FederatedFeed // composed change feed; set by AttachFeed
+	preferFollower bool
 
 	fanouts     *metrics.Counter // requests scattered to every shard
 	forwards    *metrics.Counter // requests proxied to the owning shard
@@ -46,6 +47,10 @@ type Federated struct {
 	notModified *metrics.Counter // answered 304 (all shards unchanged)
 	merges      *metrics.Counter // responses rebuilt by a document merge
 	shardErrors *metrics.Counter // shard requests that failed in transport
+
+	followerReads       *metrics.Counter // read requests served by a follower
+	followerFallbacks   *metrics.Counter // follower unreachable; primary answered
+	followerRegressions *metrics.Counter // follower behind the client's validator; primary answered
 }
 
 // FederatedOptions configures NewFederated.
@@ -57,6 +62,13 @@ type FederatedOptions struct {
 	// Metrics, when set, registers the tier's counters there and mounts
 	// /metrics on the handler.
 	Metrics *metrics.Registry
+	// PreferFollower sends read requests to a shard's follower when one
+	// is attached, offloading the primary. Staleness is bounded by the
+	// generation gate: a follower answering with a generation behind the
+	// client's own validator is discarded and the primary asked instead,
+	// so a consumer's view never moves backwards; replication-epoch
+	// composed ETags keep promotion/attach from falsely revalidating.
+	PreferFollower bool
 }
 
 // NewFederated builds the query tier over router's shards.
@@ -71,15 +83,20 @@ func NewFederated(router *federation.Router, opt FederatedOptions) *Federated {
 	}
 	reg := opt.Metrics
 	return &Federated{
-		router:      router,
-		httpc:       httpc,
-		reg:         reg,
-		fanouts:     reg.Counter("inca_federated_fanouts_total", "Requests scattered to every shard."),
-		forwards:    reg.Counter("inca_federated_forwards_total", "Requests proxied to the single owning shard."),
-		conditional: reg.Counter("inca_federated_conditional_total", "Requests carrying a composed validator."),
-		notModified: reg.Counter("inca_federated_not_modified_total", "Requests answered 304 — every shard unchanged."),
-		merges:      reg.Counter("inca_federated_merges_total", "Responses rebuilt by a cross-shard document merge."),
-		shardErrors: reg.Counter("inca_federated_shard_errors_total", "Per-shard requests failed in transport."),
+		router:         router,
+		httpc:          httpc,
+		reg:            reg,
+		preferFollower: opt.PreferFollower,
+		fanouts:        reg.Counter("inca_federated_fanouts_total", "Requests scattered to every shard."),
+		forwards:       reg.Counter("inca_federated_forwards_total", "Requests proxied to the single owning shard."),
+		conditional:    reg.Counter("inca_federated_conditional_total", "Requests carrying a composed validator."),
+		notModified:    reg.Counter("inca_federated_not_modified_total", "Requests answered 304 — every shard unchanged."),
+		merges:         reg.Counter("inca_federated_merges_total", "Responses rebuilt by a cross-shard document merge."),
+		shardErrors:    reg.Counter("inca_federated_shard_errors_total", "Per-shard requests failed in transport."),
+
+		followerReads:       reg.Counter("inca_federated_follower_reads_total", "Read requests served by a shard's follower."),
+		followerFallbacks:   reg.Counter("inca_federated_follower_fallbacks_total", "Follower reads that fell back to the primary on a transport error."),
+		followerRegressions: reg.Counter("inca_federated_follower_regressions_total", "Follower reads discarded by the generation gate — the follower was behind the client's validator."),
 	}
 }
 
@@ -100,6 +117,8 @@ func (f *Federated) Handler() http.Handler {
 	mux.HandleFunc("/shards", readOnly(f.handleShards))
 	mux.HandleFunc("/federation/join", f.handleJoin)
 	mux.HandleFunc("/federation/leave", f.handleLeave)
+	mux.HandleFunc("/federation/promote", f.handlePromote)
+	mux.HandleFunc("/federation/replicate", f.handleReplicate)
 	if f.reg != nil {
 		mux.Handle("/metrics", f.reg.Handler())
 	}
@@ -162,11 +181,62 @@ type shardResp struct {
 	err    error
 }
 
+// fetchShard asks the shard's primary — the authoritative replica.
 func (f *Federated) fetchShard(s federation.Shard, path string, params url.Values, inm string) shardResp {
 	base := s.BaseURL()
 	if base == "" {
 		return shardResp{shard: s, err: fmt.Errorf("shard %s has no querying interface", s.Name())}
 	}
+	return f.fetchURL(s, base, path, params, inm)
+}
+
+// tagGen extracts the numeric generation from a shard validator (the
+// shards mint bare-generation ETags, see etagFor).
+func tagGen(tag string) (uint64, bool) {
+	tag = strings.Trim(strings.TrimSpace(tag), `"`)
+	if tag == "" {
+		return 0, false
+	}
+	g, err := strconv.ParseUint(tag, 10, 64)
+	return g, err == nil
+}
+
+// fetchShardRead is fetchShard with follower read preference: when the
+// tier prefers followers and the shard has one with a querying
+// interface, the follower answers instead of the primary. Two guards
+// bound what a follower may serve: a transport error falls back to the
+// primary (availability), and a 200 whose generation is behind the
+// client's own validator is discarded for the primary's answer — the
+// generation gate that keeps a lagging follower from moving a consumer
+// backwards in time. A follower 304 needs no gate: it means the
+// follower's current generation equals the validator the client already
+// holds.
+func (f *Federated) fetchShardRead(s federation.Shard, path string, params url.Values, inm string) shardResp {
+	base := ""
+	if f.preferFollower {
+		base = s.ReplicaBaseURL()
+	}
+	if base == "" {
+		return f.fetchShard(s, path, params, inm)
+	}
+	resp := f.fetchURL(s, base, path, params, inm)
+	if resp.err != nil {
+		f.followerFallbacks.Inc()
+		return f.fetchShard(s, path, params, inm)
+	}
+	if resp.status == http.StatusOK && inm != "" {
+		if seen, ok := tagGen(inm); ok {
+			if got, ok2 := tagGen(resp.etag); ok2 && got < seen {
+				f.followerRegressions.Inc()
+				return f.fetchShard(s, path, params, inm)
+			}
+		}
+	}
+	f.followerReads.Inc()
+	return resp
+}
+
+func (f *Federated) fetchURL(s federation.Shard, base, path string, params url.Values, inm string) shardResp {
 	u := base + path
 	if len(params) > 0 {
 		u += "?" + params.Encode()
@@ -199,9 +269,15 @@ func (f *Federated) fetchShard(s federation.Shard, path string, params url.Value
 }
 
 // scatter fans one request to shards in parallel; perTags (when non-nil)
-// supplies each shard's If-None-Match.
-func (f *Federated) scatter(shards []federation.Shard, path string, params url.Values, perTags []string) []shardResp {
+// supplies each shard's If-None-Match. With read set the fan-out honours
+// follower read preference; admin and snapshot scatters keep hitting the
+// primaries.
+func (f *Federated) scatter(shards []federation.Shard, path string, params url.Values, perTags []string, read bool) []shardResp {
 	resps := make([]shardResp, len(shards))
+	fetch := f.fetchShard
+	if read {
+		fetch = f.fetchShardRead
+	}
 	var wg sync.WaitGroup
 	for i, s := range shards {
 		inm := ""
@@ -211,7 +287,7 @@ func (f *Federated) scatter(shards []federation.Shard, path string, params url.V
 		wg.Add(1)
 		go func(i int, s federation.Shard, inm string) {
 			defer wg.Done()
-			resps[i] = f.fetchShard(s, path, params, inm)
+			resps[i] = fetch(s, path, params, inm)
 		}(i, s, inm)
 	}
 	wg.Wait()
@@ -226,14 +302,13 @@ func (f *Federated) scatter(shards []federation.Shard, path string, params url.V
 // the validators actually served.
 func (f *Federated) scatterConditional(r *http.Request, path string, params url.Values) (resps []shardResp, composed string, unchanged bool, err error) {
 	shards := f.router.Shards()
-	ring := f.router.Ring()
-	sig := ring.Signature()
+	sig := f.router.Signature()
 	perTags := decomposeTag(r.Header.Get("If-None-Match"), sig, len(shards))
 	if perTags != nil {
 		f.conditional.Inc()
 	}
 	f.fanouts.Inc()
-	resps = f.scatter(shards, path, params, perTags)
+	resps = f.scatter(shards, path, params, perTags, true)
 	for i := range resps {
 		if resps[i].err != nil {
 			return nil, "", false, fmt.Errorf("shard %s: %w", resps[i].shard.Name(), resps[i].err)
@@ -270,7 +345,7 @@ func (f *Federated) scatterConditional(r *http.Request, path string, params url.
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			resps[i] = f.fetchShard(resps[i].shard, path, params, "")
+			resps[i] = f.fetchShardRead(resps[i].shard, path, params, "")
 		}(i)
 	}
 	wg.Wait()
@@ -315,14 +390,14 @@ func (f *Federated) forwardOwner(w http.ResponseWriter, r *http.Request, id bran
 		return
 	}
 	f.forwards.Inc()
-	sig := f.router.Ring().Signature()
+	sig := f.router.Signature()
 	perTags := decomposeTag(r.Header.Get("If-None-Match"), sig, 1)
 	inm := ""
 	if perTags != nil {
 		f.conditional.Inc()
 		inm = perTags[0]
 	}
-	resp := f.fetchShard(shard, path, params, inm)
+	resp := f.fetchShardRead(shard, path, params, inm)
 	if resp.err != nil {
 		http.Error(w, "shard "+shard.Name()+": "+resp.err.Error(), http.StatusBadGateway)
 		return
@@ -626,7 +701,7 @@ func relayResponse(w http.ResponseWriter, resp *http.Response) {
 // --- aggregates and administration ---
 
 func (f *Federated) handleStats(w http.ResponseWriter, r *http.Request) {
-	resps := f.scatter(f.router.Shards(), "/stats", nil, nil)
+	resps := f.scatter(f.router.Shards(), "/stats", nil, nil, false)
 	var total xmlStats
 	for _, resp := range resps {
 		if resp.err != nil {
@@ -650,13 +725,18 @@ func (f *Federated) handleStats(w http.ResponseWriter, r *http.Request) {
 
 // FederatedVars is the JSON shape of the router's /debug/vars.
 type FederatedVars struct {
-	Shards        int    `json:"shards"`
-	RingDepth     int    `json:"ring_depth"`
-	RingReplicas  int    `json:"ring_replicas"`
-	RingSignature string `json:"ring_signature"`
-	Routed        uint64 `json:"routed"`
-	Rerouted      uint64 `json:"rerouted"`
-	Unroutable    uint64 `json:"unroutable"`
+	Shards         int    `json:"shards"`
+	RingDepth      int    `json:"ring_depth"`
+	RingReplicas   int    `json:"ring_replicas"`
+	RingSignature  string `json:"ring_signature"`
+	ReplicaEpoch   uint64 `json:"replica_epoch"`
+	Routed         uint64 `json:"routed"`
+	Rerouted       uint64 `json:"rerouted"`
+	Unroutable     uint64 `json:"unroutable"`
+	Refused        uint64 `json:"refused"`
+	RerouteDropped uint64 `json:"reroute_dropped"`
+	ReplicaShed    uint64 `json:"replica_shed"`
+	Promotions     uint64 `json:"promotions"`
 
 	Fanouts             uint64 `json:"fanouts"`
 	Forwards            uint64 `json:"forwards"`
@@ -665,11 +745,18 @@ type FederatedVars struct {
 	Merges              uint64 `json:"merges"`
 	ShardErrors         uint64 `json:"shard_errors"`
 
+	FollowerReads       uint64 `json:"follower_reads"`
+	FollowerFallbacks   uint64 `json:"follower_fallbacks"`
+	FollowerRegressions uint64 `json:"follower_regressions"`
+
 	PerShard []FederatedShardVars `json:"per_shard"`
 }
 
 // FederatedShardVars is one shard's delivery accounting on /debug/vars.
+// The replica_* group mirrors the primary counters for the follower tee
+// and is present only when a follower is attached.
 type FederatedShardVars struct {
+	Name     string `json:"name"`
 	Wire     string `json:"wire"`
 	HTTP     string `json:"http"`
 	Acked    uint64 `json:"acked"`
@@ -677,6 +764,12 @@ type FederatedShardVars struct {
 	Requeued uint64 `json:"requeued"`
 	Dropped  uint64 `json:"dropped"`
 	Redials  uint64 `json:"redials"`
+
+	ReplicaWire     string `json:"replica_wire,omitempty"`
+	ReplicaHTTP     string `json:"replica_http,omitempty"`
+	ReplicaAcked    uint64 `json:"replica_acked,omitempty"`
+	ReplicaRequeued uint64 `json:"replica_requeued,omitempty"`
+	ReplicaDropped  uint64 `json:"replica_dropped,omitempty"`
 }
 
 func (f *Federated) vars() FederatedVars {
@@ -687,18 +780,27 @@ func (f *Federated) vars() FederatedVars {
 		RingDepth:           ring.Depth(),
 		RingReplicas:        ring.Replicas(),
 		RingSignature:       ring.Signature(),
+		ReplicaEpoch:        st.Epoch,
 		Routed:              st.Routed,
 		Rerouted:            st.Rerouted,
 		Unroutable:          st.Unroutable,
+		Refused:             st.Refused,
+		RerouteDropped:      st.RerouteDropped,
+		ReplicaShed:         st.ReplicaShed,
+		Promotions:          st.Promotions,
 		Fanouts:             f.fanouts.Value(),
 		Forwards:            f.forwards.Value(),
 		ConditionalRequests: f.conditional.Value(),
 		NotModified:         f.notModified.Value(),
 		Merges:              f.merges.Value(),
 		ShardErrors:         f.shardErrors.Value(),
+		FollowerReads:       f.followerReads.Value(),
+		FollowerFallbacks:   f.followerFallbacks.Value(),
+		FollowerRegressions: f.followerRegressions.Value(),
 	}
 	for _, ss := range st.Shards {
-		v.PerShard = append(v.PerShard, FederatedShardVars{
+		sv := FederatedShardVars{
+			Name:     ss.Shard.Name(),
 			Wire:     ss.Shard.Wire,
 			HTTP:     ss.Shard.HTTP,
 			Acked:    ss.Batch.Acked,
@@ -706,7 +808,15 @@ func (f *Federated) vars() FederatedVars {
 			Requeued: ss.Batch.Requeued,
 			Dropped:  ss.Batch.Dropped,
 			Redials:  ss.Batch.Redials,
-		})
+		}
+		if ss.HasReplica {
+			sv.ReplicaWire = ss.Shard.ReplicaWire
+			sv.ReplicaHTTP = ss.Shard.ReplicaHTTP
+			sv.ReplicaAcked = ss.Replica.Acked
+			sv.ReplicaRequeued = ss.Replica.Requeued
+			sv.ReplicaDropped = ss.Replica.Dropped
+		}
+		v.PerShard = append(v.PerShard, sv)
 	}
 	return v
 }
@@ -720,22 +830,26 @@ func (f *Federated) handleDebugVars(w http.ResponseWriter, r *http.Request) {
 
 // shardTopology is the JSON shape of /shards.
 type shardTopology struct {
-	Signature string      `json:"signature"`
-	Depth     int         `json:"depth"`
-	Replicas  int         `json:"replicas"`
-	Shards    []shardSpec `json:"shards"`
+	Signature    string      `json:"signature"`
+	Depth        int         `json:"depth"`
+	Replicas     int         `json:"replicas"`
+	ReplicaEpoch uint64      `json:"replica_epoch"`
+	Shards       []shardSpec `json:"shards"`
 }
 
 type shardSpec struct {
-	Wire string `json:"wire"`
-	HTTP string `json:"http"`
+	Name        string `json:"name"`
+	Wire        string `json:"wire"`
+	HTTP        string `json:"http"`
+	ReplicaWire string `json:"replica_wire,omitempty"`
+	ReplicaHTTP string `json:"replica_http,omitempty"`
 }
 
 func (f *Federated) handleShards(w http.ResponseWriter, r *http.Request) {
 	ring := f.router.Ring()
-	top := shardTopology{Signature: ring.Signature(), Depth: ring.Depth(), Replicas: ring.Replicas()}
+	top := shardTopology{Signature: ring.Signature(), Depth: ring.Depth(), Replicas: ring.Replicas(), ReplicaEpoch: f.router.Epoch()}
 	for _, s := range f.router.Shards() {
-		top.Shards = append(top.Shards, shardSpec{Wire: s.Wire, HTTP: s.HTTP})
+		top.Shards = append(top.Shards, shardSpec{Name: s.Name(), Wire: s.Wire, HTTP: s.HTTP, ReplicaWire: s.ReplicaWire, ReplicaHTTP: s.ReplicaHTTP})
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	enc := json.NewEncoder(w)
@@ -780,13 +894,19 @@ func (f *Federated) handleJoin(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "joined %s (migrated %d reports)\n", s.Name(), migrated)
 }
 
-// handleLeave removes a shard: POST /federation/leave?shard=wire[&migrate=1].
-// With migrate=1 the departure is graceful: the router drains its queue
-// to the shard (the drain barrier), the shard's reports are copied to
-// their new owners, and only then does the ring flip. Without migrate
-// (the shard is dead) the router harvests every undelivered message and
-// re-routes it — no accepted report is lost either way, though data only
-// the dead shard stored is gone until reporters re-send.
+// handleLeave removes a shard: POST /federation/leave?shard=wire[&migrate=1][&promote=0].
+// When the shard has a follower attached the leave is a failover
+// instead: the follower is promoted in place (the ring does not move, no
+// data redistributes — the slice's history lives on in the follower's
+// depot) and every message queued toward the dead primary redelivers to
+// the promoted process. Pass promote=0 to force a real departure.
+// Otherwise: with migrate=1 the departure is graceful — the router
+// drains its queue to the shard (the drain barrier), the shard's reports
+// are copied to their new owners, and only then does the ring flip.
+// Without migrate (the shard is dead) the router harvests every
+// undelivered message and re-routes it — no accepted report is lost
+// either way, though data only the dead shard stored is gone until
+// reporters re-send. Any re-route loss is reported, never silent.
 func (f *Federated) handleLeave(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -795,6 +915,10 @@ func (f *Federated) handleLeave(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("shard")
 	if name == "" {
 		http.Error(w, "shard parameter required", http.StatusBadRequest)
+		return
+	}
+	if s, ok := f.router.Shard(name); ok && s.HasReplica() && r.URL.Query().Get("promote") != "0" {
+		f.promote(w, name)
 		return
 	}
 	migrated := 0
@@ -829,7 +953,7 @@ func (f *Federated) handleLeave(w http.ResponseWriter, r *http.Request) {
 		}
 		migrated = n
 	}
-	moved, err := f.router.Leave(name)
+	moved, lost, err := f.router.Leave(name)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
@@ -837,7 +961,125 @@ func (f *Federated) handleLeave(w http.ResponseWriter, r *http.Request) {
 	if f.feed != nil {
 		f.feed.rewire()
 	}
-	fmt.Fprintf(w, "left %s (migrated %d reports, re-routed %d queued messages)\n", name, migrated, moved)
+	fmt.Fprintf(w, "left %s (migrated %d reports, re-routed %d queued messages, lost %d)\n", name, migrated, moved, lost)
+}
+
+// promote fails a shard over to its follower and rewires the composed
+// feed (the promoted process serves a fresh cursor space under the new
+// replica epoch).
+func (f *Federated) promote(w http.ResponseWriter, name string) {
+	s, moved, err := f.router.Promote(name)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	if f.feed != nil {
+		f.feed.rewire()
+	}
+	fmt.Fprintf(w, "promoted follower %s for shard %s (re-enqueued %d queued messages)\n", s.Wire, name, moved)
+}
+
+// handlePromote fails a shard over to its follower without waiting for a
+// leave: POST /federation/promote?shard=name. The ring does not move;
+// the slice's reads and ingest switch to the follower process.
+func (f *Federated) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	name := r.URL.Query().Get("shard")
+	if name == "" {
+		http.Error(w, "shard parameter required", http.StatusBadRequest)
+		return
+	}
+	f.promote(w, name)
+}
+
+// handleReplicate attaches a follower to a running shard:
+// POST /federation/replicate?shard=name&follower=wire[/http][&catchup=1].
+// The router starts teeing the shard's wire stream to the follower at
+// once; with catchup=1 the §5f migration path then closes the history
+// gap — the primary's stored reports are fetched and re-stored through
+// the follower — so a late-joining follower (or a fresh follower after a
+// promotion consumed the old one) converges on the primary's full state.
+func (f *Federated) handleReplicate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	q := r.URL.Query()
+	name := q.Get("shard")
+	if name == "" {
+		http.Error(w, "shard parameter required", http.StatusBadRequest)
+		return
+	}
+	fw, fh, _ := strings.Cut(q.Get("follower"), "/")
+	if fw == "" {
+		http.Error(w, "follower parameter required (wire[/http])", http.StatusBadRequest)
+		return
+	}
+	if err := f.router.AttachReplica(name, fw, fh); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	copied := 0
+	if q.Get("catchup") == "1" {
+		s, ok := f.router.Shard(name)
+		if !ok {
+			http.Error(w, "unknown shard "+name, http.StatusNotFound)
+			return
+		}
+		n, err := f.catchUp(s)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("follower attached but catch-up failed after %d reports: %v", n, err), http.StatusBadGateway)
+			return
+		}
+		copied = n
+	}
+	if f.feed != nil {
+		f.feed.rewire()
+	}
+	fmt.Fprintf(w, "replicating %s to %s (caught up %d reports)\n", name, fw, copied)
+}
+
+// catchUp copies the primary's stored reports onto its follower — the
+// §5f migration path pointed at the replica instead of a new ring owner.
+// Reports tee'd live while the copy runs are simply stored twice; the
+// cache keeps latest-per-branch, so convergence is automatic.
+func (f *Federated) catchUp(s federation.Shard) (int, error) {
+	dest := s.ReplicaBaseURL()
+	if dest == "" {
+		return 0, fmt.Errorf("follower of %s has no querying interface for catch-up", s.Name())
+	}
+	resp := f.fetchShard(s, "/reports", url.Values{"branch": {""}}, "")
+	if resp.err != nil {
+		return 0, fmt.Errorf("fetch %s reports: %w", s.Name(), resp.err)
+	}
+	if resp.status != http.StatusOK {
+		return 0, fmt.Errorf("fetch %s reports: status %d", s.Name(), resp.status)
+	}
+	stored, err := federation.ParseReports(resp.body)
+	if err != nil {
+		return 0, fmt.Errorf("parse %s reports: %w", s.Name(), err)
+	}
+	copied := 0
+	for _, st := range stored {
+		env, err := envelope.Encode(envelope.Body, st.ID, st.XML)
+		if err != nil {
+			return copied, fmt.Errorf("encode %s: %w", st.ID, err)
+		}
+		put, err := f.httpc.Post(dest+"/store", "text/xml", bytes.NewReader(env))
+		if err != nil {
+			return copied, fmt.Errorf("store %s on follower: %w", st.ID, err)
+		}
+		io.Copy(io.Discard, put.Body)
+		put.Body.Close()
+		if put.StatusCode != http.StatusOK {
+			return copied, fmt.Errorf("store %s on follower: status %d", st.ID, put.StatusCode)
+		}
+		copied++
+	}
+	return copied, nil
 }
 
 // migrate copies stored reports from the sources to their owner under the

@@ -92,7 +92,11 @@ func (ff *FederatedFeed) rewire() {
 		ff.mu.Unlock()
 		return
 	}
-	sig := ff.fed.router.Ring().Signature()
+	// The router's composed signature (ring + replica epoch): a promotion
+	// keeps the ring but moves the shard's feed to a different process, so
+	// it must mint a new cursor space and force a resync just as a
+	// membership change does.
+	sig := ff.fed.router.Signature()
 	if sig == ff.sig && ff.stopCh != nil {
 		ff.mu.Unlock()
 		return
@@ -319,7 +323,7 @@ func upstreamEvent(ev FeedEvent) (feed.Event, error) {
 func (f *Federated) mergedSnapshot(prefix branch.ID) ([]byte, error) {
 	shards := f.router.Shards()
 	ring := f.router.Ring()
-	resps := f.scatter(shards, "/cache", url.Values{"branch": {prefix.String()}}, nil)
+	resps := f.scatter(shards, "/cache", url.Values{"branch": {prefix.String()}}, nil, false)
 	var docs []federation.ShardDoc
 	for _, resp := range resps {
 		if resp.err != nil {

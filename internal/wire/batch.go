@@ -3,6 +3,7 @@ package wire
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"net"
@@ -11,6 +12,14 @@ import (
 
 	"inca/internal/metrics"
 )
+
+// ErrClosed is returned when a message is offered to a closed client.
+var ErrClosed = errors.New("wire: client closed")
+
+// ErrBacklogFull is returned by EnqueueCustody when accepting the message
+// would exceed MaxPending. Unlike Enqueue's shedding, nothing is dropped:
+// the caller keeps custody and may retry, block, or refuse its own ack.
+var ErrBacklogFull = errors.New("wire: client backlog full")
 
 // Batch frames amortize the per-report round trip that serializes the
 // single-message protocol: many messages travel under one flush, and the
@@ -266,7 +275,7 @@ func (c *BatchClient) Enqueue(m *Message) error {
 	if closed {
 		// After Close (or CloseHarvest) a buffered message could never be
 		// delivered — refuse it so the caller keeps custody.
-		return fmt.Errorf("wire: client closed")
+		return ErrClosed
 	}
 	if c.opt.MaxPending > 0 && len(c.pending) >= c.opt.MaxPending {
 		// The unreachable-server backstop: shed the oldest message so an
@@ -283,6 +292,43 @@ func (c *BatchClient) Enqueue(m *Message) error {
 		c.timer = time.AfterFunc(c.opt.FlushInterval, func() { c.Flush() })
 	}
 	return c.takeErr()
+}
+
+// EnqueueCustody buffers one message without ever shedding: where Enqueue
+// drops the oldest pending message past MaxPending (acceptable when the
+// caller's own spool keeps custody, as the agent's does), EnqueueCustody
+// refuses the new message with ErrBacklogFull instead — nothing already
+// accepted is lost, and the caller knows this message was not taken. A
+// nil return means the client holds the message under its at-least-once
+// contract; ErrClosed and ErrBacklogFull mean custody stays with the
+// caller. The federation router acks on this distinction: an OK ack must
+// mean custody, never a droppable queue slot. Asynchronous delivery
+// errors are left for Flush/Drain to surface, so a refusal here is never
+// conflated with an earlier batch's fate.
+func (c *BatchClient) EnqueueCustody(m *Message) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.errMu.Lock()
+	closed := c.closed
+	c.errMu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	// A connection-loss requeue may legitimately carry pending past
+	// MaxPending (those messages hold custody already); refusing at the
+	// boundary keeps the bound without ever shedding an accepted message.
+	if c.opt.MaxPending > 0 && len(c.pending) >= c.opt.MaxPending {
+		return ErrBacklogFull
+	}
+	c.pending = append(c.pending, m)
+	if len(c.pending) >= c.opt.MaxBatch {
+		c.flushLocked()
+		return nil
+	}
+	if c.opt.FlushInterval > 0 && c.timer == nil {
+		c.timer = time.AfterFunc(c.opt.FlushInterval, func() { c.Flush() })
+	}
+	return nil
 }
 
 // Flush sends the pending partial batch without waiting for its ack.

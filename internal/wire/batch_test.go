@@ -410,3 +410,48 @@ func TestCloseHarvestAfterPartialDelivery(t *testing.T) {
 		t.Fatalf("harvest counted as loss: %+v", st)
 	}
 }
+
+// mustDeadAddr returns an address nothing listens on: bind, read the
+// port, close. Dials fail fast with connection refused.
+func mustDeadAddr(t *testing.T) string {
+	t.Helper()
+	srv, err := Serve("127.0.0.1:0", func(m *Message, remote string) *Ack { return &Ack{OK: true} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	srv.Close()
+	return addr
+}
+
+func TestEnqueueCustodyRefusesAtBacklog(t *testing.T) {
+	c := NewBatchClient(mustDeadAddr(t), BatchOptions{
+		MaxPending: 3, MaxBatch: 4096, FlushInterval: -1,
+		DialTimeout: 200 * time.Millisecond, IOTimeout: time.Second,
+	})
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if err := c.EnqueueCustody(&Message{Branch: fmt.Sprintf("r=%d,vo=tg", i)}); err != nil {
+			t.Fatalf("enqueue %d under the limit: %v", i, err)
+		}
+	}
+	if err := c.EnqueueCustody(&Message{Branch: "r=over,vo=tg"}); err != ErrBacklogFull {
+		t.Fatalf("over the limit: err = %v, want ErrBacklogFull", err)
+	}
+	// The contract: refusal, never shedding. Every accepted message is
+	// still queued.
+	if st := c.Stats(); st.Dropped != 0 {
+		t.Fatalf("EnqueueCustody shed %d accepted messages", st.Dropped)
+	}
+	if got := c.CloseHarvest(); len(got) != 3 {
+		t.Fatalf("harvested %d messages, want the 3 accepted", len(got))
+	}
+}
+
+func TestEnqueueCustodyAfterClose(t *testing.T) {
+	c := NewBatchClient(mustDeadAddr(t), BatchOptions{DialTimeout: 200 * time.Millisecond})
+	c.Close()
+	if err := c.EnqueueCustody(&Message{Branch: "r=1,vo=tg"}); err != ErrClosed {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+}

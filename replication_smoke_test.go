@@ -1,0 +1,212 @@
+package inca_test
+
+// Multi-process replication smoke test (DESIGN.md §5i): a -federate
+// router with a -replicate follower behind one shard, all real processes
+// over real TCP. The test streams reports through the router, captures
+// the federated /reports body, SIGKILLs the replicated shard's primary,
+// promotes the follower via /federation/leave, and asserts the federated
+// /reports body comes back byte-identical — zero stored-report loss
+// across the failover — with a clean custody ledger on /debug/vars.
+//
+// Gated behind INCA_REPLICATION_SMOKE=1 and run by `make
+// replication-smoke` (part of `make check`).
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"testing"
+	"time"
+
+	"inca/internal/branch"
+	"inca/internal/federation"
+	"inca/internal/loadgen"
+	"inca/internal/query"
+	"inca/internal/wire"
+)
+
+var (
+	replicationRE = regexp.MustCompile(`replication: (\d+) of \d+ shards have followers`)
+	promotedRE    = regexp.MustCompile(`^promoted follower `)
+)
+
+func TestReplicationSmoke(t *testing.T) {
+	if os.Getenv("INCA_REPLICATION_SMOKE") == "" {
+		t.Skip("set INCA_REPLICATION_SMOKE=1 (make replication-smoke) to run the multi-process smoke test")
+	}
+	bin := filepath.Join(t.TempDir(), "inca-server")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/inca-server")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("build inca-server: %v", err)
+	}
+
+	// Two primaries plus a follower for shard B — the shard we will kill.
+	shardA := startSmokeProc(t, bin, "-tcp", "127.0.0.1:0", "-http", "127.0.0.1:0")
+	wireA := shardA.expectLine(t, wireAddrRE)
+	httpA := shardA.expectLine(t, httpAddrRE)
+	shardB := startSmokeProc(t, bin, "-tcp", "127.0.0.1:0", "-http", "127.0.0.1:0")
+	wireB := shardB.expectLine(t, wireAddrRE)
+	httpB := shardB.expectLine(t, httpAddrRE)
+	follower := startSmokeProc(t, bin, "-tcp", "127.0.0.1:0", "-http", "127.0.0.1:0")
+	wireF := follower.expectLine(t, wireAddrRE)
+	httpF := follower.expectLine(t, httpAddrRE)
+
+	router := startSmokeProc(t, bin,
+		"-federate", fmt.Sprintf("%s/%s,%s/%s", wireA, httpA, wireB, httpB),
+		"-replicate", fmt.Sprintf("-,%s/%s", wireF, httpF),
+		"-tcp", "127.0.0.1:0", "-http", "127.0.0.1:0")
+	routerWire := router.expectLine(t, routerWireRE)
+	if n := router.expectLine(t, replicationRE); n != "1" {
+		t.Fatalf("router reports %s replicated shards, want 1", n)
+	}
+	routerHTTP := router.expectLine(t, routerHTTPRE)
+
+	// Mirror the router's placement to know shard B's slice.
+	ring := federation.NewRing([]string{wireA, wireB}, federation.RingOptions{})
+	var all, ownedB []branch.ID
+	for site := 0; site < 30; site++ {
+		for probe := 0; probe < 3; probe++ {
+			id := branch.MustParse(fmt.Sprintf("probe=p%02d,site=s%02d,vo=tg", probe, site))
+			all = append(all, id)
+			if ring.Owner(id) == wireB {
+				ownedB = append(ownedB, id)
+			}
+		}
+	}
+	if len(ownedB) == 0 || len(ownedB) == len(all) {
+		t.Fatalf("degenerate placement: shard B owns %d of %d branches", len(ownedB), len(all))
+	}
+
+	client := wire.NewBatchClient(routerWire, wire.BatchOptions{FlushInterval: 10 * time.Millisecond})
+	defer client.Close()
+	data := loadgen.MustPremadeReport(smokeReportLen)
+	for _, id := range all {
+		client.Enqueue(&wire.Message{Branch: id.String(), Hostname: "smoke", Report: data})
+	}
+	if err := client.Drain(); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	// Wait for every report to be queryable, then pin the pre-kill body.
+	// With follower reads on, shard B's slice is served by the follower,
+	// so a complete body also proves the tee replicated every report.
+	reportsURL := "http://" + routerHTTP + "/reports"
+	want := len(all)
+	deadline := time.Now().Add(20 * time.Second)
+	var preKill []byte
+	for {
+		body, got, err := fetchReports(reportsURL)
+		if err == nil && got == want {
+			preKill = body
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pre-kill: federated /reports has %d of %d reports (err=%v)", got, want, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// SIGKILL shard B's primary — no drain, no goodbye — then keep
+	// streaming its slice so messages pile up toward the dead process.
+	if err := shardB.cmd.Process.Kill(); err != nil {
+		t.Fatalf("kill shard B: %v", err)
+	}
+	shardB.cmd.Wait()
+	for _, id := range ownedB {
+		client.Enqueue(&wire.Message{Branch: id.String(), Hostname: "smoke", Report: data})
+	}
+	if err := client.Drain(); err != nil {
+		t.Fatalf("drain after kill: %v", err)
+	}
+
+	// /federation/leave sees the dead shard has a follower and promotes it
+	// instead of shrinking the ring: no ranges move, the follower takes
+	// over the slice, and the harvested queue is re-enqueued toward it.
+	resp, err := http.Post("http://"+routerHTTP+"/federation/leave?shard="+wireB, "", nil)
+	if err != nil {
+		t.Fatalf("leave: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("leave: %d %s", resp.StatusCode, body)
+	}
+	if !promotedRE.Match(body) {
+		t.Fatalf("leave of a replicated shard did not promote: %s", body)
+	}
+	t.Logf("leave: %s", body)
+
+	// The federated /reports must converge back to the exact pre-kill
+	// body: same reports, same bytes, nothing lost with the primary.
+	deadline = time.Now().Add(20 * time.Second)
+	for {
+		got, _, err := fetchReports(reportsURL)
+		if err == nil && bytes.Equal(got, preKill) {
+			break
+		}
+		if time.Now().After(deadline) {
+			n := -1
+			if err == nil {
+				if stored, perr := federation.ParseReports(got); perr == nil {
+					n = len(stored)
+				}
+			}
+			t.Fatalf("post-promotion /reports never matched the pre-kill body (%d reports, err=%v)", n, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The custody ledger must reconcile with zero silent drops.
+	var vars query.FederatedVars
+	vresp, err := http.Get("http://" + routerHTTP + "/debug/vars")
+	if err != nil {
+		t.Fatalf("debug vars: %v", err)
+	}
+	vbody, _ := io.ReadAll(vresp.Body)
+	vresp.Body.Close()
+	if err := json.Unmarshal(vbody, &vars); err != nil {
+		t.Fatalf("debug vars: %v\n%s", err, vbody)
+	}
+	sent := uint64(len(all) + len(ownedB))
+	if vars.Routed != sent {
+		t.Errorf("routed = %d, want %d (every send was acked)", vars.Routed, sent)
+	}
+	if vars.Unroutable != 0 || vars.RerouteDropped != 0 {
+		t.Errorf("silent loss: unroutable=%d reroute_dropped=%d", vars.Unroutable, vars.RerouteDropped)
+	}
+	if vars.Promotions != 1 {
+		t.Errorf("promotions = %d, want 1", vars.Promotions)
+	}
+	for _, s := range vars.PerShard {
+		if s.Dropped != 0 || s.ReplicaDropped != 0 {
+			t.Errorf("shard %s shed messages: dropped=%d replica_dropped=%d", s.Name, s.Dropped, s.ReplicaDropped)
+		}
+	}
+}
+
+func fetchReports(url string) ([]byte, int, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, 0, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("GET %s: %d", url, resp.StatusCode)
+	}
+	stored, err := federation.ParseReports(body)
+	if err != nil {
+		return nil, 0, err
+	}
+	return body, len(stored), nil
+}
