@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check fmt vet build test chaos metrics-smoke federation-smoke replication-smoke storage-smoke feed-smoke bench-smoke bench-query bench-archive bench-federation bench-storage bench-feed bench-replication
+.PHONY: check fmt vet build test chaos metrics-smoke federation-smoke replication-smoke storage-smoke feed-smoke load-smoke bench-smoke bench-query bench-archive bench-federation bench-storage bench-feed bench-replication bench-load
 
 # The full gate: formatting, static checks, build, race-enabled tests,
 # the fault-injection suite, the telemetry smoke, the multi-process
-# federation, storage and feed smokes, and a one-iteration smoke of the
-# parallel ingest benchmark tier.
-check: fmt vet build test chaos metrics-smoke federation-smoke replication-smoke storage-smoke feed-smoke bench-smoke
+# federation, storage, feed and load smokes, and a one-iteration smoke
+# of the parallel ingest benchmark tier.
+check: fmt vet build test chaos metrics-smoke federation-smoke replication-smoke storage-smoke feed-smoke load-smoke bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -62,6 +62,13 @@ storage-smoke:
 feed-smoke:
 	INCA_FEED_SMOKE=1 $(GO) test -race -run TestFeedSmoke -count=1 .
 
+# Capacity gate (DESIGN.md §5j): the closed-loop load harness against a
+# real spawned inca-server — a short single-mode ramp over real TCP that
+# must complete all stages and detect the saturation knee, with the
+# result round-tripped through the shared BENCH_*.json schema.
+load-smoke:
+	INCA_LOAD_SMOKE=1 $(GO) test -race -run TestLoadSmoke -count=1 .
+
 bench-smoke:
 	$(GO) test -run=NONE -bench='BenchmarkIngestParallel4|BenchmarkArchiveParallel4' -benchtime=1x .
 
@@ -99,3 +106,10 @@ bench-feed:
 # (promote + re-enqueue + redeliver); written to BENCH_replication.json.
 bench-replication:
 	$(GO) run ./cmd/inca-bench -experiment replication -json .
+
+# Capacity tier (DESIGN.md §5j): the full DiPerF-style ramp — six stages
+# of closed-loop clients against a spawned single-depot server and a
+# 4-shard federated router, knee detection included; machine-readable
+# curve written to BENCH_load.json.
+bench-load:
+	$(GO) run ./cmd/inca-bench -experiment load -json .

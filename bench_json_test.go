@@ -1,0 +1,46 @@
+package inca_test
+
+// Every committed BENCH_<id>.json must stay readable by the shared
+// results tooling: strict schema, finite numbers, ordered percentiles.
+// This runs ungated on every `go test ./...` — it only reads files.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"inca/internal/experiments"
+)
+
+func TestCommittedBenchArtifactsMatchSchema(t *testing.T) {
+	paths, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Skip("no committed BENCH_*.json artifacts")
+	}
+	for _, path := range paths {
+		rf, err := experiments.ValidateResultFile(path)
+		if err != nil {
+			t.Errorf("%v", err)
+			continue
+		}
+		want := "BENCH_" + rf.ID + ".json"
+		if filepath.Base(path) != want {
+			t.Errorf("%s: file name does not match result id %q (want %s)", path, rf.ID, want)
+		}
+	}
+}
+
+// The committed capacity artifact carries a stronger contract: at least
+// five strictly increasing ramp stages and a detected saturation knee,
+// for the single-depot and the federated topology both.
+func TestCommittedLoadArtifactContract(t *testing.T) {
+	rf, err := experiments.ValidateResultFile("BENCH_load.json")
+	if err != nil {
+		t.Fatalf("BENCH_load.json must be committed and schema-clean: %v", err)
+	}
+	if err := experiments.ValidateLoadResult(rf, 5, "single", "federated"); err != nil {
+		t.Fatal(err)
+	}
+}

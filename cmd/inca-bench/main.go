@@ -15,14 +15,36 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"inca/internal/experiments"
+	"inca/internal/loadgen"
 )
+
+// parseStages turns "-stages 1,2,4,8" into a validated ramp ("" keeps
+// the default).
+func parseStages(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad -stages entry %q: %v", part, err)
+		}
+		out = append(out, n)
+	}
+	if err := loadgen.ValidateStages(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "experiment to run: all, table1-table4, fig4-fig9, shards, query, archive, federation, storage, feed, replication")
+		experiment = flag.String("experiment", "all", "experiment to run: all, table1-table4, fig4-fig9, shards, query, archive, federation, storage, feed, replication, load")
 		hours      = flag.Int("hours", 0, "virtual hours for table4/fig8 (0 = default)")
 		days       = flag.Int("days", 0, "virtual days for fig5/fig6/fig7 (0 = default)")
 		updates    = flag.Int("updates", 0, "steady-state updates per fig9/shards cell (0 = default)")
@@ -32,6 +54,9 @@ func main() {
 		htmlOut    = flag.String("html", "", "also write the fig4 status page HTML here")
 		out        = flag.String("out", "", "append results to this file as well as stdout")
 		jsonDir    = flag.String("json", "", "write each result as machine-readable BENCH_<id>.json into this directory (\".\" for the working directory)")
+		stages     = flag.String("stages", "", "load ramp as a comma-separated concurrency list, strictly increasing (default 1,2,4,8,16,32)")
+		stageDur   = flag.Duration("stage-duration", 0, "measured window per load stage (0 = default 2s)")
+		modes      = flag.String("modes", "", "load topologies, comma-separated: single, federated (default both)")
 	)
 	flag.Parse()
 
@@ -89,8 +114,24 @@ func main() {
 		run(experiments.Feed(experiments.FeedOptions{}))
 	case "replication":
 		run(experiments.Replication(experiments.ReplicationOptions{Messages: *updates, Workers: *workers}))
+	case "load":
+		opt := experiments.LoadOptions{StageDuration: *stageDur}
+		var err error
+		if opt.Stages, err = parseStages(*stages); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if *modes != "" {
+			opt.Modes = strings.Split(*modes, ",")
+		}
+		r, err := experiments.Load(opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		run(r)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (all, table1-table4, fig4-fig9, shards, query, archive, federation, storage, feed, replication)\n", *experiment)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (all, table1-table4, fig4-fig9, shards, query, archive, federation, storage, feed, replication, load)\n", *experiment)
 		os.Exit(2)
 	}
 
@@ -113,6 +154,10 @@ func main() {
 		}
 	}
 	if *jsonDir != "" {
+		if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "create %s: %v\n", *jsonDir, err)
+			os.Exit(1)
+		}
 		for _, r := range results {
 			path := filepath.Join(*jsonDir, "BENCH_"+r.ID+".json")
 			f, err := os.Create(path)

@@ -52,8 +52,9 @@ type Metric struct {
 	ValueUnit string  `json:"value_unit,omitempty"`
 }
 
-// resultJSON is the file shape of a serialized Result.
-type resultJSON struct {
+// ResultFile is the file shape of a serialized Result — what
+// BENCH_<id>.json holds, and what ValidateResultJSON decodes.
+type ResultFile struct {
 	ID        string   `json:"id"`
 	Title     string   `json:"title"`
 	ElapsedMS float64  `json:"elapsed_ms"`
@@ -66,7 +67,7 @@ type resultJSON struct {
 func (r Result) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(resultJSON{
+	return enc.Encode(ResultFile{
 		ID:        r.ID,
 		Title:     r.Title,
 		ElapsedMS: float64(r.Elapsed) / float64(time.Millisecond),
@@ -150,7 +151,11 @@ func ByID(id string) (Result, error) {
 		return Storage(StorageOptions{}), nil
 	case "feed":
 		return Feed(FeedOptions{}), nil
+	case "replication":
+		return Replication(ReplicationOptions{}), nil
+	case "load":
+		return Load(LoadOptions{})
 	default:
-		return Result{}, fmt.Errorf("experiments: unknown experiment %q (table1-4, fig4-9, shards, query, archive, federation, storage, feed)", id)
+		return Result{}, fmt.Errorf("experiments: unknown experiment %q (table1-4, fig4-9, shards, query, archive, federation, storage, feed, replication, load)", id)
 	}
 }

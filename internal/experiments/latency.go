@@ -6,35 +6,51 @@ import (
 	"inca/internal/stats"
 )
 
-// latencyTracker collects per-operation wall times with one slice per
-// worker, so recording is contention-free during a measured cell.
+// Latency reservoirs are bounded regardless of how long a cell runs:
+// capHint (the caller's per-worker volume estimate) is clamped into this
+// range, and anything past the cap is subsampled uniformly (Vitter's
+// algorithm R) instead of accumulated. stats.TestReservoirPercentileTolerance
+// pins the resulting p50/p95/p99 within 5% of exact over heavy-tailed
+// streams, including workers with very different volumes.
+const (
+	latencyReservoirMin = 512
+	latencyReservoirMax = 8192
+)
+
+// latencyTracker collects per-operation wall times with one bounded
+// reservoir per worker, so recording is contention-free during a
+// measured cell and memory stays capped however many operations run.
 type latencyTracker struct {
-	perWorker [][]float64 // microseconds
+	perWorker []*stats.Reservoir
 }
 
 func newLatencyTracker(workers, capHint int) *latencyTracker {
-	t := &latencyTracker{perWorker: make([][]float64, workers)}
+	if capHint < latencyReservoirMin {
+		capHint = latencyReservoirMin
+	}
+	if capHint > latencyReservoirMax {
+		capHint = latencyReservoirMax
+	}
+	t := &latencyTracker{perWorker: make([]*stats.Reservoir, workers)}
 	for i := range t.perWorker {
-		t.perWorker[i] = make([]float64, 0, capHint)
+		t.perWorker[i] = stats.NewReservoir(capHint, int64(i)+1)
 	}
 	return t
 }
 
 func (t *latencyTracker) observe(worker int, d time.Duration) {
-	t.perWorker[worker] = append(t.perWorker[worker], float64(d)/float64(time.Microsecond))
+	t.perWorker[worker].Add(float64(d) / float64(time.Microsecond))
 }
 
-// percentiles merges every worker's samples and returns p50/p95/p99 in
-// microseconds (zeros when nothing was recorded).
+// percentiles merges every worker's reservoir, weighted by how much
+// traffic each actually saw, and returns p50/p95/p99 in microseconds
+// (zeros when nothing was recorded).
 func (t *latencyTracker) percentiles() (p50, p95, p99 float64) {
-	var all []float64
-	for _, w := range t.perWorker {
-		all = append(all, w...)
-	}
-	if len(all) == 0 {
+	ps := stats.MergedPercentiles(t.perWorker, 50, 95, 99)
+	if ps[0] != ps[0] { // NaN: nothing recorded
 		return 0, 0, 0
 	}
-	return stats.Percentile(all, 50), stats.Percentile(all, 95), stats.Percentile(all, 99)
+	return ps[0], ps[1], ps[2]
 }
 
 // cellStats is one measured cell: throughput plus its latency

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+// Validation for committed BENCH_<id>.json artifacts: every file the
+// repo carries must decode strictly against the shared result shape and
+// hold internally consistent numbers, so a drive-by format change (or a
+// truncated benchmark run) fails `make check` instead of silently
+// shipping an artifact no tooling can read.
+
+// ValidateResultJSON strictly decodes one serialized result and checks
+// its invariants: no unknown fields, a non-empty id and title, named
+// metrics, finite non-negative numbers, and ordered latency percentiles
+// (p50 ≤ p95 ≤ p99 wherever measured).
+func ValidateResultJSON(data []byte) (*ResultFile, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var rf ResultFile
+	if err := dec.Decode(&rf); err != nil {
+		return nil, fmt.Errorf("experiments: result does not match the shared schema: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("experiments: trailing data after the result document")
+	}
+	if rf.ID == "" {
+		return nil, fmt.Errorf("experiments: result has no id")
+	}
+	if rf.Title == "" {
+		return nil, fmt.Errorf("experiments: result %q has no title", rf.ID)
+	}
+	if badNumber(rf.ElapsedMS) {
+		return nil, fmt.Errorf("experiments: result %q elapsed_ms %v not a finite non-negative number", rf.ID, rf.ElapsedMS)
+	}
+	for i, m := range rf.Metrics {
+		if m.Name == "" {
+			return nil, fmt.Errorf("experiments: result %q metric %d has no name", rf.ID, i)
+		}
+		for what, v := range map[string]float64{
+			"ops_per_sec": m.OpsPerSec,
+			"p50_us":      m.P50Micros,
+			"p95_us":      m.P95Micros,
+			"p99_us":      m.P99Micros,
+		} {
+			if badNumber(v) {
+				return nil, fmt.Errorf("experiments: result %q metric %q %s=%v not a finite non-negative number", rf.ID, m.Name, what, v)
+			}
+		}
+		if !isFinite(m.Value) {
+			return nil, fmt.Errorf("experiments: result %q metric %q value=%v not finite", rf.ID, m.Name, m.Value)
+		}
+		if m.P50Micros > 0 && (m.P95Micros < m.P50Micros || m.P99Micros < m.P95Micros) {
+			return nil, fmt.Errorf("experiments: result %q metric %q percentiles not ordered: p50=%v p95=%v p99=%v",
+				rf.ID, m.Name, m.P50Micros, m.P95Micros, m.P99Micros)
+		}
+	}
+	return &rf, nil
+}
+
+// ValidateResultFile validates one BENCH_<id>.json on disk.
+func ValidateResultFile(path string) (*ResultFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rf, err := ValidateResultJSON(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rf, nil
+}
+
+// ValidateLoadResult checks the extra contract a committed capacity run
+// carries, per mode: at least minStages capacity points with strictly
+// increasing client counts, and a detected knee consistent with one of
+// the measured stages.
+func ValidateLoadResult(rf *ResultFile, minStages int, modes ...string) error {
+	if rf.ID != "load" {
+		return fmt.Errorf("experiments: result id %q is not a load result", rf.ID)
+	}
+	for _, mode := range modes {
+		points, knee := kneeFromMetrics(rf.Metrics, mode)
+		if len(points) < minStages {
+			return fmt.Errorf("experiments: load mode %s has %d capacity stages, want at least %d", mode, len(points), minStages)
+		}
+		if !sort.SliceIsSorted(points, func(i, j int) bool { return points[i].Load < points[j].Load }) {
+			return fmt.Errorf("experiments: load mode %s capacity stages not in ramp order", mode)
+		}
+		for i := 1; i < len(points); i++ {
+			if points[i].Load <= points[i-1].Load {
+				return fmt.Errorf("experiments: load mode %s ramp not strictly increasing at stage %d", mode, i)
+			}
+		}
+		if knee == nil {
+			return fmt.Errorf("experiments: load mode %s has no detected knee", mode)
+		}
+		found := false
+		for _, p := range points {
+			if p.Load == knee.Value {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("experiments: load mode %s knee at %v clients matches no measured stage", mode, knee.Value)
+		}
+		if knee.OpsPerSec <= 0 {
+			return fmt.Errorf("experiments: load mode %s knee has no throughput", mode)
+		}
+	}
+	return nil
+}
+
+func badNumber(v float64) bool { return !isFinite(v) || v < 0 }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateResultJSONRoundTrip(t *testing.T) {
+	r := Result{
+		ID:      "load",
+		Title:   "capacity ramp",
+		Elapsed: 3 * time.Second,
+		Notes:   []string{"note"},
+		Metrics: []Metric{
+			{Name: "capacity", Labels: map[string]string{"mode": "single", "clients": "1"}, OpsPerSec: 100, P50Micros: 10, P95Micros: 20, P99Micros: 30},
+		},
+		Text: "table",
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rf, err := ValidateResultJSON(buf.Bytes())
+	if err != nil {
+		t.Fatalf("round-tripped result rejected: %v", err)
+	}
+	if rf.ID != "load" || len(rf.Metrics) != 1 {
+		t.Fatalf("decoded %+v", rf)
+	}
+}
+
+func TestValidateResultJSONRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string
+	}{
+		{"unknown field", `{"id":"x","title":"t","elapsed_ms":1,"metrics":[],"text":"","bogus":1}`, "schema"},
+		{"missing id", `{"title":"t","elapsed_ms":1,"metrics":[],"text":""}`, "no id"},
+		{"missing title", `{"id":"x","elapsed_ms":1,"metrics":[],"text":""}`, "no title"},
+		{"negative elapsed", `{"id":"x","title":"t","elapsed_ms":-5,"metrics":[],"text":""}`, "finite non-negative"},
+		{"unnamed metric", `{"id":"x","title":"t","elapsed_ms":1,"metrics":[{"ops_per_sec":1}],"text":""}`, "no name"},
+		{"negative rate", `{"id":"x","title":"t","elapsed_ms":1,"metrics":[{"name":"m","ops_per_sec":-1}],"text":""}`, "finite non-negative"},
+		{"unordered percentiles", `{"id":"x","title":"t","elapsed_ms":1,"metrics":[{"name":"m","p50_us":30,"p95_us":20,"p99_us":40}],"text":""}`, "not ordered"},
+		{"trailing data", `{"id":"x","title":"t","elapsed_ms":1,"metrics":[],"text":""}{}`, "trailing"},
+		{"not json", `nonsense`, "schema"},
+	}
+	for _, tc := range cases {
+		if _, err := ValidateResultJSON([]byte(tc.doc)); err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func loadResultFixture(stages []int, modes []string, kneeAt float64) *ResultFile {
+	rf := &ResultFile{ID: "load", Title: "capacity"}
+	for _, mode := range modes {
+		for i, c := range stages {
+			rf.Metrics = append(rf.Metrics, Metric{
+				Name:      "capacity",
+				Labels:    map[string]string{"mode": mode, "clients": strconv.Itoa(c)},
+				OpsPerSec: float64(1000 * (i + 1)),
+				P50Micros: 10, P95Micros: 20, P99Micros: 30,
+			})
+		}
+		if kneeAt > 0 {
+			rf.Metrics = append(rf.Metrics, Metric{
+				Name:      "knee",
+				Labels:    map[string]string{"mode": mode},
+				OpsPerSec: 5000, P95Micros: 20,
+				Value: kneeAt, ValueUnit: "clients",
+			})
+		}
+	}
+	return rf
+}
+
+func TestValidateLoadResult(t *testing.T) {
+	stages := []int{1, 2, 4, 8, 16}
+	modes := []string{"single", "federated"}
+	if err := ValidateLoadResult(loadResultFixture(stages, modes, 16), 5, modes...); err != nil {
+		t.Fatalf("well-formed load result rejected: %v", err)
+	}
+	if err := ValidateLoadResult(loadResultFixture([]int{1, 2, 4}, modes, 4), 5, modes...); err == nil {
+		t.Fatal("three-stage ramp accepted with minStages=5")
+	}
+	if err := ValidateLoadResult(loadResultFixture(stages, modes, 0), 5, modes...); err == nil {
+		t.Fatal("kneeless load result accepted")
+	}
+	if err := ValidateLoadResult(loadResultFixture(stages, modes, 7), 5, modes...); err == nil {
+		t.Fatal("knee at an unmeasured stage accepted")
+	}
+	if err := ValidateLoadResult(loadResultFixture(stages, []string{"single"}, 16), 5, modes...); err == nil {
+		t.Fatal("missing federated mode accepted")
+	}
+	if err := ValidateLoadResult(&ResultFile{ID: "fig9"}, 5, "single"); err == nil {
+		t.Fatal("non-load result accepted")
+	}
+}

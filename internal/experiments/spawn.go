@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"time"
+)
+
+// Process-spawning helpers for experiments that measure a real
+// inca-server over real TCP (the capacity harness) instead of an
+// in-process cell: build the binary once, start instances on ephemeral
+// ports, and scan their stdout for the announced addresses — the same
+// protocol the multi-process smoke tests speak.
+
+var (
+	wireAddrRE   = regexp.MustCompile(`controller listening on ([^ ]+) `)
+	httpAddrRE   = regexp.MustCompile(`querying interface on http://([^ ]+) `)
+	routerWireRE = regexp.MustCompile(`federation router listening on ([^ ]+) `)
+	routerHTTPRE = regexp.MustCompile(`federated querying interface on http://([^ ]+) `)
+)
+
+// buildServerBinary compiles cmd/inca-server into dir and returns the
+// binary path. It locates the module root through `go env GOMOD` so the
+// caller's working directory does not matter.
+func buildServerBinary(dir string) (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("experiments: locate module: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("experiments: not inside the inca module")
+	}
+	bin := filepath.Join(dir, "inca-server")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/inca-server")
+	build.Dir = filepath.Dir(gomod)
+	var stderr bytes.Buffer
+	build.Stderr = &stderr
+	if err := build.Run(); err != nil {
+		return "", fmt.Errorf("experiments: build inca-server: %v: %s", err, stderr.Bytes())
+	}
+	return bin, nil
+}
+
+// serverProc is one spawned inca-server with a line-scanned stdout.
+type serverProc struct {
+	cmd   *exec.Cmd
+	lines chan string
+}
+
+func startServer(bin string, args ...string) (*serverProc, error) {
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("experiments: start %s %v: %w", bin, args, err)
+	}
+	p := &serverProc{cmd: cmd, lines: make(chan string, 64)}
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			select {
+			case p.lines <- sc.Text():
+			default: // never block the child on a full buffer
+			}
+		}
+		close(p.lines)
+	}()
+	return p, nil
+}
+
+// expect scans stdout until a line matches re, returning the first
+// capture group.
+func (p *serverProc) expect(re *regexp.Regexp, timeout time.Duration) (string, error) {
+	deadline := time.After(timeout)
+	for {
+		select {
+		case line, ok := <-p.lines:
+			if !ok {
+				return "", fmt.Errorf("experiments: server exited before printing %s", re)
+			}
+			if m := re.FindStringSubmatch(line); m != nil {
+				return m[1], nil
+			}
+		case <-deadline:
+			return "", fmt.Errorf("experiments: timed out waiting for %s", re)
+		}
+	}
+}
+
+// stop kills the process and reaps it.
+func (p *serverProc) stop() {
+	if p.cmd.Process != nil {
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+	}
+}

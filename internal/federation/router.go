@@ -3,6 +3,7 @@ package federation
 import (
 	"fmt"
 	"log"
+	"math/rand"
 	"strconv"
 	"strings"
 	"sync"
@@ -10,6 +11,7 @@ import (
 
 	"inca/internal/branch"
 	"inca/internal/metrics"
+	"inca/internal/simtime"
 	"inca/internal/wire"
 )
 
@@ -146,6 +148,10 @@ type RouterOptions struct {
 	// Metrics, when set, registers the router's counters and the shard
 	// clients' delivery instruments there.
 	Metrics *metrics.Registry
+	// Clock drives the re-route retry backoff and its deadline. Nil uses
+	// the wall clock; tests inject a simtime.Sim so retry exhaustion runs
+	// without real sleeps.
+	Clock simtime.Clock
 }
 
 // Router is the federation ingest tier: a wire.Handler that accepts the
@@ -157,7 +163,13 @@ type RouterOptions struct {
 // queue back for re-routing. Loss is bounded exactly as for one
 // BatchClient: only a MaxPending overflow sheds messages.
 type Router struct {
-	opt RouterOptions
+	opt   RouterOptions
+	clock simtime.Clock
+
+	// backoffMu guards backoffRNG: concurrent Leave/Promote calls
+	// re-route orphans in parallel, each jittering its own ladder.
+	backoffMu  sync.Mutex
+	backoffRNG *rand.Rand
 
 	mu       sync.RWMutex
 	ring     *Ring
@@ -186,8 +198,14 @@ func NewRouter(shards []Shard, opt RouterOptions) (*Router, error) {
 		return nil, fmt.Errorf("federation: router needs at least one shard")
 	}
 	reg := opt.Metrics
+	clock := opt.Clock
+	if clock == nil {
+		clock = simtime.Real{}
+	}
 	r := &Router{
 		opt:            opt,
+		clock:          clock,
+		backoffRNG:     rand.New(rand.NewSource(2004)),
 		shards:         make(map[string]Shard, len(shards)),
 		clients:        make(map[string]*wire.BatchClient, len(shards)),
 		replicas:       make(map[string]*wire.BatchClient),
@@ -426,6 +444,34 @@ func (r *Router) DrainShard(name string) error {
 // whose backlogs are full before counting the message as dropped.
 const rerouteDeadline = 10 * time.Second
 
+// Re-route retries back off exponentially with jitter instead of
+// polling on a fixed short sleep: a successor refusing because its
+// backlog is full needs time to drain, and hammering it every few
+// milliseconds burns CPU (and, with many concurrent re-routes,
+// synchronizes the retries into thundering herds). The ladder starts at
+// rerouteBackoffBase, doubles per refusal, caps at rerouteBackoffCap,
+// and each sleep adds up to half its length in jitter.
+const (
+	rerouteBackoffBase = 5 * time.Millisecond
+	rerouteBackoffCap  = 250 * time.Millisecond
+)
+
+// backoffSleep sleeps on the router's clock for d plus jitter in
+// [0, d/2], and returns the next rung of the ladder.
+func (r *Router) backoffSleep(d time.Duration) (next time.Duration) {
+	r.backoffMu.Lock()
+	jitter := time.Duration(r.backoffRNG.Int63n(int64(d/2) + 1))
+	r.backoffMu.Unlock()
+	r.clock.Sleep(d + jitter)
+	if d >= rerouteBackoffCap {
+		return rerouteBackoffCap
+	}
+	if d *= 2; d > rerouteBackoffCap {
+		return rerouteBackoffCap
+	}
+	return d
+}
+
 // rerouteOrphans re-enqueues harvested messages through the current ring
 // with full accounting: every orphan ends as exactly one of rerouted
 // (moved to a live successor's queue), unroutable (unparseable branch or
@@ -437,7 +483,7 @@ const rerouteDeadline = 10 * time.Second
 // reads. Returns the moved count.
 func (r *Router) rerouteOrphans(from string, orphans []*wire.Message) int {
 	moved, dropped, bad := 0, 0, 0
-	deadline := time.Now().Add(rerouteDeadline)
+	deadline := r.clock.Now().Add(rerouteDeadline)
 	for _, m := range orphans {
 		id, err := branch.Parse(m.Branch)
 		if err != nil {
@@ -446,6 +492,7 @@ func (r *Router) rerouteOrphans(from string, orphans []*wire.Message) int {
 			bad++
 			continue
 		}
+		backoff := rerouteBackoffBase
 		for {
 			r.mu.RLock()
 			next := r.clients[r.ring.Owner(id)]
@@ -459,15 +506,15 @@ func (r *Router) rerouteOrphans(from string, orphans []*wire.Message) int {
 				moved++
 				break
 			}
-			if time.Now().After(deadline) {
+			if r.clock.Now().After(deadline) {
 				dropped++
 				break
 			}
 			// Backlog full (or the successor left concurrently): kick a
-			// flush to open space and retry; a closed client re-resolves to
-			// the new owner on the next pass.
+			// flush to open space, back off, and retry; a closed client
+			// re-resolves to the new owner on the next pass.
 			next.Flush()
-			time.Sleep(10 * time.Millisecond)
+			backoff = r.backoffSleep(backoff)
 		}
 	}
 	r.rerouted.Add(uint64(moved))

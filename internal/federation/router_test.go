@@ -2,11 +2,14 @@ package federation
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"inca/internal/branch"
+	"inca/internal/simtime"
 	"inca/internal/wire"
 )
 
@@ -387,5 +390,88 @@ func TestParseShardReplicaSyntax(t *testing.T) {
 	}
 	if err := ApplyReplicas(shards, "z1,z2,z3"); err == nil {
 		t.Fatal("double follower attach accepted")
+	}
+}
+
+// TestRerouteBackoffRetryExhaustion pins the re-route retry loop to the
+// injected clock and the jittered exponential ladder. Shard B dies with
+// one queued message; its only successor C is dead too, with a backlog
+// already full, so every EnqueueCustody retry refuses until the 10s
+// re-route deadline expires on the virtual clock. The old code spun a
+// fixed 10ms wall sleep (~1000 iterations against the wall clock); the
+// ladder must cross the same deadline in a few dozen fires, with no real
+// sleeping at all.
+func TestRerouteBackoffRetryExhaustion(t *testing.T) {
+	deadB := deadAddr(t)
+	deadC := deadAddr(t)
+	sim := simtime.NewSim(time.Unix(0, 0))
+	start := sim.Now()
+
+	batch := testBatch()
+	batch.FlushInterval = -1 // queues only move when the re-route loop kicks them
+	batch.MaxPending = 1     // one message fills a shard's backlog
+	r, err := NewRouter([]Shard{{Wire: deadB}, {Wire: deadC}}, RouterOptions{Batch: batch, Clock: sim})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Fill C's backlog, then queue the message B will orphan.
+	handleAll(t, r, branchesOwnedBy(t, r.Ring(), deadC, 1))
+	handleAll(t, r, branchesOwnedBy(t, r.Ring(), deadB, 1))
+
+	done := make(chan struct{})
+	var moved, lost int
+	var leaveErr error
+	go func() {
+		defer close(done)
+		moved, lost, leaveErr = r.Leave(deadB)
+	}()
+
+	// Drive the virtual clock: fire each backoff sleep as it registers.
+	var fires atomic.Int64
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if sim.Waiters() > 0 {
+				if sim.Step() {
+					fires.Add(1)
+				}
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second): // safety net, never hit on the passing path
+		t.Fatal("Leave did not return: the retry loop is not exhausting against the injected clock")
+	}
+	if leaveErr != nil {
+		t.Fatalf("leave: %v", leaveErr)
+	}
+	if moved != 0 || lost != 1 {
+		t.Fatalf("moved=%d lost=%d, want 0 moved and the orphan counted lost", moved, lost)
+	}
+	st := r.Stats()
+	if st.RerouteDropped != 1 {
+		t.Fatalf("RerouteDropped = %d, want 1", st.RerouteDropped)
+	}
+	if st.Rerouted != 0 {
+		t.Fatalf("Rerouted = %d, want 0", st.Rerouted)
+	}
+	// The deadline expired on the virtual clock, not the wall clock.
+	if advanced := sim.Now().Sub(start); advanced < rerouteDeadline {
+		t.Fatalf("virtual clock advanced only %v, deadline is %v", advanced, rerouteDeadline)
+	}
+	// The exponential ladder crosses 10s in tens of fires; a fixed 10ms
+	// poll would need ~1000.
+	if n := fires.Load(); n < 10 || n > 120 {
+		t.Fatalf("%d backoff fires to cross the deadline, want the exponential ladder's few dozen", n)
 	}
 }

@@ -1,0 +1,228 @@
+package loadgen
+
+import (
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"inca/internal/controller"
+	"inca/internal/depot"
+	"inca/internal/metrics"
+	"inca/internal/query"
+	"inca/internal/wire"
+)
+
+// testCell is an in-process single-depot server: controller behind a
+// real wire listener, query tier (with /metrics) behind a real HTTP
+// listener — the same surface a spawned inca-server exposes, loopback
+// TCP included, without the process boundary.
+type testCell struct {
+	WireAddr string
+	HTTPBase string
+	depot    *depot.Depot
+	wsrv     *wire.Server
+	hsrv     *http.Server
+}
+
+func startTestCell(t *testing.T) *testCell {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	d := depot.New(depot.NewIndexedCache())
+	ctl := controller.New(d, controller.Options{Metrics: reg})
+	wsrv, err := wire.ServeOptions("127.0.0.1:0", ctl.Handle, wire.ServerOptions{Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qsrv := query.NewServerMetrics(d, reg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		wsrv.Close()
+		t.Fatal(err)
+	}
+	hsrv := &http.Server{Handler: qsrv.Handler()}
+	go hsrv.Serve(ln)
+	c := &testCell{
+		WireAddr: wsrv.Addr(),
+		HTTPBase: "http://" + ln.Addr().String(),
+		depot:    d,
+		wsrv:     wsrv,
+		hsrv:     hsrv,
+	}
+	t.Cleanup(func() {
+		c.hsrv.Close()
+		c.wsrv.Close()
+		c.depot.Close()
+	})
+	return c
+}
+
+func TestHarnessMiniRamp(t *testing.T) {
+	cell := startTestCell(t)
+	h, err := NewHarness(HarnessOptions{
+		WireAddr:      cell.WireAddr,
+		HTTPBase:      cell.HTTPBase,
+		Stages:        []int{1, 2},
+		StageDuration: 300 * time.Millisecond,
+		Warmup:        50 * time.Millisecond,
+		Sites:         4,
+		Probes:        2,
+		WriteBatch:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := h.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Stages) != 2 {
+		t.Fatalf("measured %d stages, want 2", len(curve.Stages))
+	}
+	for i, s := range curve.Stages {
+		if s.Concurrency != []int{1, 2}[i] {
+			t.Fatalf("stage %d concurrency %d", i, s.Concurrency)
+		}
+		if s.Ops == 0 || s.OpsPerSec <= 0 {
+			t.Fatalf("stage %d did no work: %+v", i, s)
+		}
+		if s.Errors != 0 {
+			t.Fatalf("stage %d saw %d errors against a healthy cell", i, s.Errors)
+		}
+		if s.P50 <= 0 || s.P95 < s.P50 || s.P99 < s.P95 {
+			t.Fatalf("stage %d percentiles not ordered: p50=%g p95=%g p99=%g", i, s.P50, s.P95, s.P99)
+		}
+		// All three op classes must participate in the mixed workload.
+		for class := 0; class < NumOpClasses; class++ {
+			if s.Classes[class].Ops == 0 {
+				t.Fatalf("stage %d: op class %s idle", i, ClassName(class))
+			}
+		}
+		// Server-side counters must have moved over the window: the
+		// controller accepted this stage's writes.
+		if s.Server["inca_controller_accepted_total"] <= 0 {
+			t.Fatalf("stage %d: no server-side ingest observed: %v", i, s.Server)
+		}
+		if s.Server["inca_query_hits_total"]+s.Server["inca_query_not_modified_total"] <= 0 {
+			t.Fatalf("stage %d: no server-side query traffic observed: %v", i, s.Server)
+		}
+	}
+	// Two stages cannot produce a knee (the detector needs three points);
+	// the curve must say so rather than fabricate one.
+	if curve.KneeFound {
+		t.Fatalf("knee %+v detected on a two-stage ramp", curve.Knee)
+	}
+	if pts := curve.Points(); len(pts) != 2 || pts[1].Load != 2 {
+		t.Fatalf("curve points malformed: %+v", pts)
+	}
+}
+
+func TestHarnessSeedMakesDeepReadsVisible(t *testing.T) {
+	cell := startTestCell(t)
+	h, err := NewHarness(HarnessOptions{
+		WireAddr: cell.WireAddr,
+		HTTPBase: cell.HTTPBase,
+		Stages:   []int{1},
+		Sites:    3,
+		Probes:   2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Shutdown()
+	if err := h.Seed(); err != nil {
+		t.Fatal(err)
+	}
+	qc := h.queryClient()
+	for _, prefix := range h.prefixes {
+		body, err := qc.Reports(prefix)
+		if err != nil {
+			t.Fatalf("deep read at %s after seed: %v", prefix, err)
+		}
+		if len(body) == 0 {
+			t.Fatalf("deep read at %s empty after seed", prefix)
+		}
+	}
+	if got := cell.depot.Stats().Received; got != 6 {
+		t.Fatalf("seed stored %d reports, want one per branch (6)", got)
+	}
+}
+
+func TestHarnessOptionValidation(t *testing.T) {
+	if _, err := NewHarness(HarnessOptions{}); err == nil {
+		t.Fatal("harness without endpoints accepted")
+	}
+	if _, err := NewHarness(HarnessOptions{
+		WireAddr: "x", HTTPBase: "http://x", Stages: []int{4, 2},
+	}); err == nil {
+		t.Fatal("non-increasing ramp accepted")
+	}
+	if _, err := NewHarness(HarnessOptions{
+		WireAddr: "x", HTTPBase: "http://x",
+		Mix: Mix{Write: -1, CondRead: 2, DeepRead: 0},
+	}); err == nil {
+		t.Fatal("negative mix weight accepted")
+	}
+}
+
+func TestValidateStages(t *testing.T) {
+	cases := []struct {
+		stages []int
+		ok     bool
+	}{
+		{nil, false},
+		{[]int{0}, false},
+		{[]int{-1, 2}, false},
+		{[]int{1}, true},
+		{[]int{1, 2, 4, 8}, true},
+		{[]int{1, 2, 2}, false},
+		{[]int{8, 4}, false},
+	}
+	for _, tc := range cases {
+		if err := ValidateStages(tc.stages); (err == nil) != tc.ok {
+			t.Fatalf("ValidateStages(%v) = %v, want ok=%v", tc.stages, err, tc.ok)
+		}
+	}
+}
+
+func TestParseMetricsSumsFamilies(t *testing.T) {
+	text := `# HELP inca_depot_received_total Reports accepted.
+# TYPE inca_depot_received_total counter
+inca_depot_received_total 41
+inca_federation_routed_total{shard="a"} 10
+inca_federation_routed_total{shard="b"} 32
+inca_request_seconds_bucket{le="0.1"} 5
+inca_request_seconds_bucket{le="+Inf"} 9
+garbage line without a value
+inca_bad_value_total notanumber
+`
+	m, err := ParseMetrics(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["inca_depot_received_total"] != 41 {
+		t.Fatalf("unlabeled counter = %g", m["inca_depot_received_total"])
+	}
+	if m["inca_federation_routed_total"] != 42 {
+		t.Fatalf("labeled family sum = %g, want 42", m["inca_federation_routed_total"])
+	}
+	if m["inca_request_seconds_bucket"] != 14 {
+		t.Fatalf("bucket family sum = %g, want 14", m["inca_request_seconds_bucket"])
+	}
+	if _, ok := m["inca_bad_value_total"]; ok {
+		t.Fatal("malformed value retained")
+	}
+}
+
+func TestDeltaMetrics(t *testing.T) {
+	before := map[string]float64{"a": 10, "b": 5}
+	after := map[string]float64{"a": 17, "b": 5, "c": 3}
+	d := DeltaMetrics(before, after)
+	if d["a"] != 7 || d["b"] != 0 || d["c"] != 3 {
+		t.Fatalf("delta = %v", d)
+	}
+	if len(d) != 3 {
+		t.Fatalf("delta carries %d families, want 3", len(d))
+	}
+}

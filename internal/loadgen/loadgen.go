@@ -9,6 +9,7 @@ package loadgen
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"inca/internal/branch"
@@ -30,43 +31,64 @@ var PaperCacheSizes = []int{
 	5400 * 1024,
 }
 
-// PremadeReport builds a serialized report of exactly size bytes (padding
-// the body with measurement rows and a final filler element). Minimum
-// feasible size is about 400 bytes; smaller requests return an error.
+// sizeBounds measures the builder's geometry once: the bare report's
+// size (the minimum feasible) and the serialized overhead of the <pad>
+// filler element, from which every reachable size follows.
+var sizeBounds = sync.OnceValues(func() (bare int, padOverhead int) {
+	base, err := report.Marshal(buildReport(0))
+	if err != nil {
+		panic(fmt.Sprintf("loadgen: marshal bare report: %v", err))
+	}
+	padded, err := report.Marshal(buildReport(1))
+	if err != nil {
+		panic(fmt.Sprintf("loadgen: marshal padded report: %v", err))
+	}
+	// The pad alphabet never triggers XML escaping, so size is linear in
+	// the pad length: one pad byte costs exactly one output byte, and
+	// the rest is the element's fixed framing.
+	return len(base), len(padded) - len(base) - 1
+})
+
+// MinReportSize returns the smallest size PremadeReport can produce: the
+// bare synthetic report with no filler. Sizes strictly between it and
+// MinPaddedReportSize are unreachable (the <pad> element's framing costs
+// a fixed number of bytes before its first content byte).
+func MinReportSize() int {
+	bare, _ := sizeBounds()
+	return bare
+}
+
+// MinPaddedReportSize returns the smallest size above MinReportSize that
+// PremadeReport can produce — the bare report plus a one-byte pad and
+// its framing. Every size at or above it is reachable exactly.
+func MinPaddedReportSize() int {
+	bare, overhead := sizeBounds()
+	return bare + overhead + 1
+}
+
+// PremadeReport builds a serialized report of exactly size bytes,
+// padding the body with a filler element. Feasible sizes are exactly
+// MinReportSize (the unpadded report) and everything at or above
+// MinPaddedReportSize; requests in between or below return an error
+// naming the feasible boundary.
 func PremadeReport(size int) ([]byte, error) {
-	base := buildReport(0)
-	data, err := report.Marshal(base)
+	bare, overhead := sizeBounds()
+	switch {
+	case size < bare:
+		return nil, fmt.Errorf("loadgen: size %d below the minimum feasible report size %d (loadgen.MinReportSize)", size, bare)
+	case size == bare:
+		return report.Marshal(buildReport(0))
+	case size < bare+overhead+1:
+		return nil, fmt.Errorf("loadgen: size %d unreachable: the pad element's framing costs %d bytes, so feasible sizes are exactly %d or at least %d (loadgen.MinPaddedReportSize)",
+			size, overhead, bare, bare+overhead+1)
+	}
+	data, err := report.Marshal(buildReport(size - bare - overhead))
 	if err != nil {
 		return nil, err
-	}
-	if len(data) > size {
-		return nil, fmt.Errorf("loadgen: size %d below minimum report size %d", size, len(data))
-	}
-	// The pad leaf costs len("<pad></pad>") plus its content.
-	const overhead = len("<pad></pad>")
-	padLen := size - len(data) - overhead
-	if padLen < 0 {
-		padLen = 0
-	}
-	rep := buildReport(padLen)
-	data, err = report.Marshal(rep)
-	if err != nil {
-		return nil, err
-	}
-	// Fine-tune: adjust pad by the exact difference (escaping never
-	// triggers on the pad alphabet, so length is linear).
-	diff := size - len(data)
-	if diff != 0 {
-		padLen += diff
-		if padLen < 0 {
-			return nil, fmt.Errorf("loadgen: cannot hit size %d exactly", size)
-		}
-		rep = buildReport(padLen)
-		if data, err = report.Marshal(rep); err != nil {
-			return nil, err
-		}
 	}
 	if len(data) != size {
+		// Defensive: only reachable if the builder's geometry changes out
+		// from under the measured bounds.
 		return nil, fmt.Errorf("loadgen: produced %d bytes, want %d", len(data), size)
 	}
 	return data, nil

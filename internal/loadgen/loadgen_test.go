@@ -1,6 +1,8 @@
 package loadgen
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"inca/internal/branch"
@@ -125,43 +127,76 @@ func TestMustPremadeReportPanics(t *testing.T) {
 }
 
 func TestPremadeReportBoundarySizes(t *testing.T) {
-	// Find the minimum feasible size, then confirm exact hits around it.
-	min := 0
-	for size := 300; size < 900; size++ {
-		if data, err := PremadeReport(size); err == nil {
+	min, padMin := MinReportSize(), MinPaddedReportSize()
+	if min <= 0 || padMin <= min+1 {
+		t.Fatalf("implausible bounds: MinReportSize=%d MinPaddedReportSize=%d", min, padMin)
+	}
+	cases := []struct {
+		name     string
+		size     int
+		feasible bool
+		errWant  string // substring the error must carry when infeasible
+	}{
+		{"below minimum", min - 1, false, "minimum feasible report size"},
+		{"bare minimum", min, true, ""},
+		{"first gap byte", min + 1, false, "unreachable"},
+		{"last gap byte", padMin - 1, false, "unreachable"},
+		{"smallest padded", padMin, true, ""},
+		{"padded + 1", padMin + 1, true, ""},
+		{"padded + 100", padMin + 100, true, ""},
+	}
+	for _, size := range PaperReportSizes {
+		cases = append(cases, struct {
+			name     string
+			size     int
+			feasible bool
+			errWant  string
+		}{fmt.Sprintf("paper size %d", size), size, true, ""})
+	}
+	for _, tc := range cases {
+		data, err := PremadeReport(tc.size)
+		if tc.feasible {
+			if err != nil {
+				t.Fatalf("%s (%d): %v", tc.name, tc.size, err)
+			}
+			if len(data) != tc.size {
+				t.Fatalf("%s (%d): produced %d bytes", tc.name, tc.size, len(data))
+			}
+			rep, perr := report.Parse(data)
+			if perr != nil {
+				t.Fatalf("%s (%d): unparseable: %v", tc.name, tc.size, perr)
+			}
+			if verr := rep.Validate(); verr != nil {
+				t.Fatalf("%s (%d): invalid: %v", tc.name, tc.size, verr)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("%s (%d): unexpectedly feasible (%d bytes)", tc.name, tc.size, len(data))
+		}
+		if !strings.Contains(err.Error(), tc.errWant) {
+			t.Fatalf("%s (%d): error %q does not explain the boundary (want %q)", tc.name, tc.size, err, tc.errWant)
+		}
+	}
+}
+
+func TestMinReportSizeDiscoversFeasibleSet(t *testing.T) {
+	// Exhaustively confirm the advertised bounds: everything below
+	// MinReportSize or inside the gap errors, everything from
+	// MinPaddedReportSize up to a margin is hit exactly.
+	min, padMin := MinReportSize(), MinPaddedReportSize()
+	for size := min - 5; size < padMin+50; size++ {
+		data, err := PremadeReport(size)
+		feasible := size == min || size >= padMin
+		if feasible {
+			if err != nil {
+				t.Fatalf("size %d inside the advertised feasible set failed: %v", size, err)
+			}
 			if len(data) != size {
-				t.Fatalf("size %d: got %d", size, len(data))
+				t.Fatalf("size %d: produced %d", size, len(data))
 			}
-			min = size
-			break
-		}
-	}
-	if min == 0 {
-		t.Fatal("no feasible size under 900 bytes")
-	}
-	// One below the minimum fails cleanly.
-	if _, err := PremadeReport(min - 1); err == nil {
-		t.Fatalf("size %d unexpectedly feasible", min-1)
-	}
-	// Sizes inside the gap between the bare report and the smallest padded
-	// report (the <pad></pad> wrapper costs 11 bytes) must error, not
-	// silently produce the wrong size.
-	if _, err := PremadeReport(min + 1); err == nil {
-		t.Fatalf("size %d inside the pad gap unexpectedly feasible", min+1)
-	}
-	for _, delta := range []int{0, 11, 12, 100} {
-		data, err := PremadeReport(min + delta)
-		if err != nil {
-			if delta == 11 {
-				// min+11 is padLen 0 again via the adjust path; allow
-				// either outcome as long as exactness holds when it
-				// succeeds.
-				continue
-			}
-			t.Fatalf("size %d: %v", min+delta, err)
-		}
-		if len(data) != min+delta {
-			t.Fatalf("size %d: got %d", min+delta, len(data))
+		} else if err == nil {
+			t.Fatalf("size %d outside the advertised feasible set succeeded", size)
 		}
 	}
 }

@@ -1,0 +1,88 @@
+package loadgen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// ScrapeMetrics fetches a Prometheus text-format exposition and returns
+// each series family summed over its label sets — counters like
+// inca_depot_received_total arrive ready to delta, whether the target is
+// one depot or a federated handler exporting per-shard series. tr may be
+// nil (the default transport).
+func ScrapeMetrics(tr http.RoundTripper, url string) (map[string]float64, error) {
+	client := &http.Client{Timeout: 10 * time.Second}
+	if tr != nil {
+		client.Transport = tr
+	}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("loadgen: scrape %s: %s", url, resp.Status)
+	}
+	return ParseMetrics(resp.Body)
+}
+
+// ParseMetrics parses text-format exposition from r. Series values are
+// summed per family name (the token before any label braces); comment
+// and malformed lines are skipped, NaN values dropped.
+func ParseMetrics(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// name{labels} value [timestamp]  |  name value [timestamp]
+		name := line
+		rest := ""
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				continue
+			}
+			rest = strings.TrimSpace(line[j+1:])
+		} else if i := strings.IndexByte(line, ' '); i >= 0 {
+			name = line[:i]
+			rest = strings.TrimSpace(line[i+1:])
+		} else {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) == 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[0], 64)
+		if err != nil || v != v {
+			continue
+		}
+		out[name] += v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// DeltaMetrics subtracts scrape before from scrape after family-wise:
+// the server-side work done over a measurement window. Families absent
+// from before count from zero; families absent from after are dropped.
+func DeltaMetrics(before, after map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(after))
+	for name, v := range after {
+		out[name] = v - before[name]
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Reservoir is a bounded uniform sample over an unbounded observation
+// stream (Vitter's algorithm R): Add is O(1), memory is capped at the
+// reservoir size, and the retained samples are a uniform random subset
+// of everything observed — so percentiles computed over them converge on
+// the exact stream percentiles. It replaces the grow-forever slices the
+// experiment harness used to keep per worker, whose memory and final
+// merge-and-sort grew linearly with ramp length. Safe for concurrent
+// use, though the intended shape is one reservoir per worker.
+type Reservoir struct {
+	mu      sync.Mutex
+	cap     int
+	seen    int64
+	samples []float64
+	rng     *rand.Rand
+}
+
+// NewReservoir returns a reservoir retaining at most capacity samples.
+// The seed makes replacement deterministic for a given observation
+// order; capacities below 1 are raised to 1.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Reservoir{
+		cap:     capacity,
+		samples: make([]float64, 0, capacity),
+		rng:     rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Add observes one value.
+func (r *Reservoir) Add(x float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seen++
+	if len(r.samples) < r.cap {
+		r.samples = append(r.samples, x)
+		return
+	}
+	if j := r.rng.Int63n(r.seen); j < int64(r.cap) {
+		r.samples[j] = x
+	}
+}
+
+// Count returns how many values have been observed (not retained).
+func (r *Reservoir) Count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen
+}
+
+// Samples returns a copy of the retained sample set.
+func (r *Reservoir) Samples() []float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]float64(nil), r.samples...)
+}
+
+// weighted is one retained sample carrying the share of the stream it
+// stands for.
+type weighted struct {
+	v, w float64
+}
+
+// MergedPercentiles estimates percentiles over the union of several
+// reservoirs' underlying streams. Each retained sample is weighted by
+// its reservoir's observed-to-retained ratio, so reservoirs that saw
+// more traffic count proportionally more — merging a busy worker with an
+// idle one stays faithful to the combined stream. Returns one value per
+// requested percentile (0..100); all NaN when nothing was observed.
+func MergedPercentiles(rs []*Reservoir, ps ...float64) []float64 {
+	var all []weighted
+	var total float64
+	for _, r := range rs {
+		if r == nil {
+			continue
+		}
+		r.mu.Lock()
+		if n := len(r.samples); n > 0 {
+			w := float64(r.seen) / float64(n)
+			for _, v := range r.samples {
+				all = append(all, weighted{v, w})
+			}
+			total += float64(r.seen)
+		}
+		r.mu.Unlock()
+	}
+	out := make([]float64, len(ps))
+	if len(all) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+	for i, p := range ps {
+		out[i] = weightedPercentile(all, total, p)
+	}
+	return out
+}
+
+// weightedPercentile walks the sorted weighted samples to the first one
+// whose cumulative weight reaches p% of the total (weighted nearest
+// rank).
+func weightedPercentile(sorted []weighted, total, p float64) float64 {
+	if p <= 0 {
+		return sorted[0].v
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1].v
+	}
+	target := p / 100 * total
+	var cum float64
+	for _, s := range sorted {
+		cum += s.w
+		if cum >= target {
+			return s.v
+		}
+	}
+	return sorted[len(sorted)-1].v
+}

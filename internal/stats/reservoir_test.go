@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestReservoirBoundedMemory(t *testing.T) {
+	r := NewReservoir(64, 1)
+	for i := 0; i < 10000; i++ {
+		r.Add(float64(i))
+	}
+	if got := len(r.Samples()); got != 64 {
+		t.Fatalf("retained %d samples, want the 64-sample cap", got)
+	}
+	if r.Count() != 10000 {
+		t.Fatalf("Count = %d, want 10000", r.Count())
+	}
+}
+
+func TestReservoirBelowCapKeepsEverything(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for i := 0; i < 10; i++ {
+		r.Add(float64(i))
+	}
+	s := r.Samples()
+	if len(s) != 10 {
+		t.Fatalf("retained %d of 10", len(s))
+	}
+	for i, v := range s {
+		if v != float64(i) {
+			t.Fatalf("sample %d = %g (below cap, order must be preserved)", i, v)
+		}
+	}
+}
+
+func TestMergedPercentilesEmpty(t *testing.T) {
+	out := MergedPercentiles([]*Reservoir{NewReservoir(8, 1), nil}, 50, 95)
+	if len(out) != 2 || !math.IsNaN(out[0]) || !math.IsNaN(out[1]) {
+		t.Fatalf("empty merge = %v, want NaNs", out)
+	}
+}
+
+func TestMergedPercentilesExactBelowCap(t *testing.T) {
+	// With every observation retained, the weighted merge must agree with
+	// the exact percentile up to rank rounding.
+	a, b := NewReservoir(1000, 1), NewReservoir(1000, 2)
+	var all []float64
+	for i := 1; i <= 500; i++ {
+		a.Add(float64(i))
+		all = append(all, float64(i))
+	}
+	for i := 501; i <= 600; i++ {
+		b.Add(float64(i))
+		all = append(all, float64(i))
+	}
+	got := MergedPercentiles([]*Reservoir{a, b}, 50, 95, 99)
+	for i, p := range []float64{50, 95, 99} {
+		exact := Percentile(all, p)
+		if math.Abs(got[i]-exact) > 2 {
+			t.Fatalf("p%g = %g, exact %g", p, got[i], exact)
+		}
+	}
+}
+
+// TestReservoirPercentileTolerance is the bounded-memory correctness
+// proof the latency tracker rests on: p50/p95/p99 estimated from
+// per-worker reservoirs over a long heavy-tailed stream must stay within
+// tolerance of the exact percentiles over every sample — including with
+// workers that saw very different traffic volumes.
+func TestReservoirPercentileTolerance(t *testing.T) {
+	const (
+		workers = 8
+		cap     = 4096
+	)
+	rng := rand.New(rand.NewSource(42))
+	rs := make([]*Reservoir, workers)
+	var all []float64
+	for w := range rs {
+		rs[w] = NewReservoir(cap, int64(w+1))
+		// Skewed volumes: worker w observes (w+1)*25000 samples.
+		n := (w + 1) * 25000
+		for i := 0; i < n; i++ {
+			// Log-normal-ish latencies: a heavy right tail, like real
+			// response times under load.
+			v := math.Exp(rng.NormFloat64()*0.75 + 5)
+			rs[w].Add(v)
+			all = append(all, v)
+		}
+	}
+	got := MergedPercentiles(rs, 50, 95, 99)
+	for i, p := range []float64{50, 95, 99} {
+		exact := Percentile(all, p)
+		rel := math.Abs(got[i]-exact) / exact
+		if rel > 0.05 {
+			t.Fatalf("p%g = %g vs exact %g: relative error %.3f exceeds 5%%", p, got[i], exact, rel)
+		}
+	}
+}
+
+func TestReservoirDistributionUnbiased(t *testing.T) {
+	// The retained subset must be uniform over the stream: feeding
+	// 0..99999 into a small reservoir, the retained mean should sit near
+	// the stream mean.
+	r := NewReservoir(2048, 7)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		r.Add(float64(i))
+	}
+	var sum float64
+	for _, v := range r.Samples() {
+		sum += v
+	}
+	mean := sum / float64(len(r.Samples()))
+	if math.Abs(mean-(n-1)/2.0) > n*0.025 {
+		t.Fatalf("retained mean %.0f too far from stream mean %.0f", mean, (n-1)/2.0)
+	}
+}

@@ -1,0 +1,61 @@
+package inca_test
+
+// Multi-process capacity-harness smoke test (DESIGN.md §5j): the real
+// closed-loop load experiment — spawned inca-server, ramped workers over
+// real TCP, saturation-knee detection — at a short ramp. It proves the
+// whole pipeline end to end: process spawn and address scanning, the
+// mixed write/read workload, /metrics scraping, per-stage percentile
+// merging, knee detection, and the BENCH_load.json schema.
+//
+// The test builds and spawns the inca-server binary and runs a multi-
+// second ramp, so it is gated behind INCA_LOAD_SMOKE=1 and run by
+// `make load-smoke` (part of `make check`) rather than on every plain
+// `go test ./...`.
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"inca/internal/experiments"
+)
+
+func TestLoadSmoke(t *testing.T) {
+	if os.Getenv("INCA_LOAD_SMOKE") == "" {
+		t.Skip("set INCA_LOAD_SMOKE=1 (make load-smoke) to run the capacity-harness smoke test")
+	}
+	stages := []int{1, 2, 4, 8, 16, 32}
+	r, err := experiments.Load(experiments.LoadOptions{
+		Stages:        stages,
+		StageDuration: 400 * time.Millisecond,
+		Warmup:        100 * time.Millisecond,
+		Modes:         []string{"single"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "load" {
+		t.Fatalf("result id %q", r.ID)
+	}
+	t.Logf("\n%s", r.String())
+
+	// Round-trip through the BENCH_<id>.json writer and the shared schema
+	// validator, then hold the smoke run to the same contract a committed
+	// capacity artifact carries: a full monotone ramp and a detected knee.
+	path := t.TempDir() + "/BENCH_load.json"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rf, err := experiments.ValidateResultFile(path)
+	if err != nil {
+		t.Fatalf("smoke result fails the shared schema: %v", err)
+	}
+	if err := experiments.ValidateLoadResult(rf, len(stages), "single"); err != nil {
+		t.Fatalf("smoke ramp incomplete: %v", err)
+	}
+}
